@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Set ``REPRO_BENCH_FULL=1`` to run the full paper-shaped sweeps instead of
+the quick matrices.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") != "1"
+
+
+def run_experiment(benchmark, fn, *args, **kwargs):
+    """Run one experiment exactly once under pytest-benchmark and print it."""
+    result = {}
+
+    def once():
+        rows, text = fn(*args, **kwargs)
+        result["rows"] = rows
+        result["text"] = text
+        return rows
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    print()
+    print(result["text"])
+    return result["rows"]

@@ -1,0 +1,13 @@
+"""Ablation: adaptive spread_rate vs static spreads."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_abl_spread(benchmark, quick):
+    rows = run_experiment(benchmark, experiments.abl_spread, quick)
+    walls = {r["policy"]: r["wall_ms"] for r in rows}
+    best_static = min(v for k, v in walls.items() if k.startswith("static"))
+    # Adaptive should track the best static configuration closely.
+    assert walls["adaptive"] <= best_static * 1.25, walls

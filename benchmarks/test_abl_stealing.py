@@ -1,0 +1,11 @@
+"""Ablation: chiplet-first hierarchical stealing vs flat random."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_abl_stealing(benchmark, quick):
+    rows = run_experiment(benchmark, experiments.abl_stealing, quick)
+    # Hierarchical stealing should not lose to flat stealing.
+    assert all(r["gain"] > 0.9 for r in rows), rows

@@ -1,0 +1,15 @@
+"""Extension: multi-tenant co-location interference (paper future work)."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_ext_colocation(benchmark, quick):
+    rows = run_experiment(benchmark, experiments.ext_colocation, quick)
+    by = {r["antagonist"]: r["slowdown"] for r in rows}
+    # A noisy neighbour on the victim's socket hurts at least as much as
+    # one isolated on the other socket; isolation is the baseline.
+    assert by["isolated"] == 1.0
+    assert by["same-socket"] >= by["other-socket"] * 0.98
+    assert by["same-socket"] > 1.02  # interference is real

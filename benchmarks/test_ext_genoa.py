@@ -1,0 +1,14 @@
+"""Extension: CHARM on a next-generation 12-chiplet (Genoa) machine."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_ext_genoa_whatif(benchmark, quick):
+    series = run_experiment(benchmark, experiments.ext_genoa_whatif, quick)
+    charm = dict(series["charm"])
+    ring = dict(series["ring"])
+    # The chiplet-aware advantage persists on the denser-chiplet part.
+    one_socket = max(c for c in charm if c <= 96)
+    assert charm[one_socket] > ring[one_socket]

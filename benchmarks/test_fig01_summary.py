@@ -1,0 +1,12 @@
+"""Fig. 1: headline CHARM speedups vs NUMA-aware systems."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_fig01_summary(benchmark, quick):
+    rows = run_experiment(benchmark, experiments.fig01_summary, quick)
+    by_domain = {r["domain"]: r["speedup_vs_numa_aware"] for r in rows}
+    # CHARM must beat the NUMA-aware comparator in every domain it targets.
+    assert all(v > 1.0 for v in by_domain.values()), by_domain

@@ -1,0 +1,15 @@
+"""Fig. 3: stepped core-to-core latency CDF on the Milan model."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_fig03_latency_cdf(benchmark):
+    rows = run_experiment(benchmark, experiments.fig03_latency_cdf)
+    p50 = {r["group"]: r["p50_ns"] for r in rows}
+    # Paper: ~25 ns intra-chiplet, 80-155 ns within-NUMA, >200 ns across.
+    assert 20 <= p50["same_chiplet"] <= 35
+    assert 80 <= p50["same_numa"] <= 170
+    assert p50["cross_numa"] > 200
+    assert p50["same_chiplet"] < p50["same_numa"] < p50["cross_numa"]

@@ -1,0 +1,13 @@
+"""Fig. 4: cores vs memory channels divergence."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_fig04_channels(benchmark):
+    rows = run_experiment(benchmark, experiments.fig04_channels)
+    ratio = [r["cores_per_channel"] for r in rows]
+    # Bandwidth per core declines monotonically over the years.
+    assert ratio == sorted(ratio)
+    assert ratio[-1] / ratio[0] > 10

@@ -1,0 +1,18 @@
+"""Fig. 7: graph + RandomAccess scalability on the AMD Milan model."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_fig07_amd_scalability(benchmark, quick):
+    series = run_experiment(benchmark, experiments.fig07_amd_scalability, quick)
+    bfs_charm = dict(series["bfs/charm"])
+    bfs_ring = dict(series["bfs/ring"])
+    # CHARM scales up to 64 cores and clearly beats RING there.
+    assert bfs_charm[64] > bfs_charm[8]
+    assert bfs_charm[64] >= 1.25 * bfs_ring[64]
+    # GUPS: same ordering.
+    gups_charm = dict(series["gups/charm"])
+    gups_ring = dict(series["gups/ring"])
+    assert gups_charm[64] > 1.3 * gups_ring[64]

@@ -1,0 +1,14 @@
+"""Fig. 8: the advantage persists (smaller) on the Intel SPR model."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_fig08_intel_scalability(benchmark, quick):
+    series = run_experiment(benchmark, experiments.fig08_intel_scalability, quick)
+    charm = dict(series["bfs/charm"])
+    ring = dict(series["bfs/ring"])
+    single_socket = max(c for c in charm if c <= 48)
+    # CHARM leads within one socket on Intel too...
+    assert charm[single_socket] > ring[single_socket]

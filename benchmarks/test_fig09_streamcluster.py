@@ -1,0 +1,17 @@
+"""Fig. 9: streamcluster speedup, CHARM vs SHOAL."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_fig09_streamcluster(benchmark, quick):
+    series = run_experiment(benchmark, experiments.fig09_streamcluster, quick)
+    charm = dict(series["charm"])
+    shoal = dict(series["shoal"])
+    # Mid-range peak; CHARM >= SHOAL at low/mid counts; collapse at 128.
+    peak_c = max(charm.values())
+    assert peak_c > 8
+    assert charm[24] >= shoal[24] * 0.98
+    assert charm[8] > shoal[8]
+    assert charm[128] < peak_c / 2

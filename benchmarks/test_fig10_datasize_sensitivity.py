@@ -1,0 +1,11 @@
+"""Fig. 10: CHARM speedup over RING across graph sizes."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_fig10_datasize(benchmark, quick):
+    rows = run_experiment(benchmark, experiments.fig10_datasize, quick)
+    # CHARM consistently outperforms RING across all sizes and core counts.
+    assert all(r["speedup_vs_ring"] > 1.0 for r in rows), rows

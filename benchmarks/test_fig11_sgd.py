@@ -1,0 +1,21 @@
+"""Fig. 11: SGD loss/gradient throughput across schemes."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_fig11_sgd(benchmark, quick):
+    out = run_experiment(benchmark, experiments.fig11_sgd, quick)
+    for kernel in ("loss", "gradient"):
+        series = out[kernel]
+        charm = dict(series["charm"])
+        numa = dict(series["numa-node"])
+        osa = dict(series["charm-async"])
+        best_core = max(charm, key=lambda c: charm[c])
+        # CHARM well above the best native scheme; std::async variant below it.
+        assert charm[best_core] > 2.0 * numa[best_core]
+        assert osa[best_core] < numa[best_core]
+        # Native schemes are roughly flat (no scaling with cores).
+        cores = sorted(numa)
+        assert numa[cores[-1]] < 2.0 * numa[cores[0]]

@@ -1,0 +1,15 @@
+"""Fig. 12: thread concurrency, coroutines vs std::async."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_fig12_concurrency(benchmark, quick):
+    rows = run_experiment(benchmark, experiments.fig12_concurrency, quick)
+    by = {r["scheme"]: r for r in rows}
+    # CHARM's concurrency stays near the core count; std::async fluctuates
+    # far below it while creating many more threads.
+    assert by["charm"]["avg_concurrency"] > 0.6 * 32
+    assert by["charm-async"]["avg_concurrency"] < by["charm"]["avg_concurrency"] / 2
+    assert by["charm-async"]["threads_created"] >= by["charm"]["threads_created"]

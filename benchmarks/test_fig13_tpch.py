@@ -1,0 +1,16 @@
+"""Fig. 13: TPC-H query times, stock vs +CHARM."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_fig13_tpch(benchmark, quick):
+    rows = run_experiment(benchmark, experiments.fig13_tpch, quick)
+    speedups = [r["speedup"] for r in rows]
+    joins = [r["speedup"] for r in rows if r["kind"] == "join"]
+    # CHARM helps overall, most notably on join-heavy queries, and never
+    # costs more than a small overhead.
+    assert sum(speedups) / len(speedups) > 0.98
+    assert max(joins) > 1.1
+    assert min(speedups) > 0.8

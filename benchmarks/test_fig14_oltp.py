@@ -1,0 +1,17 @@
+"""Fig. 14: OLTP commits/s are insensitive to chiplet placement."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_fig14_oltp(benchmark, quick):
+    series = run_experiment(benchmark, experiments.fig14_oltp, quick)
+    for wl in ("ycsb", "tpcc"):
+        local = dict(series[f"{wl}/local"])
+        dist = dict(series[f"{wl}/distributed"])
+        for c in local:
+            ratio = local[c] / dist[c]
+            # Paper: "nearly identical performance between LocalCache and
+            # DistributedCache... across all core counts".
+            assert 0.85 < ratio < 1.18, (wl, c, ratio)

@@ -1,0 +1,12 @@
+"""Section 4.6: RMT_CHIP_ACCESS_RATE sensitivity sweep."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_sens_threshold(benchmark, quick):
+    rows = run_experiment(benchmark, experiments.sens_threshold, quick)
+    walls = {r["threshold"]: r["wall_ms"] for r in rows}
+    # The calibrated default (24) must be at least as good as the extremes.
+    assert walls[24] <= min(walls[4], walls[96]) * 1.15

@@ -1,0 +1,14 @@
+"""Tab. 1: remote-NUMA vs local-chiplet fill counters at 64 cores."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_tab1_chiplet_accesses(benchmark, quick):
+    rows = run_experiment(benchmark, experiments.tab1_chiplet_accesses, quick)
+    for r in rows:
+        # Paper: CHARM's remote-NUMA fills are orders of magnitude below
+        # RING's, while its local-chiplet fills are higher.
+        assert r["remote_numa_charm"] * 10 < max(r["remote_numa_ring"], 1), r
+        assert r["local_chiplet_charm"] > r["local_chiplet_ring"] * 0.8, r

@@ -1,0 +1,15 @@
+"""Tab. 2: streamcluster memory/cache accesses across core counts."""
+
+from conftest import run_experiment
+
+from repro.bench import experiments
+
+
+def test_tab2_streamcluster_accesses(benchmark, quick):
+    rows = run_experiment(benchmark, experiments.tab2_streamcluster_accesses, quick)
+    by_cores = {r["cores"]: r for r in rows}
+    # Paper: at 8 cores SHOAL has many times CHARM's main-memory accesses;
+    # by 64 cores the two systems' access patterns converge.
+    assert by_cores[8]["dram_shoal"] > 1.5 * by_cores[8]["dram_charm"]
+    conv = by_cores[64]
+    assert abs(conv["dram_shoal"] - conv["dram_charm"]) <= 0.2 * conv["dram_charm"] + 64

@@ -1,0 +1,78 @@
+"""CHARM reproduction: Chiplet Heterogeneity-Aware Runtime Mapping System.
+
+A production-quality Python reproduction of the EuroSys 2026 paper on a
+simulated chiplet machine.  The top-level namespace re-exports the pieces
+most users need:
+
+- machine presets (:func:`milan`, :func:`sapphire_rapids`),
+- the runtime facade (:class:`Charm`) and strategy classes,
+- task op types for writing workloads.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.hw import (
+    Machine,
+    MemPolicy,
+    Region,
+    Topology,
+    milan,
+    sapphire_rapids,
+    small_test_machine,
+)
+from repro.runtime import (
+    Access,
+    AccessBatch,
+    AdaptiveController,
+    Approach,
+    Barrier,
+    Charm,
+    CharmPolicyConfig,
+    CharmStrategy,
+    Compute,
+    Future,
+    Runtime,
+    RunReport,
+    SchedulingStrategy,
+    SpawnOp,
+    StaticSpreadStrategy,
+    Task,
+    TaskState,
+    WaitBarrier,
+    WaitFuture,
+    YieldPoint,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "MemPolicy",
+    "Region",
+    "Topology",
+    "milan",
+    "sapphire_rapids",
+    "small_test_machine",
+    "Access",
+    "AccessBatch",
+    "AdaptiveController",
+    "Approach",
+    "Barrier",
+    "Charm",
+    "CharmPolicyConfig",
+    "CharmStrategy",
+    "Compute",
+    "Future",
+    "Runtime",
+    "RunReport",
+    "SchedulingStrategy",
+    "SpawnOp",
+    "StaticSpreadStrategy",
+    "Task",
+    "TaskState",
+    "WaitBarrier",
+    "WaitFuture",
+    "YieldPoint",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Baseline systems from the paper's evaluation, on the same substrate.
+
+Every baseline is a :class:`~repro.runtime.policy.SchedulingStrategy`
+implementation over the *same* machine model and task model as CHARM, so
+measured differences come only from scheduling/placement policy — exactly
+the comparison the paper makes:
+
+- :class:`RingStrategy` — RING [Meng & Tan, ICPADS'17]: NUMA-aware
+  message-batching runtime; round-robin NUMA placement, chiplet-oblivious.
+- :class:`ShoalStrategy` — SHOAL [Kaestle et al., ATC'15]: smart array
+  allocation/replication, sequential task->core assignment.
+- :class:`AsymSchedStrategy` — AsymSched [Lepers et al.]: bandwidth-centric
+  NUMA placement and thread-group migration.
+- :class:`SamStrategy` — SAM [Srikanthan et al., ATC'16]: coherence/
+  contention-driven placement, hyperthread-aware.
+- :class:`OsAsyncStrategy` — ``std::async``-style OS threading: thread per
+  task, blocking synchronisation, expensive switches (Fig. 11/12 baseline).
+- LocalCache / DistributedCache static policies re-exported from
+  :mod:`repro.runtime.policy` (Fig. 5 / Fig. 14).
+"""
+
+from repro.baselines.ring import RingStrategy
+from repro.baselines.shoal import ShoalStrategy
+from repro.baselines.asymsched import AsymSchedStrategy
+from repro.baselines.sam import SamStrategy
+from repro.baselines.oslike import OsAsyncStrategy
+from repro.runtime.policy import (
+    StaticSpreadStrategy,
+    distributed_cache_strategy,
+    local_cache_strategy,
+)
+
+__all__ = [
+    "RingStrategy",
+    "ShoalStrategy",
+    "AsymSchedStrategy",
+    "SamStrategy",
+    "OsAsyncStrategy",
+    "StaticSpreadStrategy",
+    "local_cache_strategy",
+    "distributed_cache_strategy",
+]

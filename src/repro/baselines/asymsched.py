@@ -1,0 +1,74 @@
+"""AsymSched: bandwidth-centric NUMA scheduler (baseline 3).
+
+AsymSched optimises thread and memory placement for machines with
+*asymmetric interconnects*: it groups communicating threads, enumerates
+placements of thread groups onto nodes, and picks the one maximising
+usable interconnect bandwidth, migrating groups when the balance drifts.
+
+On a chiplet machine with a symmetric on-package fabric its placement
+granularity — whole NUMA nodes — is too coarse (paper section 6:
+"AsymSched offers limited benefit on chiplet-based designs with uniform
+interconnects").  The model captures exactly that: workers spread evenly
+across NUMA nodes for bandwidth, a periodic tick re-balances workers from
+the most DRAM-loaded socket to the least, but within a socket cores are
+taken sequentially with no chiplet awareness, and task placement ignores
+L3 partitioning.
+"""
+
+from repro.hw.machine import Machine
+from repro.runtime.policy import SchedulingStrategy
+
+
+class AsymSchedStrategy(SchedulingStrategy):
+    """Even node spread + DRAM-load-driven node rebalancing."""
+
+    name = "asymsched"
+    hierarchical_stealing = False
+
+    def __init__(self, rebalance_interval_ns: float = 400_000.0, imbalance_ratio: float = 2.0):
+        self.rebalance_interval_ns = rebalance_interval_ns
+        self.imbalance_ratio = imbalance_ratio
+
+    def initial_core(self, worker_id: int, n_workers: int, machine: Machine) -> int:
+        """Split workers evenly over sockets; sequential cores within."""
+        topo = machine.topo
+        per_socket = -(-n_workers // topo.sockets)  # ceil
+        socket = worker_id // per_socket
+        index_in_socket = worker_id % per_socket
+        if socket >= topo.sockets or index_in_socket >= topo.cores_per_socket:
+            raise ValueError(f"{n_workers} workers exceed machine capacity")
+        return socket * topo.cores_per_socket + index_in_socket
+
+    def place_task(self, spawner, runtime) -> int:
+        return runtime.rr_next_worker()
+
+    def on_tick(self, worker, runtime) -> None:
+        """Bandwidth-centric rebalancing: move a worker off the hot socket.
+
+        AsymSched's placement enumeration reduces, in steady state, to
+        keeping per-node bandwidth demand even; the tick checks the
+        worker's own DRAM fill rate against the machine-wide average and
+        migrates it to the least-loaded socket's next free core when its
+        node is overloaded.  Node-granular: the chosen core within the
+        target socket is just the lowest free one.
+        """
+        now = worker.clock
+        if now - worker.policy_time < self.rebalance_interval_ns:
+            return
+        worker.policy_time = now
+        topo = runtime.machine.topo
+        # Per-socket DRAM fill totals since the run started.
+        load = [0] * topo.sockets
+        for w in runtime.workers:
+            load[topo.socket_of_core(w.core)] += w.fills.dram_fills()
+        my_socket = topo.socket_of_core(worker.core)
+        coolest = min(range(topo.sockets), key=lambda s: load[s])
+        if coolest == my_socket:
+            worker.mark_fill_counters()
+            return
+        if load[coolest] == 0 or load[my_socket] / max(load[coolest], 1) >= self.imbalance_ratio:
+            for core in topo.cores_of_socket(coolest):
+                if core not in runtime.core_ledger:
+                    runtime.request_migration(worker, core)
+                    break
+        worker.mark_fill_counters()

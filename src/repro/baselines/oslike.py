@@ -1,0 +1,54 @@
+"""``std::async``-style OS threading (the DW+CHARM+std::async baseline).
+
+Maps each task to an OS thread, as GCC's ``std::async(launch::async)``
+does.  Three modelled costs reproduce the behaviour measured in
+Fig. 11/12:
+
+1. **thread creation** per task (~15 us of kernel work amortised into
+   virtual time) — DimmWitted creates 641 threads on 32 cores;
+2. **kernel context switches** (~3.5 us) instead of CHARM's ~60 ns
+   user-space coroutine switch;
+3. **blocking synchronisation** (``blocking_sync = True``): a thread that
+   waits on a barrier/future blocks *its core* — the worker parks instead
+   of running another task — which is why the observed thread concurrency
+   fluctuates around half the core count (Fig. 12a) instead of staying
+   pinned at it (Fig. 12b).
+
+Placement is the OS load balancer's: round-robin over all cores with no
+topology awareness, and migrations happen freely on wakeup (modelled by
+flat random stealing).
+"""
+
+from repro.hw.machine import Machine
+from repro.runtime.policy import SchedulingStrategy
+
+
+class OsAsyncStrategy(SchedulingStrategy):
+    """Thread-per-task with OS-level costs and blocking waits."""
+
+    name = "os-async"
+    hierarchical_stealing = False
+    blocking_sync = True
+    switch_cost_ns = 3_500.0        # kernel context switch
+    task_create_cost_ns = 5_000.0   # pthread_create + stack setup (amortised)
+    steal_probe_ns = 350.0          # runqueue peek via the kernel
+
+    def initial_core(self, worker_id: int, n_workers: int, machine: Machine) -> int:
+        """CFS-style spread: alternate sockets, sequential cores within."""
+        topo = machine.topo
+        socket = worker_id % topo.sockets
+        index_in_socket = worker_id // topo.sockets
+        if index_in_socket >= topo.cores_per_socket:
+            raise ValueError(f"{n_workers} workers exceed machine capacity")
+        return socket * topo.cores_per_socket + index_in_socket
+
+    def place_task(self, spawner, runtime) -> int:
+        """The OS wakes threads on whichever CPU is least loaded."""
+        workers = runtime.workers
+        return min(range(len(workers)), key=lambda w: len(workers[w].queue))
+
+    def shared_policy(self, read_only: bool = False, runtime=None):
+        """Plain mmap + first touch: everything lands on node 0."""
+        from repro.hw.memory import MemPolicy
+
+        return MemPolicy.BIND

@@ -1,0 +1,43 @@
+"""RING: NUMA-aware message-batching runtime (baseline 1).
+
+RING (Meng & Tan, ICPADS 2017) is the runtime CHARM inherits its API and
+task/RPC model from.  It is NUMA-aware — workers are distributed
+round-robin across NUMA nodes and memory is allocated node-locally — but
+*chiplet-oblivious*: within a node, workers take sequential cores with no
+notion of L3 partitioning, and tasks are placed round-robin across all
+workers with no chiplet-locality preference.
+
+Consequences on a chiplet machine (paper sections 5.2, Tab. 1): tasks
+sharing data land on workers in *different sockets*, so fills are served
+from remote-NUMA chiplet caches; and no spread/compact adaptation means
+the L3 footprint never matches the working set.
+
+Message batching is modelled as a reduced effective cost for moving tasks
+between nodes (RING batches RPCs to amortise inter-node latency), which is
+its genuine strength versus naive runtimes.
+"""
+
+from repro.hw.machine import Machine
+from repro.runtime.policy import SchedulingStrategy
+
+
+class RingStrategy(SchedulingStrategy):
+    """Round-robin NUMA placement, node-local allocation, flat stealing."""
+
+    name = "ring"
+    hierarchical_stealing = False
+    # Message batching amortises task-movement latency.
+    steal_probe_ns = 60.0
+
+    def initial_core(self, worker_id: int, n_workers: int, machine: Machine) -> int:
+        """Worker ``i`` -> socket ``i % sockets``, next sequential core there."""
+        topo = machine.topo
+        socket = worker_id % topo.sockets
+        index_in_socket = worker_id // topo.sockets
+        if index_in_socket >= topo.cores_per_socket:
+            raise ValueError(f"{n_workers} workers exceed machine capacity")
+        return socket * topo.cores_per_socket + index_in_socket
+
+    def place_task(self, spawner, runtime) -> int:
+        """Round-robin task distribution (no chiplet locality)."""
+        return runtime.rr_next_worker()

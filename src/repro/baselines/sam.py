@@ -1,0 +1,90 @@
+"""SAM: contention- and sharing-aware multicore scheduler (baseline 4).
+
+SAM (Srikanthan et al., USENIX ATC 2016) samples PMU events (IPC,
+coherence activity, remote accesses) to decide whether threads should be
+*consolidated* (heavy data sharing: put sharers on one socket to cut
+coherence traffic) or *separated* (bandwidth contention: spread across
+sockets).  It is hyperthread-aware and socket-granular.
+
+Its PMU heuristics were designed for monolithic multi-socket NUMA: a
+"socket" is assumed to be one cache domain.  On chiplet CPUs that
+assumption breaks — consolidating sharers onto one socket still scatters
+them over eight separate L3 slices — which is why SAM trails CHARM on AMD
+and does particularly poorly on Intel Sapphire Rapids (paper section 5.3:
+"SAM's profiling events are ill-suited for chiplet-based architectures").
+
+The model: socket-granular consolidate/separate decisions driven by the
+simulated fill counters (coherence proxy: remote-chiplet fills; bandwidth
+proxy: DRAM fills), sequential core choice within the target socket, no
+chiplet-level placement.
+"""
+
+from repro.hw.machine import Machine
+from repro.runtime.policy import SchedulingStrategy
+
+
+class SamStrategy(SchedulingStrategy):
+    """Socket-level consolidate/separate driven by PMU-style counters."""
+
+    name = "sam"
+    hierarchical_stealing = False
+
+    def __init__(
+        self,
+        interval_ns: float = 400_000.0,
+        sharing_threshold: float = 200.0,
+        bandwidth_threshold: float = 400.0,
+    ):
+        self.interval_ns = interval_ns
+        self.sharing_threshold = sharing_threshold
+        self.bandwidth_threshold = bandwidth_threshold
+
+    def initial_core(self, worker_id: int, n_workers: int, machine: Machine) -> int:
+        """Like the Linux load balancer SAM sits on: spread over sockets."""
+        topo = machine.topo
+        socket = worker_id % topo.sockets
+        index_in_socket = worker_id // topo.sockets
+        if index_in_socket >= topo.cores_per_socket:
+            raise ValueError(f"{n_workers} workers exceed machine capacity")
+        return socket * topo.cores_per_socket + index_in_socket
+
+    def place_task(self, spawner, runtime) -> int:
+        return runtime.rr_next_worker()
+
+    def on_tick(self, worker, runtime) -> None:
+        """Consolidate on cross-socket coherence; separate on bandwidth."""
+        now = worker.clock
+        if now - worker.policy_time < self.interval_ns:
+            return
+        elapsed = now - worker.policy_time
+        worker.policy_time = now
+        scale = self.interval_ns / elapsed
+        coherence = worker.remote_fills_since_mark() - worker.dram_fills_since_mark()
+        dram = worker.dram_fills_since_mark()
+        worker.mark_fill_counters()
+        topo = runtime.machine.topo
+        my_socket = topo.socket_of_core(worker.core)
+        if coherence * scale >= self.sharing_threshold:
+            # Sharing-dominated: consolidate onto the socket with the most
+            # workers (SAM groups sharers; socket = its cache domain unit).
+            counts = [0] * topo.sockets
+            for w in runtime.workers:
+                counts[topo.socket_of_core(w.core)] += 1
+            target = max(range(topo.sockets), key=lambda s: counts[s])
+            if target != my_socket:
+                self._move_to_socket(worker, runtime, target)
+        elif dram * scale >= self.bandwidth_threshold:
+            # Bandwidth-bound: separate onto the emptiest socket.
+            counts = [0] * topo.sockets
+            for w in runtime.workers:
+                counts[topo.socket_of_core(w.core)] += 1
+            target = min(range(topo.sockets), key=lambda s: counts[s])
+            if target != my_socket:
+                self._move_to_socket(worker, runtime, target)
+
+    @staticmethod
+    def _move_to_socket(worker, runtime, socket: int) -> None:
+        for core in runtime.machine.topo.cores_of_socket(socket):
+            if core not in runtime.core_ledger:
+                runtime.request_migration(worker, core)
+                return

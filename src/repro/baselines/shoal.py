@@ -1,0 +1,44 @@
+"""SHOAL: smart NUMA array allocation with sequential core assignment.
+
+SHOAL (Kaestle et al., USENIX ATC 2015) optimises *memory* — it picks
+array placements (replication, distribution, huge pages) from access
+patterns — but its thread placement is naive: task ``i`` runs on core
+``i`` (paper section 5.4: "SHOAL assigns tasks sequentially to cores").
+
+On a chiplet machine the sequential assignment packs small worker counts
+onto few chiplets: with 16 workers it uses only 2 of 8 CCDs and hence
+64 MB of the 256 MB aggregate L3 — the effect Fig. 9 / Tab. 2 measure.
+
+Workloads honouring SHOAL's array abstraction should allocate read-mostly
+data with ``MemPolicy.REPLICATED`` (node-local replicas) when running
+under this strategy; the :meth:`alloc_node` hook keeps other allocations
+on the first socket, as SHOAL's default first-touch does.
+"""
+
+from repro.hw.machine import Machine
+from repro.runtime.policy import SchedulingStrategy
+
+
+class ShoalStrategy(SchedulingStrategy):
+    """Sequential task->core pinning; replication-friendly allocation."""
+
+    name = "shoal"
+    hierarchical_stealing = False
+    # Huge pages / DMA engines make SHOAL's bulk setup cheap.
+    task_create_cost_ns = 40.0
+
+    def initial_core(self, worker_id: int, n_workers: int, machine: Machine) -> int:
+        """Worker ``i`` -> core ``i``: chiplets fill strictly in order."""
+        if worker_id >= machine.topo.total_cores:
+            raise ValueError(f"{n_workers} workers exceed machine capacity")
+        return worker_id
+
+    def place_task(self, spawner, runtime) -> int:
+        """Tasks assigned sequentially, like SHOAL's static work split."""
+        return runtime.rr_next_worker()
+
+    def shared_policy(self, read_only: bool = False, runtime=None):
+        """SHOAL's array abstraction: replicate read-only arrays per node."""
+        from repro.hw.memory import MemPolicy
+
+        return MemPolicy.REPLICATED if read_only else MemPolicy.INTERLEAVE

@@ -1,0 +1,39 @@
+"""Vanilla pthread-style execution: no architecture-aware runtime support.
+
+The "no runtime" comparison point of Fig. 9 (and the stock-DuckDB thread
+mapping of Fig. 13): threads are placed the way a default OS scheduler
+spreads them (alternating sockets, sequential cores), memory is
+first-touch on node 0, there is no adaptation, no topology-aware
+stealing, and no clever shared-data placement.  Unlike
+:class:`~repro.baselines.oslike.OsAsyncStrategy` this models a *static*
+parallel program (one long-lived thread per core), so per-task costs are
+ordinary and synchronisation does not block the world — it is a fair,
+efficient, but placement-oblivious baseline.
+"""
+
+from repro.hw.machine import Machine
+from repro.runtime.policy import SchedulingStrategy
+
+
+class VanillaStrategy(SchedulingStrategy):
+    """Placement-oblivious static-parallel execution."""
+
+    name = "vanilla"
+    hierarchical_stealing = False
+
+    def initial_core(self, worker_id: int, n_workers: int, machine: Machine) -> int:
+        topo = machine.topo
+        socket = worker_id % topo.sockets
+        index_in_socket = worker_id // topo.sockets
+        if index_in_socket >= topo.cores_per_socket:
+            raise ValueError(f"{n_workers} workers exceed machine capacity")
+        return socket * topo.cores_per_socket + index_in_socket
+
+    def alloc_node(self, worker, machine: Machine) -> int:
+        """First touch by the main thread: everything lands on node 0."""
+        return 0
+
+    def shared_policy(self, read_only: bool = False, runtime=None):
+        from repro.hw.memory import MemPolicy
+
+        return MemPolicy.BIND

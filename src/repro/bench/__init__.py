@@ -1,0 +1,12 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Each ``fig*``/``tab*`` function runs the full workload matrix for that
+artifact and returns structured rows; :mod:`repro.bench.report` renders
+them as the text tables/series the benchmarks print and EXPERIMENTS.md
+records.
+"""
+
+from repro.bench import experiments
+from repro.bench.report import format_table, format_series
+
+__all__ = ["experiments", "format_table", "format_series"]

@@ -1,0 +1,545 @@
+"""One experiment function per paper table/figure.
+
+Every function returns ``(rows_or_series, rendered_text)``.  ``quick=True``
+(the benchmark default) shrinks the matrix to a few core counts and
+smaller inputs; ``quick=False`` runs the full paper-shaped sweep.  All
+functions are deterministic for a fixed seed.
+"""
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.baselines import (
+    AsymSchedStrategy,
+    OsAsyncStrategy,
+    RingStrategy,
+    SamStrategy,
+    ShoalStrategy,
+    distributed_cache_strategy,
+    local_cache_strategy,
+)
+from repro.baselines.vanilla import VanillaStrategy
+from repro.bench.report import format_series, format_table
+from repro.hw.machine import Machine, milan, sapphire_rapids
+from repro.hw.topology import Distance
+from repro.runtime.policy import CharmPolicyConfig, CharmStrategy, StaticSpreadStrategy
+from repro.workloads.graph.generator import kronecker
+from repro.workloads.graph.runner import run_graph_algorithm
+from repro.workloads.gups import run_gups
+from repro.workloads.olap import generate as tpch_generate
+from repro.workloads.olap.queries import QUERIES, run_query
+from repro.workloads.oltp import run_oltp, tpcc_workload, ycsb_workload
+from repro.workloads.oltp.tpcc import load_tpcc
+from repro.workloads.oltp.ycsb import load_ycsb
+from repro.workloads.sgd import make_dataset, run_sgd
+from repro.workloads.streamcluster import make_points, run_streamcluster
+from repro.workloads.vector_write import run_vector_write, sweep_sizes
+
+SEED = 7
+MACHINE_SCALE = 32
+
+GRAPH_ALGOS = ["bfs", "pagerank", "cc", "sssp", "graph500"]
+
+
+def _milan() -> Machine:
+    return milan(scale=MACHINE_SCALE)
+
+
+def _spr() -> Machine:
+    return sapphire_rapids(scale=MACHINE_SCALE)
+
+
+def _graph(quick: bool):
+    return kronecker(14 if quick else 16, 16, seed=2)
+
+
+def _cores(quick: bool, cap: int = 128) -> List[int]:
+    cores = [8, 32, 64] if quick else [8, 16, 32, 48, 64, 96, 128]
+    return [c for c in cores if c <= cap]
+
+
+# -- Fig. 3: core-to-core latency CDF ------------------------------------------------
+
+
+def fig03_latency_cdf():
+    """CDF groups of CAS latency by topological distance (Fig. 3)."""
+    machine = _milan()
+    topo, lat = machine.topo, machine.latency
+    groups: Dict[str, List[float]] = {"same_chiplet": [], "same_numa": [], "cross_numa": []}
+    for a, b in topo.core_pairs():
+        ns = lat.core_to_core_ns(topo, a, b)
+        d = topo.distance(a, b)
+        if d is Distance.SAME_CHIPLET:
+            groups["same_chiplet"].append(ns)
+        elif d is Distance.SAME_SOCKET:
+            groups["same_numa"].append(ns)
+        else:
+            groups["cross_numa"].append(ns)
+    rows = []
+    for name, vals in groups.items():
+        arr = np.array(vals)
+        rows.append({
+            "group": name,
+            "count": arr.size,
+            "p10_ns": float(np.percentile(arr, 10)),
+            "p50_ns": float(np.percentile(arr, 50)),
+            "p90_ns": float(np.percentile(arr, 90)),
+        })
+    return rows, format_table(rows, ["group", "count", "p10_ns", "p50_ns", "p90_ns"],
+                              "Fig. 3: core-to-core latency groups (dual-socket Milan)")
+
+
+# -- Fig. 4: cores vs memory channels trend ------------------------------------------
+
+
+#: (year, flagship server cores, memory channels) — the trend of Fig. 4.
+CHANNEL_TREND = [
+    (2010, 8, 4), (2012, 12, 4), (2014, 18, 4), (2017, 28, 6),
+    (2019, 64, 8), (2021, 64, 8), (2023, 96, 12), (2026, 300, 12),
+]
+
+
+def fig04_channels():
+    rows = [
+        {"year": y, "cores": c, "mem_channels": m, "cores_per_channel": round(c / m, 1)}
+        for y, c, m in CHANNEL_TREND
+    ]
+    return rows, format_table(rows, ["year", "cores", "mem_channels", "cores_per_channel"],
+                              "Fig. 4: core count vs memory channels")
+
+
+# -- Fig. 5: LocalCache vs DistributedCache microbenchmark ---------------------------
+
+
+def fig05_local_vs_distributed(quick: bool = True):
+    m0 = _milan()
+    sizes = sorted(set(sweep_sizes(m0.l3_bytes_per_chiplet, m0.topo.chiplets_per_socket)))
+    if quick:
+        sizes = sizes[::2] + [sizes[-1]]
+    rows = []
+    for size in sorted(set(sizes)):
+        ml, md = _milan(), _milan()
+        rl = run_vector_write(ml, local_cache_strategy(), size, seed=SEED)
+        rd = run_vector_write(md, distributed_cache_strategy(md), size, seed=SEED)
+        rows.append({
+            "size_kib": size // 1024,
+            "local_ns_iter": rl.ns_per_iteration,
+            "dist_ns_iter": rd.ns_per_iteration,
+            "dist_speedup": rl.ns_per_iteration / rd.ns_per_iteration,
+        })
+    return rows, format_table(
+        rows, ["size_kib", "local_ns_iter", "dist_ns_iter", "dist_speedup"],
+        "Fig. 5: LocalCache vs DistributedCache segmented write (8 threads)")
+
+
+# -- Fig. 7 / Fig. 8: graph scalability ----------------------------------------------
+
+
+def _graph_scalability(machine_fn, quick: bool, algorithms=None, cores=None):
+    graph = _graph(quick)
+    algorithms = algorithms or (["bfs", "pagerank"] if quick else GRAPH_ALGOS)
+    max_cores = machine_fn().topo.total_cores
+    cores = cores or _cores(quick, cap=max_cores)
+    systems = [("charm", CharmStrategy), ("ring", RingStrategy),
+               ("asymsched", AsymSchedStrategy), ("sam", SamStrategy)]
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for algo in algorithms:
+        for sys_name, mk in systems:
+            pts = []
+            for c in cores:
+                if algo == "gups":
+                    res = run_gups(machine_fn(), mk(), c, 16 << 20,
+                                   updates_per_worker=1024 if quick else 4096, seed=SEED)
+                    pts.append((c, res.mups))
+                else:
+                    res = run_graph_algorithm(
+                        machine_fn(), mk(), algo, graph, c, seed=SEED,
+                        pagerank_iterations=3 if quick else 5)
+                    pts.append((c, res.mteps))
+            series[f"{algo}/{sys_name}"] = pts
+    return series
+
+
+def fig07_amd_scalability(quick: bool = True, algorithms=None):
+    algorithms = algorithms or (["bfs", "gups"] if quick else GRAPH_ALGOS + ["gups"])
+    series = _graph_scalability(_milan, quick, algorithms=algorithms)
+    return series, format_series(series, "cores",
+                                 "Fig. 7: graph + GUPS scalability, AMD Milan (MTEPS / MUPS)")
+
+
+def fig08_intel_scalability(quick: bool = True, algorithms=None):
+    algorithms = algorithms or (["bfs"] if quick else GRAPH_ALGOS + ["gups"])
+    series = _graph_scalability(_spr, quick, algorithms=algorithms,
+                                cores=[8, 32, 48, 96] if quick else [8, 16, 32, 48, 64, 96])
+    return series, format_series(series, "cores",
+                                 "Fig. 8: graph scalability, Intel Sapphire Rapids")
+
+
+# -- Tab. 1: chiplet access counters -------------------------------------------------
+
+
+def tab1_chiplet_accesses(quick: bool = True, cores: int = 64):
+    graph = _graph(quick)
+    algorithms = ["bfs", "pagerank"] if quick else GRAPH_ALGOS
+    rows = []
+    for algo in algorithms + ["gups"]:
+        row = {"application": algo}
+        for sys_name, mk in (("charm", CharmStrategy), ("ring", RingStrategy)):
+            if algo == "gups":
+                res = run_gups(_milan(), mk(), cores, 16 << 20,
+                               updates_per_worker=1024 if quick else 4096, seed=SEED)
+                counters = res.report.counters
+            else:
+                counters = run_graph_algorithm(
+                    _milan(), mk(), algo, graph, cores, seed=SEED,
+                    pagerank_iterations=3 if quick else 5).report.counters
+            row[f"remote_numa_{sys_name}"] = counters.remote_numa_chiplet
+            row[f"local_chiplet_{sys_name}"] = counters.local_chiplet + counters.remote_chiplet
+        rows.append(row)
+    cols = ["application", "remote_numa_charm", "remote_numa_ring",
+            "local_chiplet_charm", "local_chiplet_ring"]
+    return rows, format_table(rows, cols, f"Tab. 1: chiplet accesses at {cores} cores")
+
+
+# -- Fig. 9 / Tab. 2: streamcluster --------------------------------------------------
+
+
+def _sc_points(quick: bool):
+    return make_points(32768 if quick else 65536, 64, 10, seed=4)
+
+
+def fig09_streamcluster(quick: bool = True):
+    pts = _sc_points(quick)
+    batch = pts.shape[0] // 2
+    base = run_streamcluster(_milan(), VanillaStrategy(), 1, pts, n_centers=12,
+                             batch_points=batch, seed=SEED).wall_ns
+    cores = [8, 24, 32, 64, 128] if quick else [1, 8, 16, 24, 32, 40, 48, 64, 96, 128]
+    series = {"charm": [], "shoal": []}
+    for c in cores:
+        rc = run_streamcluster(_milan(), CharmStrategy(), c, pts, n_centers=12,
+                               batch_points=batch, seed=SEED)
+        rs = run_streamcluster(_milan(), ShoalStrategy(), c, pts, n_centers=12,
+                               batch_points=batch, seed=SEED)
+        series["charm"].append((c, base / rc.wall_ns))
+        series["shoal"].append((c, base / rs.wall_ns))
+    return series, format_series(series, "cores",
+                                 "Fig. 9: Streamcluster speedup over no-runtime baseline")
+
+
+def tab2_streamcluster_accesses(quick: bool = True):
+    pts = _sc_points(quick)
+    # Keep the batch within the socket's aggregate L3 at every scale, as
+    # the paper's 200K-point batches (100 MB) fit its 256 MB socket L3 —
+    # the reuse that Tab. 2's counter contrast comes from.
+    batch = pts.shape[0] // (2 if quick else 4)
+    rows = []
+    for c in (8, 16, 32, 64):
+        row = {"cores": c}
+        for name, mk in (("charm", CharmStrategy), ("shoal", ShoalStrategy)):
+            res = run_streamcluster(_milan(), mk(), c, pts, n_centers=12,
+                                    batch_points=batch, seed=SEED)
+            cnt = res.report.counters
+            row[f"local_{name}"] = cnt.local_chiplet + cnt.remote_chiplet
+            row[f"remote_numa_{name}"] = cnt.remote_numa_chiplet
+            row[f"dram_{name}"] = cnt.dram
+        rows.append(row)
+    cols = ["cores", "local_charm", "local_shoal", "remote_numa_charm",
+            "remote_numa_shoal", "dram_charm", "dram_shoal"]
+    return rows, format_table(rows, cols, "Tab. 2: streamcluster memory/cache accesses")
+
+
+# -- Fig. 10: data-size sensitivity ---------------------------------------------------
+
+
+def fig10_datasize(quick: bool = True):
+    scales = [12, 14] if quick else [12, 13, 14, 15, 16]
+    cores_list = [32, 64]
+    algorithms = ["bfs"] if quick else ["bfs", "sssp", "graph500"]
+    rows = []
+    for scale in scales:
+        graph = kronecker(scale, 16, seed=2)
+        for algo in algorithms:
+            for c in cores_list:
+                rc = run_graph_algorithm(_milan(), CharmStrategy(), algo, graph, c, seed=SEED)
+                rr = run_graph_algorithm(_milan(), RingStrategy(), algo, graph, c, seed=SEED)
+                rows.append({
+                    "algo": algo,
+                    "graph_mib": graph.adjacency_bytes // (1 << 20),
+                    "cores": c,
+                    "speedup_vs_ring": rc.teps / max(rr.teps, 1e-9),
+                })
+    return rows, format_table(rows, ["algo", "graph_mib", "cores", "speedup_vs_ring"],
+                              "Fig. 10: CHARM speedup over RING vs graph size")
+
+
+# -- Fig. 11 / Fig. 12: SGD ------------------------------------------------------------
+
+
+def fig11_sgd(quick: bool = True):
+    ds = make_dataset(4096 if quick else 8192, 1024, seed=11)
+    cores = _cores(quick)
+    schemes = ["per-core", "numa-node", "per-machine", "charm", "charm-async"]
+    out = {}
+    for kernel in ("loss", "gradient"):
+        series = {s: [] for s in schemes}
+        for c in cores:
+            for s in schemes:
+                res = run_sgd(_milan(), s, c, ds, kernel=kernel, epochs=1, seed=SEED)
+                series[s].append((c, res.throughput_gbs))
+        out[kernel] = series
+    text = "\n\n".join(
+        format_series(out[k], "cores", f"Fig. 11{chr(97 + i)}: SGD {k} throughput (GB/s)")
+        for i, k in enumerate(("loss", "gradient"))
+    )
+    return out, text
+
+
+def fig12_concurrency(quick: bool = True, cores: int = 32):
+    ds = make_dataset(2048 if quick else 4096, 1024, seed=11)
+    rows = []
+    for scheme in ("charm", "charm-async"):
+        res = run_sgd(_milan(), scheme, cores, ds, kernel="gradient", epochs=1,
+                      seed=SEED, collect_timeline=True)
+        rows.append({
+            "scheme": scheme,
+            "threads_created": res.report.tasks_created,
+            "avg_concurrency": res.report.avg_concurrency(),
+            "throughput_gbs": res.throughput_gbs,
+        })
+    return rows, format_table(rows, ["scheme", "threads_created", "avg_concurrency",
+                                     "throughput_gbs"],
+                              f"Fig. 12: thread concurrency during SGD at {cores} cores")
+
+
+# -- Fig. 13: TPC-H --------------------------------------------------------------------
+
+
+def fig13_tpch(quick: bool = True, cores: int = 8):
+    data = tpch_generate(sf=4.0 if quick else 10.0, seed=42)
+    queries = ["q1", "q3", "q6", "q9", "q10", "q18"] if quick else list(QUERIES)
+    rows = []
+    for q in queries:
+        rs = run_query(_milan(), VanillaStrategy(), cores, data, q, seed=SEED)
+        rc = run_query(_milan(), CharmStrategy(), cores, data, q, seed=SEED)
+        rows.append({
+            "query": q,
+            "kind": QUERIES[q][1],
+            "stock_ms": rs.ms,
+            "charm_ms": rc.ms,
+            "speedup": rs.wall_ns / rc.wall_ns,
+        })
+    return rows, format_table(rows, ["query", "kind", "stock_ms", "charm_ms", "speedup"],
+                              f"Fig. 13: TPC-H queries, stock vs +CHARM at {cores} cores")
+
+
+# -- Fig. 14: OLTP ----------------------------------------------------------------------
+
+
+def fig14_oltp(quick: bool = True):
+    cores = [8, 32, 64] if quick else [8, 16, 32, 48, 64]
+    txns = 60 if quick else 200
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for wl in ("ycsb", "tpcc"):
+        for pol_name in ("local", "distributed"):
+            pts = []
+            for c in cores:
+                machine = _milan()
+                strategy = (local_cache_strategy() if pol_name == "local"
+                            else distributed_cache_strategy(machine))
+                if wl == "ycsb":
+                    res = run_oltp(machine, strategy, c, ycsb_workload, "ycsb",
+                                   load_ycsb(20000), 8 << 20, txns_per_worker=txns, seed=SEED)
+                else:
+                    tables = load_tpcc(5)
+                    res = run_oltp(machine, strategy, c, tpcc_workload(tables), "tpcc",
+                                   tables.store, 8 << 20, txns_per_worker=txns, seed=SEED)
+                pts.append((c, res.commits_per_second / 1e3))
+            series[f"{wl}/{pol_name}"] = pts
+    return series, format_series(series, "cores",
+                                 "Fig. 14: OLTP kilo-commits/s, LocalCache vs DistributedCache")
+
+
+# -- Fig. 1: headline summary -----------------------------------------------------------
+
+
+def fig01_summary(quick: bool = True):
+    graph = _graph(True)
+    rows = []
+    r_c = run_graph_algorithm(_milan(), CharmStrategy(), "bfs", graph, 64, seed=SEED)
+    r_r = run_graph_algorithm(_milan(), RingStrategy(), "bfs", graph, 64, seed=SEED)
+    rows.append({"domain": "graph (BFS, 64c)", "speedup_vs_numa_aware": r_c.teps / r_r.teps})
+    ds = make_dataset(4096, 1024, seed=11)
+    s_c = run_sgd(_milan(), "charm", 64, ds, kernel="gradient", epochs=1, seed=SEED)
+    s_n = run_sgd(_milan(), "numa-node", 64, ds, kernel="gradient", epochs=1, seed=SEED)
+    rows.append({"domain": "statistical analytics (SGD, 64c)",
+                 "speedup_vs_numa_aware": s_c.throughput_gbs / s_n.throughput_gbs})
+    pts = _sc_points(True)
+    c_sc = run_streamcluster(_milan(), CharmStrategy(), 16, pts, n_centers=12,
+                             batch_points=pts.shape[0] // 2, seed=SEED)
+    s_sc = run_streamcluster(_milan(), ShoalStrategy(), 16, pts, n_centers=12,
+                             batch_points=pts.shape[0] // 2, seed=SEED)
+    rows.append({"domain": "parallel processing (streamcluster, 16c)",
+                 "speedup_vs_numa_aware": s_sc.wall_ns / c_sc.wall_ns})
+    data = tpch_generate(sf=4.0, seed=42)
+    q_s = run_query(_milan(), VanillaStrategy(), 8, data, "q3", seed=SEED)
+    q_c = run_query(_milan(), CharmStrategy(), 8, data, "q3", seed=SEED)
+    rows.append({"domain": "OLAP (TPC-H q3, 8c)",
+                 "speedup_vs_numa_aware": q_s.wall_ns / q_c.wall_ns})
+    return rows, format_table(rows, ["domain", "speedup_vs_numa_aware"],
+                              "Fig. 1: CHARM speedups vs NUMA-aware systems")
+
+
+# -- Sensitivity + ablations --------------------------------------------------------------
+
+
+def sens_threshold(quick: bool = True):
+    """Section 4.6's threshold sensitivity sweep, on this machine."""
+    pts = _sc_points(True)
+    thresholds = [4, 12, 24, 48, 96] if quick else [2, 4, 8, 16, 24, 32, 48, 96, 192]
+    rows = []
+    for thr in thresholds:
+        strategy = CharmStrategy(CharmPolicyConfig(rmt_chip_access_rate=float(thr)))
+        res = run_streamcluster(_milan(), strategy, 16, pts, n_centers=12,
+                                batch_points=pts.shape[0] // 2, seed=SEED)
+        rows.append({"threshold": thr, "wall_ms": res.wall_ns / 1e6,
+                     "migrations": res.report.migrations})
+    return rows, format_table(rows, ["threshold", "wall_ms", "migrations"],
+                              "Sensitivity: RMT_CHIP_ACCESS_RATE sweep (streamcluster, 16c)")
+
+
+def abl_stealing(quick: bool = True):
+    """Ablation: chiplet-first hierarchical stealing vs flat random."""
+
+    class FlatCharm(CharmStrategy):
+        name = "charm-flat-steal"
+        hierarchical_stealing = False
+
+    graph = _graph(True)
+    rows = []
+    for c in (32, 64):
+        r_h = run_graph_algorithm(_milan(), CharmStrategy(), "bfs", graph, c, seed=SEED)
+        r_f = run_graph_algorithm(_milan(), FlatCharm(), "bfs", graph, c, seed=SEED)
+        rows.append({"cores": c, "hierarchical_mteps": r_h.mteps, "flat_mteps": r_f.mteps,
+                     "gain": r_h.mteps / max(r_f.mteps, 1e-9)})
+    return rows, format_table(rows, ["cores", "hierarchical_mteps", "flat_mteps", "gain"],
+                              "Ablation: hierarchical vs flat work stealing (BFS)")
+
+
+def abl_spread(quick: bool = True):
+    """Ablation: adaptive spread_rate vs every static spread."""
+    pts = _sc_points(True)
+    batch = pts.shape[0] // 2
+    rows = []
+    res = run_streamcluster(_milan(), CharmStrategy(), 16, pts, n_centers=12,
+                            batch_points=batch, seed=SEED)
+    rows.append({"policy": "adaptive", "wall_ms": res.wall_ns / 1e6})
+    for spread in (2, 4, 8):
+        res = run_streamcluster(_milan(), StaticSpreadStrategy(spread), 16, pts,
+                                n_centers=12, batch_points=batch, seed=SEED)
+        rows.append({"policy": f"static-{spread}", "wall_ms": res.wall_ns / 1e6})
+    return rows, format_table(rows, ["policy", "wall_ms"],
+                              "Ablation: adaptive vs static spread (streamcluster, 16c)")
+
+
+def ext_genoa_whatif(quick: bool = True):
+    """Extension: the paper's insights on a next-generation 12-CCD part.
+
+    Runs the BFS scalability comparison on the Genoa model (more chiplets,
+    more channels) to check that CHARM's chiplet-aware advantage grows
+    with chiplet count, as the paper's conclusions predict for future
+    processors.
+    """
+    from repro.hw.machine import genoa
+
+    graph = _graph(True)
+    cores = [12, 48, 96] if quick else [12, 24, 48, 96, 144, 192]
+    series: Dict[str, List[Tuple[int, float]]] = {"charm": [], "ring": []}
+    for c in cores:
+        for name, mk in (("charm", CharmStrategy), ("ring", RingStrategy)):
+            res = run_graph_algorithm(genoa(scale=MACHINE_SCALE), mk(), "bfs",
+                                      graph, c, seed=SEED)
+            series[name].append((c, res.mteps))
+    return series, format_series(series, "cores",
+                                 "Extension: BFS scalability on EPYC Genoa (12 CCDs/socket)")
+
+
+def ext_colocation(quick: bool = True):
+    """Extension: multi-tenant co-location (the paper's future-work note).
+
+    Section 4.6 cites evidence that chiplet-aware strategies also benefit
+    multi-tenant, shared-nothing deployments.  This experiment quantifies
+    the mechanism: a cache-resident tenant (A) shares the machine with a
+    DRAM-streaming antagonist (B) placed either on the same socket or on
+    the other socket.  Socket-isolated placement should shield tenant A
+    from B's bandwidth pressure.
+    """
+    from repro.runtime.ops import AccessBatch, YieldPoint
+    from repro.runtime.policy import SchedulingStrategy
+    from repro.runtime.runtime import Runtime
+
+    class ExplicitCores(SchedulingStrategy):
+        name = "explicit"
+        hierarchical_stealing = False
+
+        def __init__(self, cores):
+            self.cores = cores
+
+        def initial_core(self, worker_id, n_workers, machine):
+            return self.cores[worker_id]
+
+    repeats = 6 if quick else 12
+    rows = []
+    for variant in ("isolated", "other-socket", "same-socket"):
+        machine = _milan()
+        topo = machine.topo
+        a_cores = list(range(32))                     # chiplets 0-3, socket 0
+        if variant == "same-socket":
+            b_cores = list(range(32, 64))             # chiplets 4-7, socket 0
+        elif variant == "other-socket":
+            b_cores = topo.cores_of_socket(1)[:32]    # socket 1
+        else:
+            b_cores = []
+        strategy = ExplicitCores(a_cores + b_cores)
+        rt = Runtime(machine, len(a_cores) + len(b_cores), strategy, seed=SEED)
+        # Tenant A: working set beyond its chiplet slices, so it streams
+        # node-0 DRAM continuously (the shared resource).
+        a_region = rt.alloc(16 << 20, node=0, name="tenant-a")
+        # Antagonist B: NUMA-local streaming region — on B's own socket,
+        # the way a sane multi-tenant allocator would place it.
+        b_node = topo.numa_of_core(b_cores[0]) if b_cores else 1
+        b_region = rt.alloc(16 << 20, node=b_node, name="tenant-b")
+        finish = {}
+
+        def a_task(wid):
+            n = a_region.n_blocks
+            per = n // 32
+            blocks = list(range(wid * per, (wid + 1) * per))
+            for _ in range(repeats * 8):
+                yield AccessBatch(a_region, blocks, compute_ns_per_block=20.0)
+                yield YieldPoint()
+            finish[wid] = rt.workers[wid].clock
+            return wid
+
+        def b_task(wid, offset):
+            n = b_region.n_blocks
+            for r in range(repeats * 4):
+                lo = (offset * 131 + r * 257) % max(n - 64, 1)
+                yield AccessBatch(b_region, list(range(lo, lo + 64)))
+                yield YieldPoint()
+            return wid
+
+        for w in range(len(a_cores)):
+            rt.spawn(a_task, w, pin_worker=w)
+        for i, w in enumerate(range(len(a_cores), len(a_cores) + len(b_cores))):
+            rt.spawn(b_task, w, i, pin_worker=w)
+        rt.run()
+        rows.append({
+            "antagonist": variant,
+            "tenant_a_ms": max(finish.values()) / 1e6,
+        })
+    base = rows[0]["tenant_a_ms"]
+    for r in rows:
+        r["slowdown"] = r["tenant_a_ms"] / base
+    return rows, format_table(rows, ["antagonist", "tenant_a_ms", "slowdown"],
+                              "Extension: tenant-A latency under co-located antagonist")

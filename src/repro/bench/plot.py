@@ -1,0 +1,66 @@
+"""ASCII plotting for experiment series (figures in a terminal).
+
+Renders the scalability/speedup series that the paper shows as line
+charts.  Used by the CLI (`python -m repro`) so every figure can be
+eyeballed without matplotlib.
+"""
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def ascii_plot(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot named (x, y) series on a shared-axis character grid."""
+    live = {n: pts for n, pts in series.items() if pts}
+    if not live:
+        return f"{title}\n(no data)"
+    xs = [x for pts in live.values() for x, _ in pts]
+    ys = [y for pts in live.values() for _, y in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for i, (name, pts) in enumerate(sorted(live.items())):
+        mark = markers[i % len(markers)]
+        legend.append(f"{mark} {name}")
+        for x, y in pts:
+            col = round((x - x0) / (x1 - x0) * (width - 1))
+            row = height - 1 - round((y - y0) / (y1 - y0) * (height - 1))
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y1:>10.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y0:>10.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(" " * 12 + f"{x0:<10.4g}{x_label:^{max(width - 20, 4)}}{x1:>10.4g}")
+    lines.append("   " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def bar_chart(rows: Sequence[Tuple[str, float]], width: int = 48, title: str = "") -> str:
+    """Horizontal bar chart for per-item values (e.g. Fig. 13 speedups)."""
+    if not rows:
+        return f"{title}\n(no data)"
+    peak = max(v for _, v in rows)
+    label_w = max(len(n) for n, _ in rows)
+    lines = [title] if title else []
+    for name, value in rows:
+        bar = "█" * max(1, round(value / peak * width)) if peak > 0 else ""
+        lines.append(f"{name:<{label_w}} {bar} {value:.3g}")
+    return "\n".join(lines)

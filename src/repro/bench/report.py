@@ -1,0 +1,51 @@
+"""Plain-text rendering of experiment results."""
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: List[Dict], columns: Sequence[str], title: str = "") -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) for c in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def format_series(series: Dict[str, List], x_name: str, title: str = "") -> str:
+    """Render {name: [(x, y), ...]} series as aligned columns."""
+    lines = [title] if title else []
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    names = sorted(series)
+    header = [x_name.ljust(8)] + [n.ljust(14) for n in names]
+    lines.append("  ".join(header))
+    lines.append("-" * (10 + 16 * len(names)))
+    lookup = {n: dict(pts) for n, pts in series.items()}
+    for x in xs:
+        row = [str(x).ljust(8)]
+        for n in names:
+            v = lookup[n].get(x)
+            row.append(_fmt(v).ljust(14))
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3f}"
+    return str(v)

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+- ``list``                      — list all reproducible experiments;
+- ``run <experiment> [--full]`` — run one experiment and print its table
+  (and an ASCII chart for series-shaped results);
+- ``all [--full]``              — run the whole evaluation in order;
+- ``machine [--preset X]``      — describe a machine preset and its
+  latency hierarchy.
+
+Examples
+--------
+
+::
+
+    python -m repro list
+    python -m repro run fig05_local_vs_distributed
+    python -m repro run fig07_amd_scalability --full
+    python -m repro machine --preset sapphire-rapids
+"""
+
+import argparse
+import inspect
+import sys
+from typing import Dict, List
+
+from repro.bench import experiments
+from repro.bench.plot import ascii_plot
+
+#: experiments in paper order
+EXPERIMENT_ORDER = [
+    "fig01_summary",
+    "fig03_latency_cdf",
+    "fig04_channels",
+    "fig05_local_vs_distributed",
+    "fig07_amd_scalability",
+    "tab1_chiplet_accesses",
+    "fig08_intel_scalability",
+    "fig09_streamcluster",
+    "tab2_streamcluster_accesses",
+    "fig10_datasize",
+    "fig11_sgd",
+    "fig12_concurrency",
+    "fig13_tpch",
+    "fig14_oltp",
+    "sens_threshold",
+    "abl_stealing",
+    "abl_spread",
+    "ext_genoa_whatif",
+    "ext_colocation",
+]
+
+
+def _experiments() -> Dict[str, object]:
+    return {name: getattr(experiments, name) for name in EXPERIMENT_ORDER}
+
+
+def _run_one(name: str, full: bool) -> None:
+    fn = _experiments()[name]
+    kwargs = {}
+    if "quick" in inspect.signature(fn).parameters:
+        kwargs["quick"] = not full
+    rows, text = fn(**kwargs)
+    print(text)
+    if isinstance(rows, dict):
+        numeric = {
+            k: v for k, v in rows.items()
+            if isinstance(v, list) and v and isinstance(v[0], tuple)
+        }
+        if numeric:
+            print()
+            print(ascii_plot(numeric, title=f"{name} (series view)", x_label="cores"))
+    print()
+
+
+def cmd_list(_args) -> int:
+    exps = _experiments()
+    width = max(len(n) for n in exps)
+    for name, fn in exps.items():
+        doc = (fn.__doc__ or "").strip().splitlines()
+        print(f"{name:<{width}}  {doc[0] if doc else ''}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    if args.experiment not in _experiments():
+        print(f"unknown experiment {args.experiment!r}; see `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    _run_one(args.experiment, args.full)
+    return 0
+
+
+def cmd_all(args) -> int:
+    for name in EXPERIMENT_ORDER:
+        print(f"### {name}")
+        _run_one(name, args.full)
+    return 0
+
+
+def cmd_machine(args) -> int:
+    from repro.hw.machine import genoa, milan, sapphire_rapids
+
+    presets = {
+        "milan": milan,
+        "sapphire-rapids": sapphire_rapids,
+        "genoa": genoa,
+    }
+    if args.preset not in presets:
+        print(f"unknown preset {args.preset!r}; have {sorted(presets)}", file=sys.stderr)
+        return 2
+    m = presets[args.preset](scale=args.scale)
+    print(m.describe())
+    topo, lat = m.topo, m.latency
+    probes: List[tuple] = [("same chiplet", 0, 1)]
+    if topo.chiplets_per_socket > 1:
+        probes.append(("cross chiplet, same socket", 0, topo.cores_per_chiplet))
+    if topo.sockets > 1:
+        probes.append(("cross socket", 0, topo.cores_per_socket))
+    print("core-to-core latencies:")
+    for label, a, b in probes:
+        print(f"  {label:<28s} {lat.core_to_core_ns(topo, a, b):7.1f} ns")
+    print(f"  local L3 hit                 {lat.l3_hit:7.1f} ns")
+    print(f"  DRAM (local / remote node)   {lat.dram_local:7.1f} / {lat.dram_remote:.1f} ns")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CHARM reproduction experiment runner")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(fn=cmd_list)
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment")
+    run_p.add_argument("--full", action="store_true", help="full paper-shaped sweep")
+    run_p.set_defaults(fn=cmd_run)
+
+    all_p = sub.add_parser("all", help="run the whole evaluation")
+    all_p.add_argument("--full", action="store_true")
+    all_p.set_defaults(fn=cmd_all)
+
+    m_p = sub.add_parser("machine", help="describe a machine preset")
+    m_p.add_argument("--preset", default="milan")
+    m_p.add_argument("--scale", type=int, default=32)
+    m_p.set_defaults(fn=cmd_machine)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

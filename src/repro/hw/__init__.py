@@ -1,0 +1,58 @@
+"""Simulated chiplet-based machine substrate.
+
+This package stands in for the real AMD EPYC Milan / Intel Xeon Sapphire
+Rapids testbeds of the CHARM paper.  It models:
+
+- the physical topology (sockets, NUMA nodes, chiplets/CCDs, cores),
+- the partitioned L3 cache hierarchy with a cross-chiplet directory,
+- DRAM with per-socket memory channels and queueing-delay contention,
+- per-chiplet fabric links (GMI-style) with finite bandwidth,
+- the core-to-core latency hierarchy measured in Fig. 3 of the paper, and
+- PMU-like fill-event counters classified by fill source.
+
+All timing is virtual and expressed in nanoseconds.  The substrate is
+deterministic: the same sequence of accesses always produces the same
+virtual timings and counter values.
+"""
+
+from repro.hw.topology import Topology, Distance, milan_topology, sapphire_rapids_topology
+from repro.hw.latency import LatencyModel, MILAN_LATENCY, SPR_LATENCY
+from repro.hw.cache import ChipletCache, CacheSystem
+from repro.hw.memory import ChannelBank, LinkBank, Region, RegionTable, MemPolicy
+from repro.hw.counters import FillSource, FillCounters, CounterBoard
+from repro.hw.machine import (
+    AccessResult,
+    Machine,
+    custom_machine,
+    genoa,
+    milan,
+    sapphire_rapids,
+    small_test_machine,
+)
+
+__all__ = [
+    "Topology",
+    "Distance",
+    "milan_topology",
+    "sapphire_rapids_topology",
+    "LatencyModel",
+    "MILAN_LATENCY",
+    "SPR_LATENCY",
+    "ChipletCache",
+    "CacheSystem",
+    "ChannelBank",
+    "LinkBank",
+    "Region",
+    "RegionTable",
+    "MemPolicy",
+    "FillSource",
+    "FillCounters",
+    "CounterBoard",
+    "Machine",
+    "AccessResult",
+    "custom_machine",
+    "genoa",
+    "milan",
+    "sapphire_rapids",
+    "small_test_machine",
+]

@@ -1,0 +1,176 @@
+"""Partitioned L3 cache model.
+
+Each chiplet owns a private L3 slice, modelled as a byte-budgeted LRU over
+*blocks*.  A block is a region-specific modelling granule (a group of
+consecutive cache lines — e.g. 512 B for sparse CSR adjacency data, 4 KiB
+for dense arrays); capacity accounting is in bytes so regions with
+different granularities coexist honestly in one slice.
+
+A global directory records which chiplets currently hold a copy of each
+block so that fills can be served from a peer chiplet's L3 (at
+inter-chiplet latency) instead of DRAM, and so that writes can invalidate
+remote sharers — the two effects that give chiplet-aware placement its
+performance edge in the paper.
+"""
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.hw.topology import Topology
+
+
+class ChipletCache:
+    """One chiplet's L3 slice: a byte-budgeted LRU of block keys."""
+
+    __slots__ = ("chiplet", "capacity_bytes", "used_bytes", "_lru", "hits", "misses", "evictions")
+
+    def __init__(self, chiplet: int, capacity_bytes: int):
+        if capacity_bytes < 64:
+            raise ValueError("cache capacity must hold at least one line")
+        self.chiplet = chiplet
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self._lru: "OrderedDict[int, int]" = OrderedDict()  # block -> resident bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._lru
+
+    def touch(self, block: int) -> bool:
+        """Look up ``block``; on hit, refresh its LRU position."""
+        if block in self._lru:
+            self._lru.move_to_end(block)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, block: int, nbytes: int) -> List[int]:
+        """Insert ``block`` (``nbytes`` resident); return evicted block keys."""
+        if block in self._lru:
+            self._lru.move_to_end(block)
+            return []
+        evicted: List[int] = []
+        nbytes = min(nbytes, self.capacity_bytes)
+        while self.used_bytes + nbytes > self.capacity_bytes and self._lru:
+            victim, vbytes = self._lru.popitem(last=False)
+            self.used_bytes -= vbytes
+            self.evictions += 1
+            evicted.append(victim)
+        self._lru[block] = nbytes
+        self.used_bytes += nbytes
+        return evicted
+
+    def drop(self, block: int) -> bool:
+        """Remove ``block`` without counting it as an eviction (invalidate)."""
+        nbytes = self._lru.pop(block, None)
+        if nbytes is None:
+            return False
+        self.used_bytes -= nbytes
+        return True
+
+    def blocks(self) -> Iterable[int]:
+        return self._lru.keys()
+
+    def clear(self) -> None:
+        self._lru.clear()
+        self.used_bytes = 0
+
+
+class CacheSystem:
+    """All chiplet L3 slices plus the cross-chiplet sharing directory.
+
+    The directory maps ``block -> set of chiplet ids`` currently caching the
+    block.  It is the model-level stand-in for the hardware coherence
+    directory on the IO die.
+    """
+
+    def __init__(self, topo: Topology, capacity_bytes_per_chiplet: int):
+        self.topo = topo
+        self.caches: List[ChipletCache] = [
+            ChipletCache(ch, capacity_bytes_per_chiplet) for ch in range(topo.total_chiplets)
+        ]
+        self.directory: Dict[int, Set[int]] = {}
+
+    @property
+    def capacity_bytes_per_chiplet(self) -> int:
+        return self.caches[0].capacity_bytes
+
+    def lookup_local(self, chiplet: int, block: int) -> bool:
+        """Local-slice lookup with LRU refresh."""
+        return self.caches[chiplet].touch(block)
+
+    def find_holder(self, chiplet: int, block: int) -> Optional[int]:
+        """Find a peer chiplet holding ``block``, preferring the same socket.
+
+        Returns ``None`` when no L3 slice holds the block (DRAM fill needed).
+        """
+        holders = self.directory.get(block)
+        if not holders:
+            return None
+        my_socket = self.topo.socket_of_chiplet(chiplet)
+        best = None
+        for h in holders:
+            if h == chiplet:
+                continue
+            if self.topo.socket_of_chiplet(h) == my_socket:
+                return h
+            if best is None:
+                best = h
+        return best
+
+    def fill(self, chiplet: int, block: int, nbytes: int) -> List[int]:
+        """Install ``block`` into ``chiplet``'s slice; return evicted keys."""
+        evicted = self.caches[chiplet].insert(block, nbytes)
+        for victim in evicted:
+            self._dir_remove(victim, chiplet)
+        self.directory.setdefault(block, set()).add(chiplet)
+        return evicted
+
+    def invalidate_others(self, chiplet: int, block: int) -> int:
+        """Drop every copy of ``block`` except ``chiplet``'s; return count."""
+        holders = self.directory.get(block)
+        if not holders:
+            return 0
+        victims = [h for h in holders if h != chiplet]
+        for h in victims:
+            self.caches[h].drop(block)
+            holders.discard(h)
+        if not holders:
+            del self.directory[block]
+        return len(victims)
+
+    def drop_everywhere(self, block: int) -> int:
+        """Flush a block from all slices (used by region free)."""
+        holders = self.directory.pop(block, set())
+        for h in holders:
+            self.caches[h].drop(block)
+        return len(holders)
+
+    def resident_bytes(self, chiplet: int) -> int:
+        return self.caches[chiplet].used_bytes
+
+    def check_directory_consistent(self) -> bool:
+        """Invariant: directory and per-slice contents agree exactly."""
+        for block, holders in self.directory.items():
+            for h in holders:
+                if block not in self.caches[h]:
+                    return False
+        for cache in self.caches:
+            for block in cache.blocks():
+                if cache.chiplet not in self.directory.get(block, set()):
+                    return False
+        return True
+
+    def _dir_remove(self, block: int, chiplet: int) -> None:
+        holders = self.directory.get(block)
+        if holders is None:
+            return
+        holders.discard(chiplet)
+        if not holders:
+            del self.directory[block]

@@ -1,0 +1,115 @@
+"""PMU-like cache-fill event counters.
+
+The real CHARM uses libpfm to read ``ANY_DATA_CACHE_FILLS_FROM_SYSTEM`` (AMD)
+or ``OFFCORE_RESPONSE`` (Intel), classifying fills by source: local chiplet,
+another chiplet on the same NUMA node, a chiplet on a remote NUMA node, or
+main memory.  This module exposes the same signal for the simulated machine:
+every serviced access increments a per-core counter keyed by fill source.
+
+Alg. 1's policy input — "cache fill events from beyond the local chiplet" —
+is :meth:`FillCounters.remote_fills`.
+"""
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List
+
+
+class FillSource(Enum):
+    """Where a memory access was serviced from."""
+
+    LOCAL_CHIPLET = "local_chiplet"          # local L3 slice hit
+    REMOTE_CHIPLET = "remote_chiplet"        # peer L3, same NUMA node
+    REMOTE_NUMA_CHIPLET = "remote_numa_chiplet"  # peer L3, other NUMA node
+    DRAM_LOCAL = "dram_local"                # main memory, local node
+    DRAM_REMOTE = "dram_remote"              # main memory, remote node
+
+
+_REMOTE_SOURCES = (
+    FillSource.REMOTE_CHIPLET,
+    FillSource.REMOTE_NUMA_CHIPLET,
+    FillSource.DRAM_LOCAL,
+    FillSource.DRAM_REMOTE,
+)
+
+
+class FillCounters:
+    """Fill-event counts for one core."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[FillSource, int] = {s: 0 for s in FillSource}
+
+    def record(self, source: FillSource, n: int = 1) -> None:
+        self.counts[source] += n
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def remote_fills(self) -> int:
+        """Fills serviced from beyond the local chiplet.
+
+        This is the simulated equivalent of AMD's
+        ``ANY_DATA_CACHE_FILLS_FROM_SYSTEM`` remote-source mask — the event
+        counter read by Alg. 1.
+        """
+        c = self.counts
+        return sum(c[s] for s in _REMOTE_SOURCES)
+
+    def dram_fills(self) -> int:
+        return self.counts[FillSource.DRAM_LOCAL] + self.counts[FillSource.DRAM_REMOTE]
+
+    def snapshot(self) -> Dict[FillSource, int]:
+        return dict(self.counts)
+
+    def reset(self) -> None:
+        for s in FillSource:
+            self.counts[s] = 0
+
+
+@dataclass
+class CounterSnapshot:
+    """Aggregate counter totals, used for the paper's Tab. 1 / Tab. 2 rows."""
+
+    local_chiplet: int = 0
+    remote_chiplet: int = 0
+    remote_numa_chiplet: int = 0
+    dram: int = 0
+
+    def as_row(self) -> Dict[str, int]:
+        return {
+            "local_chiplet": self.local_chiplet,
+            "remote_chiplet": self.remote_chiplet,
+            "remote_numa_chiplet": self.remote_numa_chiplet,
+            "main_memory": self.dram,
+        }
+
+
+class CounterBoard:
+    """Per-core fill counters for the whole machine."""
+
+    def __init__(self, total_cores: int):
+        self.per_core: List[FillCounters] = [FillCounters() for _ in range(total_cores)]
+
+    def record(self, core: int, source: FillSource, n: int = 1) -> None:
+        self.per_core[core].record(source, n)
+
+    def core(self, core: int) -> FillCounters:
+        return self.per_core[core]
+
+    def aggregate(self, cores: Iterable[int] = ()) -> CounterSnapshot:
+        """Sum counters over ``cores`` (all cores when empty)."""
+        sel = list(cores) or range(len(self.per_core))
+        snap = CounterSnapshot()
+        for c in sel:
+            counts = self.per_core[c].counts
+            snap.local_chiplet += counts[FillSource.LOCAL_CHIPLET]
+            snap.remote_chiplet += counts[FillSource.REMOTE_CHIPLET]
+            snap.remote_numa_chiplet += counts[FillSource.REMOTE_NUMA_CHIPLET]
+            snap.dram += counts[FillSource.DRAM_LOCAL] + counts[FillSource.DRAM_REMOTE]
+        return snap
+
+    def reset(self) -> None:
+        for c in self.per_core:
+            c.reset()

@@ -1,0 +1,112 @@
+"""Latency model for a chiplet-based CPU.
+
+Encodes the latency hierarchy measured in section 2.1 / Fig. 3 of the CHARM
+paper on a dual-socket AMD EPYC Milan:
+
+- intra-chiplet core-to-core:       ~25 ns,
+- inter-chiplet, same NUMA node:    ~80-150 ns (two sub-groups),
+- cross-NUMA:                       >200 ns,
+
+plus the fill-source latencies used by the cache model (local L3 hit,
+remote-chiplet L3 fill, DRAM fill).  The deterministic jitter applied to
+core-to-core probes reproduces the stepped CDF of Fig. 3 without any real
+hardware.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hw.topology import Distance, Topology
+
+
+def _hash_jitter(a: int, b: int, spread_ns: float) -> float:
+    """Deterministic per-pair jitter in ``[0, spread_ns)``.
+
+    A tiny integer hash keeps the latency CDF stepped-but-fuzzy the way the
+    measured CDF in the paper is, while staying fully reproducible.
+    """
+    h = (a * 2654435761 ^ b * 40503) & 0xFFFFFFFF
+    h ^= h >> 16
+    h = (h * 2246822519) & 0xFFFFFFFF
+    h ^= h >> 13
+    return (h % 1024) / 1024.0 * spread_ns
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """All fixed latencies of the machine, in nanoseconds.
+
+    ``c2c_*`` values parameterise the CAS ping-pong experiment of Fig. 3;
+    the remaining values are the fill-source costs charged by the cache and
+    memory models.
+    """
+
+    # Core-to-core (CAS ping-pong) latencies per distance class.
+    c2c_same_chiplet: float = 25.0
+    c2c_same_socket_near: float = 85.0   # neighbouring chiplets on the IO die
+    c2c_same_socket_far: float = 155.0   # distant chiplets on the IO die
+    c2c_cross_socket: float = 225.0
+    c2c_jitter: float = 12.0
+
+    # Cache / memory fill latencies.
+    l3_hit: float = 14.0                 # local chiplet L3 hit
+    fill_same_socket: float = 95.0       # fill from another chiplet's L3, same NUMA node
+    fill_cross_socket: float = 205.0     # fill from a chiplet's L3 in the other socket
+    dram_local: float = 105.0            # DRAM, home node == requesting core's node
+    dram_remote: float = 195.0           # DRAM on the remote NUMA node
+    invalidate: float = 28.0             # per-sharer write-invalidation cost
+
+    def core_to_core_ns(self, topo: Topology, core_a: int, core_b: int) -> float:
+        """Latency of a CAS ping-pong between two cores.
+
+        Inter-chiplet pairs within a socket fall into a *near* and a *far*
+        group depending on the chiplets' positions on the IO die, which is
+        what produces the middle steps of the Fig. 3 CDF.
+        """
+        dist = topo.distance(core_a, core_b)
+        if dist is Distance.SAME_CORE:
+            return 0.0
+        jitter = _hash_jitter(core_a, core_b, self.c2c_jitter)
+        if dist is Distance.SAME_CHIPLET:
+            return self.c2c_same_chiplet + jitter * 0.3
+        if dist is Distance.SAME_SOCKET:
+            ch_a = topo.chiplet_of_core(core_a) % topo.chiplets_per_socket
+            ch_b = topo.chiplet_of_core(core_b) % topo.chiplets_per_socket
+            # Chiplets are laid out in two quadrant rows around the IO die;
+            # chiplets in the same half reach each other faster.
+            half = topo.chiplets_per_socket // 2 or 1
+            if (ch_a // half) == (ch_b // half):
+                return self.c2c_same_socket_near + jitter
+            return self.c2c_same_socket_far + jitter
+        return self.c2c_cross_socket + jitter * 4.0
+
+    def fill_latency(self, dist: Distance) -> float:
+        """Latency of fetching a block from another chiplet's L3."""
+        if dist is Distance.SAME_CHIPLET:
+            return self.l3_hit
+        if dist is Distance.SAME_SOCKET:
+            return self.fill_same_socket
+        return self.fill_cross_socket
+
+    def latency_cdf(self, topo: Topology) -> List[float]:
+        """Sorted core-to-core latencies over all core pairs (Fig. 3 data)."""
+        return sorted(self.core_to_core_ns(topo, a, b) for a, b in topo.core_pairs())
+
+
+#: AMD EPYC Milan 7713 latency profile (paper section 2.1).
+MILAN_LATENCY = LatencyModel()
+
+#: Intel Xeon Platinum 8488C profile.  Sapphire Rapids' mesh gives markedly
+#: better inter-tile communication than AMD's Infinity Fabric (paper
+#: section 5.3), so the intra-socket penalties are much smaller.
+SPR_LATENCY = LatencyModel(
+    c2c_same_chiplet=31.0,
+    c2c_same_socket_near=52.0,
+    c2c_same_socket_far=66.0,
+    c2c_cross_socket=240.0,
+    l3_hit=21.0,
+    fill_same_socket=48.0,
+    fill_cross_socket=215.0,
+    dram_local=112.0,
+    dram_remote=205.0,
+)

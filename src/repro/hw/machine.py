@@ -1,0 +1,371 @@
+"""The simulated chiplet machine.
+
+:class:`Machine` ties together topology, latency model, partitioned L3
+caches, fabric links, memory channels and fill counters, and services
+individual memory accesses in virtual time.  It is the substrate on which
+the CHARM runtime and every baseline scheduler execute.
+
+The service path of one access mirrors the hardware:
+
+1. look up the requesting core's local L3 slice — hit costs ``l3_hit``;
+2. otherwise consult the directory for a peer chiplet holding the block —
+   a remote-L3 fill pays the inter-chiplet (or inter-socket) latency plus
+   serialisation on both chiplets' fabric links;
+3. otherwise fill from DRAM on the block's home NUMA node — paying the
+   DRAM latency (local or remote node), queueing on the owning memory
+   channel, and serialisation on the requester's fabric link.
+
+Writes additionally invalidate all other cached copies of the block.
+Every fill increments the requesting core's PMU-like counter, classified
+by source — the signal consumed by CHARM's Alg. 1.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hw.cache import CacheSystem
+from repro.hw.counters import CounterBoard, FillSource
+from repro.hw.latency import LatencyModel, MILAN_LATENCY, SPR_LATENCY
+from repro.hw.memory import (
+    ChannelBank,
+    CrossSocketLinks,
+    LinkBank,
+    MemPolicy,
+    Region,
+    RegionTable,
+)
+from repro.hw.topology import (
+    Distance,
+    Topology,
+    milan_topology,
+    sapphire_rapids_topology,
+)
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one serviced memory access.
+
+    ``ns`` is the total delay including queueing backpressure on channels
+    and links; ``latency_ns`` excludes queue waits (fixed latencies plus
+    transfer service times).  Batched accesses overlap ``latency_ns``
+    across memory-level parallelism while queue waits extend the batch's
+    completion — see ``Worker._do_batch``.
+    """
+
+    ns: float
+    source: FillSource
+    invalidations: int = 0
+    latency_ns: float = 0.0
+
+
+class Machine:
+    """A chiplet-based CPU plus its memory system, simulated in virtual time.
+
+    Parameters
+    ----------
+    topo:
+        Physical layout (sockets / chiplets / cores).
+    latency:
+        Fixed latency table (see :class:`~repro.hw.latency.LatencyModel`).
+    l3_bytes_per_chiplet:
+        Capacity of each chiplet's L3 slice.
+    block_bytes:
+        Modelling granularity: consecutive cache lines are grouped into
+        blocks of this size.  Accesses are charged per block; intra-block
+        reuse is assumed to hit in L1/L2 and is folded into compute cost.
+    mem_channels_per_socket / channel_bytes_per_ns:
+        DDR channel count and per-channel bandwidth.
+    link_bytes_per_ns:
+        Per-chiplet fabric (GMI-style) link bandwidth.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        latency: LatencyModel,
+        l3_bytes_per_chiplet: int,
+        block_bytes: int = 4 * KIB,
+        mem_channels_per_socket: int = 8,
+        channel_bytes_per_ns: float = 25.6,
+        link_bytes_per_ns: float = 47.0,
+        xlink_bytes_per_ns: float = 47.0,
+    ):
+        if block_bytes < 64:
+            raise ValueError("block_bytes must be at least one cache line (64 B)")
+        if l3_bytes_per_chiplet < block_bytes:
+            raise ValueError("L3 slice must hold at least one block")
+        self.topo = topo
+        self.latency = latency
+        self.block_bytes = block_bytes
+        self.l3_bytes_per_chiplet = l3_bytes_per_chiplet
+        self.caches = CacheSystem(topo, l3_bytes_per_chiplet)
+        self.channels = ChannelBank(topo.sockets, mem_channels_per_socket, channel_bytes_per_ns)
+        self.links = LinkBank(topo.total_chiplets, link_bytes_per_ns)
+        self.xlinks = CrossSocketLinks(topo.sockets, xlink_bytes_per_ns)
+        self.counters = CounterBoard(topo.total_cores)
+        self.regions = RegionTable(topo.numa_nodes, block_bytes)
+        self.total_accesses = 0
+
+    # -- Allocation ----------------------------------------------------------
+
+    def alloc_region(
+        self,
+        size_bytes: int,
+        node: int = 0,
+        policy: MemPolicy = MemPolicy.BIND,
+        name: str = "",
+        block_bytes: Optional[int] = None,
+    ) -> Region:
+        """Allocate a memory region (the mmap/mbind stand-in).
+
+        ``block_bytes`` sets this region's modelling granularity: use small
+        blocks (e.g. 512 B) for sparse/pointer-heavy data so cache capacity
+        is charged for what is actually touched, and large blocks for dense
+        streamed arrays.
+        """
+        return self.regions.alloc(
+            size_bytes, node=node, policy=policy, name=name, block_bytes=block_bytes
+        )
+
+    def free_region(self, region: Region) -> None:
+        """Free a region and flush its blocks from every L3 slice."""
+        for b in range(region.n_blocks):
+            self.caches.drop_everywhere(region.block_key(b))
+        self.regions.free(region)
+
+    # -- Access servicing ------------------------------------------------------
+
+    def access(
+        self,
+        core: int,
+        region: Region,
+        block_index: int,
+        now: float,
+        nbytes: Optional[int] = None,
+        write: bool = False,
+    ) -> AccessResult:
+        """Service one block access by ``core`` at virtual time ``now``."""
+        self.total_accesses += 1
+        nbytes = nbytes or region.block_bytes
+        key = region.block_key(block_index)
+        chiplet = self.topo.chiplet_of_core(core)
+
+        if self.caches.lookup_local(chiplet, key):
+            inval = self.caches.invalidate_others(chiplet, key) if write else 0
+            ns = self.latency.l3_hit + inval * self.latency.invalidate
+            self.counters.record(core, FillSource.LOCAL_CHIPLET)
+            return AccessResult(ns, FillSource.LOCAL_CHIPLET, inval, ns)
+
+        holder = self.caches.find_holder(chiplet, key)
+        if holder is not None:
+            return self._fill_from_peer(
+                core, chiplet, holder, key, nbytes, region.block_bytes, now, write
+            )
+        return self._fill_from_dram(core, chiplet, region, block_index, key, nbytes, now, write)
+
+    def _fill_from_peer(
+        self,
+        core: int,
+        chiplet: int,
+        holder: int,
+        key: int,
+        nbytes: int,
+        resident_bytes: int,
+        now: float,
+        write: bool,
+    ) -> AccessResult:
+        dist = self.topo.chiplet_distance(chiplet, holder)
+        ns = self.latency.fill_latency(dist)
+        wait = 0.0
+        d, w = self.links.service(holder, nbytes, now)
+        ns += d
+        wait += w
+        d, w = self.links.service(chiplet, nbytes, now)
+        ns += d
+        wait += w
+        d, w = self.xlinks.service(
+            self.topo.socket_of_chiplet(chiplet),
+            self.topo.socket_of_chiplet(holder),
+            nbytes,
+            now,
+        )
+        ns += d
+        wait += w
+        self.caches.fill(chiplet, key, resident_bytes)
+        inval = 0
+        if write:
+            inval = self.caches.invalidate_others(chiplet, key)
+            ns += inval * self.latency.invalidate
+        if dist is Distance.SAME_SOCKET:
+            source = FillSource.REMOTE_CHIPLET
+        else:
+            source = FillSource.REMOTE_NUMA_CHIPLET
+        self.counters.record(core, source)
+        return AccessResult(ns, source, inval, ns - wait)
+
+    def _fill_from_dram(
+        self,
+        core: int,
+        chiplet: int,
+        region: Region,
+        block_index: int,
+        key: int,
+        nbytes: int,
+        now: float,
+        write: bool,
+    ) -> AccessResult:
+        my_node = self.topo.numa_of_core(core)
+        home = region.node_of_block(block_index, requester_node=my_node)
+        local = home == my_node
+        ns = self.latency.dram_local if local else self.latency.dram_remote
+        wait = 0.0
+        d, w = self.channels.service(home, key, nbytes, now)
+        ns += d
+        wait += w
+        d, w = self.links.service(chiplet, nbytes, now)
+        ns += d
+        wait += w
+        if not local:
+            d, w = self.xlinks.service(my_node, home, nbytes, now)
+            ns += d
+            wait += w
+        self.caches.fill(chiplet, key, region.block_bytes)
+        source = FillSource.DRAM_LOCAL if local else FillSource.DRAM_REMOTE
+        self.counters.record(core, source)
+        return AccessResult(ns, source, 0, ns - wait)
+
+    # -- Synchronisation latency ---------------------------------------------
+
+    def cas_ns(self, core_a: int, core_b: int) -> float:
+        """Latency of a CAS ping-pong between two cores (Fig. 3 probe)."""
+        return self.latency.core_to_core_ns(self.topo, core_a, core_b)
+
+    def sync_span_ns(self, cores) -> float:
+        """Cost of one barrier round over ``cores``: the worst pairwise hop.
+
+        A tree barrier's critical path is dominated by the slowest
+        core-to-core link among participants, which this returns (plus a
+        fixed arbitration cost per participant handled by the caller).
+        """
+        cores = list(cores)
+        if len(cores) < 2:
+            return 0.0
+        ref = cores[0]
+        return max(self.cas_ns(ref, c) for c in cores[1:])
+
+    # -- Introspection ---------------------------------------------------------
+
+    def describe(self) -> str:
+        t = self.topo
+        return (
+            f"{t.name}: {t.sockets} socket(s) x {t.chiplets_per_socket} chiplet(s) "
+            f"x {t.cores_per_chiplet} core(s), "
+            f"L3 {self.l3_bytes_per_chiplet // MIB} MiB/chiplet, "
+            f"block {self.block_bytes} B, "
+            f"{self.channels.channels_per_socket} mem channels/socket"
+        )
+
+
+def milan(scale: int = 1, block_bytes: int = 4 * KIB) -> Machine:
+    """Dual-socket AMD EPYC Milan 7713 (paper testbed 1).
+
+    ``scale`` divides the L3 capacity so experiments can shrink their
+    datasets by the same factor and still straddle the same cache-capacity
+    boundaries while simulating far fewer accesses.  Latencies and
+    bandwidths are unscaled.
+    """
+    return Machine(
+        topo=milan_topology(),
+        latency=MILAN_LATENCY,
+        l3_bytes_per_chiplet=max(32 * MIB // scale, block_bytes),
+        block_bytes=block_bytes,
+        mem_channels_per_socket=8,
+        channel_bytes_per_ns=25.6,   # DDR4-3200
+        link_bytes_per_ns=47.0,      # GMI2 read bandwidth
+    )
+
+
+def sapphire_rapids(scale: int = 1, block_bytes: int = 4 * KIB) -> Machine:
+    """Dual-socket Intel Xeon Platinum 8488C (paper testbed 2).
+
+    The 105 MB socket L3 is spread over four compute tiles; the mesh makes
+    inter-tile fills far cheaper than on AMD, which is why CHARM's margin
+    narrows on this machine (paper section 5.3).
+    """
+    return Machine(
+        topo=sapphire_rapids_topology(),
+        latency=SPR_LATENCY,
+        l3_bytes_per_chiplet=max(int(105 * MIB / 4) // scale, block_bytes),
+        block_bytes=block_bytes,
+        mem_channels_per_socket=8,
+        channel_bytes_per_ns=38.4,   # DDR5-4800
+        link_bytes_per_ns=120.0,     # on-die mesh, much wider than GMI
+    )
+
+
+def genoa(scale: int = 1, block_bytes: int = 4 * KIB) -> Machine:
+    """Dual-socket AMD EPYC Genoa 9654-style machine (96 cores/socket).
+
+    The paper's Fig. 4 trend point: more chiplets (12 CCDs/socket) and
+    DDR5 with 12 channels, same 8-core CCD granularity.  Not part of the
+    paper's testbed — provided for what-if studies of the insights on a
+    next-generation part.
+    """
+    topo = Topology(sockets=2, chiplets_per_socket=12, cores_per_chiplet=8,
+                    smt=2, name="epyc-genoa-9654")
+    return Machine(
+        topo=topo,
+        latency=MILAN_LATENCY,
+        l3_bytes_per_chiplet=max(32 * MIB // scale, block_bytes),
+        block_bytes=block_bytes,
+        mem_channels_per_socket=12,
+        channel_bytes_per_ns=38.4,   # DDR5-4800
+        link_bytes_per_ns=52.0,      # GMI3
+        xlink_bytes_per_ns=50.0,
+    )
+
+
+def custom_machine(
+    sockets: int,
+    chiplets_per_socket: int,
+    cores_per_chiplet: int,
+    l3_bytes_per_chiplet: int,
+    latency: Optional[LatencyModel] = None,
+    name: str = "custom",
+    **kwargs,
+) -> Machine:
+    """Build an arbitrary chiplet machine for design-space exploration."""
+    topo = Topology(sockets=sockets, chiplets_per_socket=chiplets_per_socket,
+                    cores_per_chiplet=cores_per_chiplet, name=name)
+    return Machine(topo=topo, latency=latency or MILAN_LATENCY,
+                   l3_bytes_per_chiplet=l3_bytes_per_chiplet, **kwargs)
+
+
+def small_test_machine(
+    sockets: int = 2,
+    chiplets_per_socket: int = 2,
+    cores_per_chiplet: int = 2,
+    l3_blocks_per_chiplet: int = 8,
+    block_bytes: int = 64,
+) -> Machine:
+    """A tiny machine for unit tests: every structure is observable."""
+    topo = Topology(
+        sockets=sockets,
+        chiplets_per_socket=chiplets_per_socket,
+        cores_per_chiplet=cores_per_chiplet,
+        name="test-machine",
+    )
+    return Machine(
+        topo=topo,
+        latency=MILAN_LATENCY,
+        l3_bytes_per_chiplet=l3_blocks_per_chiplet * block_bytes,
+        block_bytes=block_bytes,
+        mem_channels_per_socket=2,
+        channel_bytes_per_ns=25.6,
+        link_bytes_per_ns=47.0,
+    )

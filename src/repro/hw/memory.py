@@ -1,0 +1,230 @@
+"""DRAM, memory channels, fabric links, and memory regions.
+
+Models the two bandwidth bottlenecks that drive the paper's results:
+
+1. **Per-socket memory channels** (section 2.2, Fig. 4): each socket has a
+   small fixed number of DDR channels.  Every DRAM fill is serialised on
+   the channel that owns the block (address-interleaved), so concurrent
+   DRAM traffic from many cores queues up and throughput saturates — the
+   mechanism behind baseline saturation at 48-56 cores in Fig. 7.
+
+2. **Per-chiplet fabric links** (GMI on AMD): all traffic between a chiplet
+   and the IO die (DRAM fills *and* remote-L3 fills) is serialised on that
+   chiplet's link.  Packing many cores onto one chiplet caps their
+   aggregate memory bandwidth at one link — the mechanism behind the
+   DistributedCache win for huge working sets in Fig. 5.
+
+Both are modelled as deterministic single-server (per channel / per link)
+queues in virtual time: a request arriving at ``now`` waits until the
+server is free, then occupies it for ``bytes / bandwidth``.
+"""
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+
+class MemPolicy(Enum):
+    """NUMA memory placement policy for a region (mbind-style)."""
+
+    BIND = "bind"            # all blocks on one home node
+    INTERLEAVE = "interleave"  # blocks round-robin across nodes
+    REPLICATED = "replicated"  # read-only copy on every node (SHOAL-style)
+
+
+@dataclass
+class Region:
+    """A contiguous allocation charged against the simulated memory system.
+
+    Blocks within a region are identified by a dense index; the globally
+    unique block key packs ``(region_id, block_index)`` into one integer so
+    cache and directory structures can use plain ints.
+    """
+
+    region_id: int
+    size_bytes: int
+    block_bytes: int
+    policy: MemPolicy
+    home_node: int
+    numa_nodes: int
+    name: str = ""
+
+    _KEY_SHIFT = 40  # supports regions up to 2**40 blocks
+
+    @property
+    def n_blocks(self) -> int:
+        return max(1, -(-self.size_bytes // self.block_bytes))
+
+    def block_of_offset(self, offset: int) -> int:
+        if not 0 <= offset < max(self.size_bytes, 1):
+            raise ValueError(
+                f"offset {offset} outside region '{self.name}' of {self.size_bytes} bytes"
+            )
+        return offset // self.block_bytes
+
+    def block_key(self, block_index: int) -> int:
+        if not 0 <= block_index < self.n_blocks:
+            raise ValueError(
+                f"block {block_index} outside region '{self.name}' ({self.n_blocks} blocks)"
+            )
+        return (self.region_id << self._KEY_SHIFT) | block_index
+
+    def node_of_block(self, block_index: int, requester_node: Optional[int] = None) -> int:
+        """NUMA node that services a DRAM fill for this block."""
+        if self.policy is MemPolicy.INTERLEAVE:
+            return block_index % self.numa_nodes
+        if self.policy is MemPolicy.REPLICATED and requester_node is not None:
+            return requester_node
+        return self.home_node
+
+
+class RegionTable:
+    """Allocator and registry of live regions."""
+
+    def __init__(self, numa_nodes: int, default_block_bytes: int):
+        self.numa_nodes = numa_nodes
+        self.default_block_bytes = default_block_bytes
+        self._next_id = 1
+        self._regions: Dict[int, Region] = {}
+        self.allocated_bytes_per_node = [0] * numa_nodes
+
+    def alloc(
+        self,
+        size_bytes: int,
+        node: int = 0,
+        policy: MemPolicy = MemPolicy.BIND,
+        name: str = "",
+        block_bytes: Optional[int] = None,
+    ) -> Region:
+        if size_bytes < 0:
+            raise ValueError("region size must be non-negative")
+        if not 0 <= node < self.numa_nodes:
+            raise ValueError(f"NUMA node {node} out of range")
+        region = Region(
+            region_id=self._next_id,
+            size_bytes=size_bytes,
+            block_bytes=block_bytes or self.default_block_bytes,
+            policy=policy,
+            home_node=node,
+            numa_nodes=self.numa_nodes,
+            name=name or f"region{self._next_id}",
+        )
+        self._next_id += 1
+        self._regions[region.region_id] = region
+        if policy is MemPolicy.REPLICATED:
+            for n in range(self.numa_nodes):
+                self.allocated_bytes_per_node[n] += size_bytes
+        elif policy is MemPolicy.INTERLEAVE:
+            share = size_bytes // self.numa_nodes
+            for n in range(self.numa_nodes):
+                self.allocated_bytes_per_node[n] += share
+        else:
+            self.allocated_bytes_per_node[node] += size_bytes
+        return region
+
+    def free(self, region: Region) -> None:
+        self._regions.pop(region.region_id, None)
+
+    def get(self, region_id: int) -> Region:
+        return self._regions[region_id]
+
+    def live_regions(self) -> List[Region]:
+        return list(self._regions.values())
+
+
+class _Server:
+    """Deterministic single-server queue in virtual time."""
+
+    __slots__ = ("free_at", "busy_ns", "requests")
+
+    def __init__(self) -> None:
+        self.free_at = 0.0
+        self.busy_ns = 0.0
+        self.requests = 0
+
+    def service(self, now: float, service_ns: float) -> "Tuple[float, float]":
+        """Serve a request arriving at ``now``.
+
+        Returns ``(total_delay, queue_wait)``: total is wait + service,
+        wait is the backpressure component (time spent queued behind
+        earlier requests).  Callers that model memory-level parallelism
+        overlap the *service* part but let queue waits extend the batch.
+        """
+        start = self.free_at if self.free_at > now else now
+        self.free_at = start + service_ns
+        self.busy_ns += service_ns
+        self.requests += 1
+        return self.free_at - now, start - now
+
+
+class ChannelBank:
+    """Per-socket DDR memory channels with address interleaving."""
+
+    def __init__(self, sockets: int, channels_per_socket: int, bytes_per_ns_per_channel: float):
+        if channels_per_socket < 1:
+            raise ValueError("need at least one memory channel per socket")
+        self.channels_per_socket = channels_per_socket
+        self.bytes_per_ns = bytes_per_ns_per_channel
+        self._servers = [[_Server() for _ in range(channels_per_socket)] for _ in range(sockets)]
+
+    def service(self, socket: int, block_key: int, nbytes: int, now: float) -> "Tuple[float, float]":
+        """Serialise a DRAM transfer on the owning channel.
+
+        Returns ``(total_delay, queue_wait)``.
+        """
+        chan = self._servers[socket][block_key % self.channels_per_socket]
+        return chan.service(now, nbytes / self.bytes_per_ns)
+
+    def busy_ns(self, socket: int) -> float:
+        return sum(s.busy_ns for s in self._servers[socket])
+
+    def peak_bandwidth(self) -> float:
+        """Bytes/ns a single socket can sustain."""
+        return self.channels_per_socket * self.bytes_per_ns
+
+
+class CrossSocketLinks:
+    """Inter-socket (xGMI-style) links, one per unordered socket pair.
+
+    All cross-socket traffic — peer-L3 fills from the other socket and
+    remote-node DRAM fills — serialises here.  Saturation of this link is
+    what makes chiplet-oblivious schedulers collapse beyond ~48-56 cores
+    when they scatter sharers across sockets (paper Fig. 7).
+    """
+
+    def __init__(self, sockets: int, bytes_per_ns_per_link: float):
+        self.sockets = sockets
+        self.bytes_per_ns = bytes_per_ns_per_link
+        self._servers: Dict[Tuple[int, int], _Server] = {}
+        for a in range(sockets):
+            for b in range(a + 1, sockets):
+                self._servers[(a, b)] = _Server()
+
+    def service(self, socket_a: int, socket_b: int, nbytes: int, now: float) -> "Tuple[float, float]":
+        """Returns ``(total_delay, queue_wait)``; zero for same-socket."""
+        if socket_a == socket_b:
+            return 0.0, 0.0
+        pair = (min(socket_a, socket_b), max(socket_a, socket_b))
+        return self._servers[pair].service(now, nbytes / self.bytes_per_ns)
+
+    def busy_ns(self, socket_a: int, socket_b: int) -> float:
+        pair = (min(socket_a, socket_b), max(socket_a, socket_b))
+        return self._servers[pair].busy_ns
+
+
+class LinkBank:
+    """Per-chiplet fabric links (chiplet <-> IO die)."""
+
+    def __init__(self, chiplets: int, bytes_per_ns_per_link: float):
+        self.bytes_per_ns = bytes_per_ns_per_link
+        self._servers = [_Server() for _ in range(chiplets)]
+
+    def service(self, chiplet: int, nbytes: int, now: float) -> "Tuple[float, float]":
+        """Returns ``(total_delay, queue_wait)``."""
+        return self._servers[chiplet].service(now, nbytes / self.bytes_per_ns)
+
+    def busy_ns(self, chiplet: int) -> float:
+        return self._servers[chiplet].busy_ns
+
+    def requests(self, chiplet: int) -> int:
+        return self._servers[chiplet].requests

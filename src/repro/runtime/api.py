@@ -1,0 +1,147 @@
+"""Paper-style public API (section 4.6).
+
+The C++ CHARM exposes ``CHARM_Init()``/``CHARM_Finalize()``, ``run()``
+with lambda tasks, ``all_do()`` for every core, ``call()`` for sync/async
+RPC and ``barrier()``.  :class:`Charm` mirrors that surface over the
+simulated runtime:
+
+>>> charm = Charm.init(machine=milan(scale=64), workers=16)
+>>> data = charm.alloc(1 << 20, name="data")
+>>> def body(wid):
+...     yield Compute(1000.0)
+...     return wid
+>>> tasks = charm.all_do(body)
+>>> report = charm.run()
+>>> charm.finalize()
+
+Tasks themselves are generator functions; *inside* a task the ``co_*``
+helper generators provide spawning, synchronous RPC and barrier waits
+(``yield from co_call_sync(charm, core, fn)``).
+"""
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.hw.machine import Machine, milan
+from repro.hw.memory import MemPolicy, Region
+from repro.runtime.ops import SpawnOp, WaitBarrier, WaitFuture
+from repro.runtime.policy import CharmStrategy, SchedulingStrategy
+from repro.runtime.runtime import Runtime, RunReport
+from repro.runtime.sync import Barrier, Future
+from repro.runtime.task import Task
+
+
+class Charm:
+    """Facade owning a machine + runtime pair, in the paper's API shape."""
+
+    def __init__(self, runtime: Runtime):
+        self.runtime = runtime
+        self.report: Optional[RunReport] = None
+        self._finalized = False
+
+    # -- Lifecycle (CHARM_Init / CHARM_Finalize) -------------------------------
+
+    @classmethod
+    def init(
+        cls,
+        machine: Optional[Machine] = None,
+        workers: Optional[int] = None,
+        strategy: Optional[SchedulingStrategy] = None,
+        seed: int = 7,
+        collect_timeline: bool = False,
+    ) -> "Charm":
+        """CHARM_Init(): build the runtime over a (default: Milan) machine."""
+        machine = machine or milan(scale=64)
+        workers = workers or machine.topo.cores_per_socket
+        strategy = strategy or CharmStrategy()
+        return cls(Runtime(machine, workers, strategy, seed=seed, collect_timeline=collect_timeline))
+
+    def finalize(self) -> Optional[RunReport]:
+        """CHARM_Finalize(): tear down; returns the last run report."""
+        self._finalized = True
+        return self.report
+
+    # -- Memory ------------------------------------------------------------------
+
+    def alloc(
+        self,
+        size_bytes: int,
+        node: Optional[int] = None,
+        policy: MemPolicy = MemPolicy.BIND,
+        name: str = "",
+    ) -> Region:
+        return self.runtime.alloc(size_bytes, node=node, policy=policy, name=name)
+
+    # -- Task creation --------------------------------------------------------------
+
+    def spawn(self, fn: Callable, *args: Any, name: str = "") -> Task:
+        """Queue one task (placed by the active strategy)."""
+        self._check_live()
+        return self.runtime.spawn(fn, *args, name=name)
+
+    def all_do(self, fn: Callable, *args: Any) -> List[Task]:
+        """Execute ``fn(worker_id, *args)`` on every worker (paper all_do)."""
+        self._check_live()
+        return [
+            self.runtime.spawn(fn, wid, *args, pin_worker=wid, name=f"all_do-{wid}")
+            for wid in range(len(self.runtime.workers))
+        ]
+
+    def call(self, target_worker: int, fn: Callable, *args: Any) -> Future:
+        """Asynchronous RPC onto a specific worker; resolves with the result."""
+        self._check_live()
+        task = self.runtime.spawn(fn, *args, pin_worker=target_worker, name="call")
+        return self.runtime.completion_future(task)
+
+    def barrier(self, parties: Optional[int] = None, name: str = "barrier") -> Barrier:
+        """A barrier over ``parties`` tasks (default: all workers)."""
+        return Barrier(parties or len(self.runtime.workers), name=name)
+
+    # -- Execution --------------------------------------------------------------------
+
+    def run(self) -> RunReport:
+        """Run all queued work to completion; returns the run report."""
+        self._check_live()
+        self.report = self.runtime.run()
+        return self.report
+
+    def _check_live(self) -> None:
+        if self._finalized:
+            raise RuntimeError("Charm instance already finalized")
+
+
+# -- In-task combinators -------------------------------------------------------------
+#
+# These are generator helpers used *inside* task bodies with ``yield from``.
+
+
+def co_spawn(fn: Callable, *args: Any, pin_worker: Optional[int] = None) -> Generator:
+    """Spawn a child task from within a task; returns the child Task."""
+    child = yield SpawnOp(fn, args, pin_worker=pin_worker)
+    return child
+
+
+def co_call_sync(charm: Charm, target_worker: int, fn: Callable, *args: Any) -> Generator:
+    """Synchronous RPC: spawn on ``target_worker`` and wait for the result."""
+    child = yield SpawnOp(fn, args, pin_worker=target_worker, name="call-sync")
+    fut = charm.runtime.completion_future(child)
+    if fut.done:
+        return fut.value
+    value = yield WaitFuture(fut)
+    return value
+
+
+def co_wait_all(charm: Charm, tasks: List[Task]) -> Generator:
+    """Wait for every task; returns their results in order."""
+    results = []
+    for t in tasks:
+        fut = charm.runtime.completion_future(t)
+        if fut.done:
+            results.append(fut.value)
+        else:
+            results.append((yield WaitFuture(fut)))
+    return results
+
+
+def co_barrier(barrier: Barrier) -> Generator:
+    """Wait at a barrier from within a task."""
+    yield WaitBarrier(barrier)

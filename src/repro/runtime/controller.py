@@ -1,0 +1,96 @@
+"""Adaptive controller: approaches -> concrete scheduling policies.
+
+Paper section 4.1: "An approach outlines the general method or guiding
+principle, while a policy specifies the concrete actions the scheduler
+follows based on that approach."  The controller turns a high-level
+approach into a :class:`~repro.runtime.policy.CharmPolicyConfig` (and
+hence a :class:`~repro.runtime.policy.CharmStrategy`):
+
+- **LOCATION_CENTRIC** — minimise cross-chiplet communication: a high
+  remote-fill threshold makes workers reluctant to spread, keeping tasks
+  co-located;
+- **CACHE_CENTRIC** — maximise aggregate cache: a low threshold makes
+  workers eager to spread across chiplets for capacity;
+- **ADAPTIVE** — the paper's default, balancing both with the calibrated
+  threshold of 300 events per timer interval (section 4.6).
+"""
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.runtime.policy import CharmPolicyConfig, CharmStrategy
+
+
+class Approach(Enum):
+    LOCATION_CENTRIC = "location-centric"
+    CACHE_CENTRIC = "cache-centric"
+    ADAPTIVE = "adaptive"
+
+
+#: Paper-calibrated threshold (section 4.6 sensitivity analysis).
+PAPER_THRESHOLD = 300.0
+
+_THRESHOLDS = {
+    Approach.LOCATION_CENTRIC: PAPER_THRESHOLD * 6.0,
+    Approach.CACHE_CENTRIC: PAPER_THRESHOLD / 6.0,
+    Approach.ADAPTIVE: PAPER_THRESHOLD,
+}
+
+
+@dataclass
+class ControllerMetrics:
+    """Profiler summary the controller reacts to between policy updates."""
+
+    remote_fill_rate: float = 0.0
+    dram_fill_rate: float = 0.0
+    avg_task_ns: float = 0.0
+
+
+class AdaptiveController:
+    """Generates scheduling policies from approaches and profiler feedback."""
+
+    def __init__(
+        self,
+        approach: Approach = Approach.ADAPTIVE,
+        scheduler_timer_ns: float = 50_000.0,
+        threshold_override: Optional[float] = None,
+    ):
+        self.approach = approach
+        self.scheduler_timer_ns = scheduler_timer_ns
+        self.threshold_override = threshold_override
+
+    def policy_config(self) -> CharmPolicyConfig:
+        threshold = (
+            self.threshold_override
+            if self.threshold_override is not None
+            else _THRESHOLDS[self.approach]
+        )
+        return CharmPolicyConfig(
+            scheduler_timer_ns=self.scheduler_timer_ns,
+            rmt_chip_access_rate=threshold,
+        )
+
+    def make_strategy(self) -> CharmStrategy:
+        """Instantiate the CHARM strategy under the current approach."""
+        return CharmStrategy(self.policy_config())
+
+    def refine(self, metrics: ControllerMetrics) -> "AdaptiveController":
+        """Switch approach based on observed behaviour.
+
+        A workload dominated by DRAM fills is capacity-starved and profits
+        from the cache-size-centric approach; one dominated by
+        chiplet-to-chiplet fills is sharing-bound and profits from the
+        location-centric approach; otherwise stay adaptive.
+        """
+        if metrics.dram_fill_rate > 2.0 * metrics.remote_fill_rate:
+            approach = Approach.CACHE_CENTRIC
+        elif metrics.remote_fill_rate > 2.0 * metrics.dram_fill_rate:
+            approach = Approach.LOCATION_CENTRIC
+        else:
+            approach = Approach.ADAPTIVE
+        return AdaptiveController(
+            approach=approach,
+            scheduler_timer_ns=self.scheduler_timer_ns,
+            threshold_override=self.threshold_override,
+        )

@@ -1,0 +1,70 @@
+"""NUMA-aware memory management helpers (task & memory manager, Fig. 6).
+
+Wraps region allocation with the placement policies the paper's memory
+manager supports: local-to-worker binding (the ``MPOL_BIND`` of Alg. 2),
+explicit node binding, page interleaving, and SHOAL-style read-only
+replication.  Also provides partitioning helpers used by workloads to
+split arrays into per-worker segments.
+"""
+
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from repro.hw.memory import MemPolicy, Region
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import Runtime
+    from repro.runtime.worker import Worker
+
+
+class MemoryManager:
+    """Allocation front-end bound to a runtime."""
+
+    def __init__(self, runtime: "Runtime"):
+        self.runtime = runtime
+
+    def alloc_local(self, size_bytes: int, worker: "Worker", name: str = "") -> Region:
+        """Bind to the worker's current NUMA node (Alg. 2 MPOL_BIND)."""
+        return self.runtime.machine.alloc_region(
+            size_bytes, node=worker.mem_node, policy=MemPolicy.BIND, name=name
+        )
+
+    def alloc_bind(self, size_bytes: int, node: int, name: str = "") -> Region:
+        return self.runtime.machine.alloc_region(
+            size_bytes, node=node, policy=MemPolicy.BIND, name=name
+        )
+
+    def alloc_interleave(self, size_bytes: int, name: str = "") -> Region:
+        return self.runtime.machine.alloc_region(
+            size_bytes, node=0, policy=MemPolicy.INTERLEAVE, name=name
+        )
+
+    def alloc_replicated(self, size_bytes: int, name: str = "") -> Region:
+        """Read-only replica on every node (SHOAL's array abstraction)."""
+        return self.runtime.machine.alloc_region(
+            size_bytes, node=0, policy=MemPolicy.REPLICATED, name=name
+        )
+
+
+def partition_blocks(n_blocks: int, n_parts: int) -> List[Tuple[int, int]]:
+    """Split ``n_blocks`` into ``n_parts`` contiguous [start, end) ranges.
+
+    Earlier parts get the remainder, so sizes differ by at most one — the
+    segment arithmetic of the Fig. 5 microbenchmark.
+    """
+    if n_parts < 1:
+        raise ValueError("need at least one partition")
+    base, rem = divmod(n_blocks, n_parts)
+    ranges = []
+    start = 0
+    for i in range(n_parts):
+        size = base + (1 if i < rem else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def chunk_ranges(start: int, end: int, chunk: int) -> List[Tuple[int, int]]:
+    """Split [start, end) into chunks of at most ``chunk`` items."""
+    if chunk < 1:
+        raise ValueError("chunk must be positive")
+    return [(s, min(s + chunk, end)) for s in range(start, end, chunk)]

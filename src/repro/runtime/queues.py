@@ -1,0 +1,97 @@
+"""Per-worker task queues and hierarchical work stealing.
+
+Each worker owns a local double-ended queue modelled after the lock-free
+queues of section 4.4: the owner pushes/pops at the tail (LIFO, hot in
+cache), thieves steal from the head (FIFO, coldest).  Steal-victim order
+is a strategy decision; CHARM steals chiplet-first, then same socket, then
+anywhere — preserving cache locality (section 4.4).
+"""
+
+from collections import deque
+from typing import Iterable, List, Optional
+
+from repro.hw.topology import Topology
+from repro.runtime.task import Task
+
+
+class LocalQueue:
+    """One worker's task deque."""
+
+    __slots__ = ("pushes", "pops", "steals_suffered", "_dq")
+
+    def __init__(self) -> None:
+        self._dq: "deque[Task]" = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.steals_suffered = 0
+
+    def __len__(self) -> int:
+        return len(self._dq)
+
+    def push(self, task: Task) -> None:
+        self._dq.append(task)
+        self.pushes += 1
+
+    def pop_local(self) -> Optional[Task]:
+        """Owner-side pop: oldest first (program order for pinned chains)."""
+        if self._dq:
+            self.pops += 1
+            return self._dq.popleft()
+        return None
+
+    def steal(self, allow_pinned: bool = False) -> Optional[Task]:
+        """Thief-side pop from the tail; pinned tasks are not stealable."""
+        if not self._dq:
+            return None
+        if allow_pinned or not self._dq[-1].pinned:
+            self.steals_suffered += 1
+            return self._dq.pop()
+        # Pinned task at the tail: scan for the last stealable task.
+        for i in range(len(self._dq) - 1, -1, -1):
+            if not self._dq[i].pinned:
+                t = self._dq[i]
+                del self._dq[i]
+                self.steals_suffered += 1
+                return t
+        return None
+
+    def remove(self, task: Task) -> bool:
+        try:
+            self._dq.remove(task)
+            return True
+        except ValueError:
+            return False
+
+
+def hierarchical_steal_order(
+    topo: Topology, my_core: int, worker_cores: List[int], rng
+) -> List[int]:
+    """Chiplet-first steal victim order (CHARM, section 4.4).
+
+    Returns worker indices ordered: same chiplet, then same socket, then
+    remote socket; random within each tier for load spreading.
+    """
+    my_chiplet = topo.chiplet_of_core(my_core)
+    my_socket = topo.socket_of_core(my_core)
+    tiers: List[List[int]] = [[], [], []]
+    for wid, core in enumerate(worker_cores):
+        if core == my_core:
+            continue
+        if topo.chiplet_of_core(core) == my_chiplet:
+            tiers[0].append(wid)
+        elif topo.socket_of_core(core) == my_socket:
+            tiers[1].append(wid)
+        else:
+            tiers[2].append(wid)
+    order: List[int] = []
+    for tier in tiers:
+        rng.shuffle(tier)
+        order.extend(tier)
+    return order
+
+
+def flat_steal_order(my_worker: int, n_workers: int, rng) -> List[int]:
+    """Topology-oblivious steal order (NUMA-aware baselines)."""
+    order = [w for w in range(n_workers) if w != my_worker]
+    rng.shuffle(order)
+    return order

@@ -1,0 +1,96 @@
+"""Synchronisation primitives: barriers and futures.
+
+Both park *tasks*, never workers: a worker whose task blocks simply picks
+up the next task from its queue.  This non-blocking behaviour is the core
+advantage of CHARM's coroutines over thread-per-task ``std::async``
+(paper section 5.5, Fig. 12).
+
+Release timing: a barrier releases at the latest arrival time plus a
+topology-dependent propagation cost supplied by the runtime (the slowest
+core-to-core hop among participants — wider task spreads pay more, which
+is the synchronisation overhead the paper's insight 3 describes).
+"""
+
+from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.runtime.task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import Runtime
+
+
+class Barrier:
+    """A reusable barrier over ``parties`` tasks."""
+
+    def __init__(self, parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.parties = parties
+        self.name = name
+        self.generation = 0
+        self._arrived: List[Tuple[Task, int, float]] = []  # (task, worker, time)
+        self.releases = 0
+        self.release_times: List[float] = []
+
+    def arrive(self, task: Task, worker_id: int, now: float) -> Optional[List[Tuple[Task, int, float]]]:
+        """Record an arrival.
+
+        Returns the list of parked ``(task, worker, arrival)`` tuples when
+        this arrival completes the barrier (caller releases them), else
+        ``None``.
+        """
+        self._arrived.append((task, worker_id, now))
+        if len(self._arrived) > self.parties:
+            raise RuntimeError(
+                f"barrier {self.name!r} overfilled: {len(self._arrived)} > {self.parties}"
+            )
+        if len(self._arrived) == self.parties:
+            released = self._arrived
+            self._arrived = []
+            self.generation += 1
+            self.releases += 1
+            return released
+        return None
+
+    @property
+    def waiting(self) -> int:
+        return len(self._arrived)
+
+
+class Future:
+    """A write-once value with task waiters."""
+
+    def __init__(self, name: str = "future"):
+        self.name = name
+        self.done = False
+        self.value: Any = None
+        self._waiters: List[Task] = []
+        self._callbacks: List[Callable[["Future", float], None]] = []
+
+    def add_waiter(self, task: Task) -> None:
+        if self.done:
+            raise RuntimeError("cannot wait on a resolved future")
+        task.state = TaskState.BLOCKED
+        self._waiters.append(task)
+
+    def on_resolve(self, cb: Callable[["Future", float], None]) -> None:
+        """Register a callback fired at resolution (used for async RPC)."""
+        if self.done:
+            raise RuntimeError("future already resolved")
+        self._callbacks.append(cb)
+
+    def resolve(self, value: Any, now: float) -> List[Task]:
+        """Set the value; return the tasks to requeue (ready at ``now``)."""
+        if self.done:
+            raise RuntimeError(f"future {self.name!r} resolved twice")
+        self.done = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for t in waiters:
+            t.ready_at = max(t.ready_at, now)
+            t.send_value = value
+            t.state = TaskState.READY
+        for cb in self._callbacks:
+            cb(self, now)
+        self._callbacks = []
+        return waiters

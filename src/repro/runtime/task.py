@@ -1,0 +1,100 @@
+"""Lightweight tasks: user-level-thread state around a Python generator.
+
+Mirrors the paper's concurrency model (section 4.4): each task has its own
+execution state ("stack"), can suspend and resume at defined points, and
+can migrate between workers.  The *cost* of a context switch is charged by
+the worker according to the active strategy (user-space switch for CHARM,
+OS thread creation + switch for the ``std::async`` baseline).
+"""
+
+import itertools
+from enum import Enum
+from typing import Any, Callable, Generator, Optional
+
+from repro.hw.counters import FillCounters
+
+
+class TaskState(Enum):
+    CREATED = "created"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"     # waiting on a barrier or future
+    DONE = "done"
+    FAILED = "failed"
+
+
+_task_ids = itertools.count(1)
+
+
+class Task:
+    """One unit of work: a generator yielding :mod:`repro.runtime.ops`."""
+
+    __slots__ = (
+        "task_id",
+        "name",
+        "fn",
+        "args",
+        "gen",
+        "state",
+        "result",
+        "error",
+        "owner_worker",
+        "pinned",
+        "ready_at",
+        "send_value",
+        "switches",
+        "fills",
+        "spawned_at",
+        "finished_at",
+        "started",
+    )
+
+    def __init__(
+        self,
+        fn: Callable[..., Generator],
+        args: tuple = (),
+        name: str = "",
+        pinned: bool = False,
+    ):
+        self.task_id = next(_task_ids)
+        self.name = name or getattr(fn, "__name__", "task")
+        self.fn = fn
+        self.args = args
+        self.gen: Optional[Generator] = None
+        self.state = TaskState.CREATED
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.owner_worker: Optional[int] = None
+        self.pinned = pinned
+        self.ready_at = 0.0
+        self.send_value: Any = None
+        self.switches = 0
+        self.fills = FillCounters()
+        self.spawned_at = 0.0
+        self.finished_at = 0.0
+        self.started = False
+
+    def ensure_started(self) -> Generator:
+        """Instantiate the generator lazily, on first dispatch."""
+        if self.gen is None:
+            self.gen = self.fn(*self.args)
+            if not hasattr(self.gen, "send"):
+                raise TypeError(
+                    f"task function {self.fn!r} must be a generator function "
+                    "yielding runtime ops"
+                )
+            self.started = True
+        return self.gen
+
+    def finish(self, result: Any, now: float) -> None:
+        self.state = TaskState.DONE
+        self.result = result
+        self.finished_at = now
+
+    def fail(self, error: BaseException, now: float) -> None:
+        self.state = TaskState.FAILED
+        self.error = error
+        self.finished_at = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task {self.task_id} {self.name!r} {self.state.value}>"

@@ -1,0 +1,291 @@
+"""Worker threads: one per dedicated physical core.
+
+A worker is the simulation actor that executes tasks.  It owns a local
+task queue, steals hierarchically when idle, interprets the ops yielded by
+task generators against the machine, and runs the decentralised policy
+hook (Alg. 1) at yield points and task completions — exactly the
+decentralised design of paper section 4.1: each worker monitors its own
+fill counters and autonomously requests affinity changes.
+
+Cooperative vs blocking synchronisation: with CHARM-style strategies a
+blocked task parks while the worker picks up other tasks; with
+``blocking_sync`` strategies (the ``std::async`` baseline) the *worker
+itself* blocks, idling its core — reproducing the thread-blocking
+behaviour the paper measures in Fig. 12.
+"""
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.hw.counters import FillCounters
+from repro.runtime.ops import (
+    Access,
+    AccessBatch,
+    Compute,
+    CriticalSection,
+    SpawnOp,
+    WaitBarrier,
+    WaitFuture,
+    YieldPoint,
+)
+from repro.runtime.queues import LocalQueue
+from repro.runtime.task import Task, TaskState
+from repro.sim.engine import Actor, EventLoop, StepOutcome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import Runtime
+
+
+class Worker(Actor):
+    """One worker pinned to (and migratable between) physical cores."""
+
+    def __init__(self, worker_id: int, core: int, runtime: "Runtime", rng):
+        super().__init__(worker_id)
+        self.worker_id = worker_id
+        self.core = core
+        self.runtime = runtime
+        self.rng = rng
+        self.queue = LocalQueue()
+        self.current: Optional[Task] = None
+        self.blocked_current = False  # blocking_sync: current task waits while worker parks
+
+        # Decentralised policy state (Alg. 1).
+        self.spread_rate = 1
+        self.policy_time = 0.0
+        self.fills = FillCounters()
+        self._fill_mark = 0
+        self._dram_mark = 0
+        self.mem_node = runtime.machine.topo.numa_of_core(core)
+
+        # Statistics.
+        self.busy_ns = 0.0
+        self.tasks_done = 0
+        self.steal_attempts = 0
+        self.steals_ok = 0
+        self.migrations = 0
+        self.switches = 0
+
+    # -- Policy counter plumbing (Alg. 1 lines 5, 18) -------------------------
+
+    def remote_fills_since_mark(self) -> int:
+        return self.fills.remote_fills() - self._fill_mark
+
+    def dram_fills_since_mark(self) -> int:
+        return self.fills.dram_fills() - self._dram_mark
+
+    def mark_fill_counters(self) -> None:
+        self._fill_mark = self.fills.remote_fills()
+        self._dram_mark = self.fills.dram_fills()
+
+    # -- Actor interface -------------------------------------------------------
+
+    def step(self, loop: EventLoop) -> StepOutcome:
+        rt = self.runtime
+        if self.current is None:
+            task = self.queue.pop_local() or self._try_steal()
+            if task is None:
+                if rt.outstanding == 0:
+                    return StepOutcome.FINISHED
+                rt.park_idle(self)
+                return StepOutcome.PARKED
+            self._dispatch(task)
+        return self._run_slice(loop)
+
+    # -- Task acquisition --------------------------------------------------------
+
+    def _try_steal(self) -> Optional[Task]:
+        rt = self.runtime
+        strategy = rt.strategy
+        for victim_id in strategy.steal_order(self, rt):
+            self.steal_attempts += 1
+            victim = rt.workers[victim_id]
+            self._charge(strategy.steal_probe_ns)
+            task = victim.queue.steal()
+            if task is not None:
+                # Moving the task pays half a round trip to the victim's core.
+                self._charge(rt.machine.cas_ns(self.core, victim.core) / 2.0)
+                self.steals_ok += 1
+                rt.total_steals += 1
+                return task
+        return None
+
+    def _dispatch(self, task: Task) -> None:
+        strategy = self.runtime.strategy
+        if task.ready_at > self.clock:
+            self.clock = task.ready_at
+        if not task.started:
+            task.ensure_started()
+        self._charge(strategy.switch_cost_ns)
+        task.owner_worker = self.worker_id
+        task.state = TaskState.RUNNING
+        task.switches += 1
+        self.switches += 1
+        self.current = task
+        self.runtime.on_dispatch(self, task)
+
+    # -- Op interpretation ---------------------------------------------------------
+
+    def _run_slice(self, loop: EventLoop) -> StepOutcome:
+        """Run the current task until it yields control or the slice expires.
+
+        Bounding the slice keeps globally shared queueing models (memory
+        channels, fabric links) close to true time order while avoiding a
+        heap operation per memory access.
+        """
+        rt = self.runtime
+        deadline = self.clock + rt.step_slice_ns
+        task = self.current
+        gen = task.gen
+        while True:
+            try:
+                op = gen.send(task.send_value)
+                task.send_value = None
+            except StopIteration as stop:
+                self._finish_task(task, stop.value)
+                return StepOutcome.RESCHEDULE
+            except Exception as err:  # task crashed: record and propagate
+                task.fail(err, self.clock)
+                self.current = None
+                rt.task_failed(task, self)
+                raise
+
+            kind = type(op)
+            if kind is Compute:
+                self._charge(op.ns)
+            elif kind is CriticalSection:
+                self._charge(op.lock.acquire(self.clock, op.ns))
+            elif kind is Access:
+                self._do_access(op.region, op.block, op.write, op.nbytes, task)
+            elif kind is AccessBatch:
+                self._do_batch(op, task)
+            elif kind is YieldPoint:
+                task.state = TaskState.READY
+                self.queue.push(task)
+                rt.on_task_paused(self)  # before clearing current: hooks see the task
+                self.current = None
+                rt.strategy.on_tick(self, rt)
+                return StepOutcome.RESCHEDULE
+            elif kind is SpawnOp:
+                # Creation cost is paid by the *spawner*: ~nothing for
+                # coroutines, a full pthread_create for std::async-style
+                # runtimes — which serialises task creation on the caller,
+                # the flat-scaling bottleneck of Fig. 11's native schemes.
+                self._charge(rt.spawn_overhead_ns + rt.strategy.task_create_cost_ns)
+                child = rt.spawn(
+                    op.fn, *op.args, pin_worker=op.pin_worker, name=op.name, spawner=self
+                )
+                task.send_value = child
+            elif kind is WaitBarrier:
+                return self._wait_barrier(op, task, loop)
+            elif kind is WaitFuture:
+                if op.future.done:
+                    task.send_value = op.future.value
+                else:
+                    if rt.strategy.blocking_sync and len(self.queue) == 0:
+                        # No other runnable thread on this CPU: the OS
+                        # thread blocks and the core idles (std::async).
+                        self.blocked_current = True
+                        op.future.on_resolve(
+                            lambda fut, now: rt.unblock_worker(self, fut.value, now)
+                        )
+                        rt.on_worker_blocked(self)
+                        return StepOutcome.PARKED
+                    # Runnable threads exist: the OS preempts to them (at
+                    # kernel switch cost, charged on next dispatch); a
+                    # coroutine runtime just parks the task.
+                    op.future.add_waiter(task)
+                    rt.on_task_paused(self)
+                    self.current = None
+                    return StepOutcome.RESCHEDULE
+            else:
+                raise TypeError(f"task {task.name!r} yielded unknown op {op!r}")
+
+            if self.clock >= deadline:
+                return StepOutcome.RESCHEDULE
+
+    def _wait_barrier(self, op: WaitBarrier, task: Task, loop: EventLoop) -> StepOutcome:
+        rt = self.runtime
+        if rt.strategy.blocking_sync and len(self.queue) == 0:
+            # std::async-style: the OS thread blocks, idling this core.
+            self.blocked_current = True
+            released = op.barrier.arrive(task, self.worker_id, self.clock)
+            rt.on_worker_blocked(self)
+            if released is not None:
+                resume = rt.release_barrier(op.barrier, released, releasing_worker=self)
+                if resume is not None:
+                    if resume > self.clock:
+                        self.clock = resume
+                    return StepOutcome.RESCHEDULE
+            return StepOutcome.PARKED
+        task.state = TaskState.BLOCKED
+        rt.on_task_paused(self)
+        self.current = None
+        released = op.barrier.arrive(task, self.worker_id, self.clock)
+        if released is not None:
+            rt.release_barrier(op.barrier, released)
+        return StepOutcome.RESCHEDULE
+
+    def _do_access(self, region, block, write, nbytes, task: Task) -> None:
+        res = self.runtime.machine.access(
+            self.core, region, block, now=self.clock, nbytes=nbytes, write=write
+        )
+        self._charge(res.ns)
+        self.fills.record(res.source)
+        task.fills.record(res.source)
+
+    #: per-request issue overhead within a pipelined batch (address
+    #: generation + load/store queue slot), ns
+    BATCH_ISSUE_NS = 4.0
+    #: memory-level parallelism: outstanding misses a core can sustain
+    MLP = 10.0
+
+    def _do_batch(self, op: AccessBatch, task: Task) -> None:
+        """Pipelined (memory-level-parallel) batch access.
+
+        Requests in a batch are independent streaming accesses: the core
+        overlaps up to :attr:`MLP` outstanding misses, so each request
+        advances time by ``max(issue interval, latency / MLP)`` rather
+        than its full latency.  Queueing on channels/links still
+        serialises the requests themselves (bandwidth saturation under
+        contention), and the MLP cap keeps *fill latency* relevant: a
+        batch of cross-socket fills runs ~2x slower than intra-socket
+        ones, exactly the penalty chiplet-oblivious placement pays.
+        Dependent (pointer-chasing) accesses should use single
+        :class:`Access` ops, which serialise fully.
+        """
+        machine = self.runtime.machine
+        fills = self.fills
+        tfills = task.fills
+        region, write, nbytes = op.region, op.write, op.nbytes
+        per_issue = self.BATCH_ISSUE_NS + op.compute_ns_per_block
+        mlp = 1.0 if op.dependent else self.MLP
+        t = self.clock
+        finish = t
+        for block in op.blocks:
+            res = machine.access(self.core, region, block, now=t, nbytes=nbytes, write=write)
+            completion = t + res.ns
+            if completion > finish:
+                finish = completion
+            # Overlap pure latency across MLP outstanding misses; queue
+            # waits (res.ns - latency_ns) only push out the completion max.
+            step = res.latency_ns / mlp
+            t += step if step > per_issue else per_issue
+            fills.record(res.source)
+            tfills.record(res.source)
+        end = t if t > finish else finish
+        self._charge(end - self.clock)
+
+    def _finish_task(self, task: Task, value) -> None:
+        rt = self.runtime
+        task.finish(value, self.clock)
+        self.tasks_done += 1
+        self.current = None
+        rt.task_done(task, self)
+        rt.strategy.on_tick(self, rt)
+
+    def _charge(self, ns: float) -> None:
+        if ns:
+            self.clock += ns
+            self.busy_ns += ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Worker {self.worker_id} core={self.core} t={self.clock:.0f}ns>"

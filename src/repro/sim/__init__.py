@@ -1,0 +1,15 @@
+"""Deterministic virtual-time simulation engine.
+
+The engine advances a set of *actors* (runtime workers) in strict virtual
+time order: the actor with the smallest clock runs one step, which may
+advance its clock, park it (barrier/future wait) or finish it.  Because the
+minimum clock is always processed first, globally shared resources (memory
+channels, fabric links) observe requests in non-decreasing time order,
+which keeps the queueing models exact and the whole simulation
+deterministic for a fixed seed.
+"""
+
+from repro.sim.engine import Actor, EventLoop, SimulationError
+from repro.sim.rng import stream_rng, derive_seed
+
+__all__ = ["Actor", "EventLoop", "SimulationError", "stream_rng", "derive_seed"]

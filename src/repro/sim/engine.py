@@ -1,0 +1,101 @@
+"""Virtual-time event loop.
+
+Actors (runtime workers) carry their own clocks.  The loop repeatedly pops
+the actor with the smallest clock from a heap and asks it to execute one
+step via :meth:`Actor.step`, which returns the actor's next state:
+
+- ``RESCHEDULE`` — clock advanced, put it back on the heap;
+- ``PARKED`` — the actor is waiting on an external event (barrier, future);
+  whoever releases it must call :meth:`EventLoop.wake`;
+- ``FINISHED`` — the actor is done and leaves the loop.
+
+Ties are broken by actor id so that execution order is fully deterministic.
+"""
+
+import heapq
+from enum import Enum
+from typing import List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class StepOutcome(Enum):
+    RESCHEDULE = "reschedule"
+    PARKED = "parked"
+    FINISHED = "finished"
+
+
+class Actor:
+    """Base class for schedulable entities.  Subclasses implement ``step``."""
+
+    def __init__(self, actor_id: int):
+        self.actor_id = actor_id
+        self.clock = 0.0
+        self.parked = False
+        self.finished = False
+
+    def step(self, loop: "EventLoop") -> StepOutcome:
+        raise NotImplementedError
+
+
+class EventLoop:
+    """Deterministic minimum-clock-first scheduler over actors."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Actor]] = []
+        self._live = 0
+        self.steps = 0
+        self.max_steps: Optional[int] = None
+        self.now = 0.0
+
+    def add(self, actor: Actor) -> None:
+        """Register a new actor, schedulable at its current clock."""
+        self._live += 1
+        self._push(actor)
+
+    def wake(self, actor: Actor, at_time: Optional[float] = None) -> None:
+        """Unpark ``actor``, optionally advancing its clock to ``at_time``."""
+        if actor.finished:
+            raise SimulationError(f"cannot wake finished actor {actor.actor_id}")
+        if not actor.parked:
+            return
+        actor.parked = False
+        if at_time is not None and at_time > actor.clock:
+            actor.clock = at_time
+        self._push(actor)
+
+    def run(self) -> float:
+        """Run until every actor finishes; return final virtual time."""
+        while self._heap:
+            self.steps += 1
+            if self.max_steps is not None and self.steps > self.max_steps:
+                raise SimulationError(
+                    f"exceeded max_steps={self.max_steps}; likely a livelock "
+                    f"(live={self._live}, now={self.now:.0f} ns)"
+                )
+            clock, _, actor = heapq.heappop(self._heap)
+            if actor.parked or actor.finished:
+                continue
+            if clock < self.now - 1e-6:
+                raise SimulationError("virtual time went backwards")
+            self.now = max(self.now, clock)
+            outcome = actor.step(self)
+            if outcome is StepOutcome.RESCHEDULE:
+                self._push(actor)
+            elif outcome is StepOutcome.PARKED:
+                actor.parked = True
+            elif outcome is StepOutcome.FINISHED:
+                actor.finished = True
+                self._live -= 1
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"bad step outcome {outcome!r}")
+        if self._live:
+            raise SimulationError(
+                f"deadlock: {self._live} actor(s) parked with empty ready heap at {self.now:.0f} ns"
+            )
+        return self.now
+
+    def _push(self, actor: Actor) -> None:
+        heapq.heappush(self._heap, (actor.clock, actor.actor_id, actor))

@@ -1,0 +1,19 @@
+"""Workloads from the paper's evaluation (section 5.1).
+
+Every workload is expressed as CHARM tasks (generators yielding runtime
+ops) so it can run unmodified under CHARM and under every baseline
+strategy:
+
+- :mod:`repro.workloads.vector_write` — the Fig. 5 microbenchmark
+  (segmented multi-threaded vector write);
+- :mod:`repro.workloads.gups` — RandomAccess (GUPS);
+- :mod:`repro.workloads.graph` — Kronecker generator + BFS / PageRank /
+  Connected Components / SSSP / Graph500;
+- :mod:`repro.workloads.sgd` — DimmWitted-style SGD for logistic
+  regression (loss + gradient kernels, four scheduling strategies);
+- :mod:`repro.workloads.olap` — mini column-store with the TPC-H-shaped
+  22-query suite;
+- :mod:`repro.workloads.oltp` — ERMIA-style MVCC engine with YCSB and
+  TPC-C drivers;
+- :mod:`repro.workloads.streamcluster` — PARSEC streamcluster k-median.
+"""

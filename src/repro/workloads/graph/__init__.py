@@ -1,0 +1,24 @@
+"""Graph processing workloads (paper section 5.1).
+
+- :mod:`repro.workloads.graph.generator` — Graph500-style Kronecker
+  (R-MAT) graph generation into CSR form;
+- :mod:`repro.workloads.graph.reference` — sequential reference
+  implementations used as correctness oracles;
+- :mod:`repro.workloads.graph.tasks` — the task-parallel versions that run
+  on the simulated runtime, computing real results while charging memory
+  accesses at block granularity;
+- :mod:`repro.workloads.graph.runner` — the per-algorithm experiment entry
+  points used by the Fig. 7 / Fig. 8 / Fig. 10 / Tab. 1 benchmarks.
+"""
+
+from repro.workloads.graph.generator import Graph, kronecker, from_edge_list
+from repro.workloads.graph.runner import GraphRunResult, run_graph_algorithm, ALGORITHMS
+
+__all__ = [
+    "Graph",
+    "kronecker",
+    "from_edge_list",
+    "GraphRunResult",
+    "run_graph_algorithm",
+    "ALGORITHMS",
+]

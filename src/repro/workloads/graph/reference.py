@@ -1,0 +1,95 @@
+"""Sequential reference implementations of the graph algorithms.
+
+These are the correctness oracles for the task-parallel versions in
+:mod:`repro.workloads.graph.tasks` (and are themselves validated against
+networkx in the test suite).
+"""
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from repro.workloads.graph.generator import Graph
+
+UNREACHED = -1
+
+
+def bfs_reference(g: Graph, root: int) -> np.ndarray:
+    """Hop distances from ``root`` (-1 where unreachable)."""
+    dist = np.full(g.n, UNREACHED, dtype=np.int64)
+    dist[root] = 0
+    frontier = [root]
+    level = 0
+    while frontier:
+        level += 1
+        nxt = []
+        for u in frontier:
+            for v in g.neighbors(u):
+                if dist[v] == UNREACHED:
+                    dist[v] = level
+                    nxt.append(int(v))
+        frontier = nxt
+    return dist
+
+
+def sssp_reference(g: Graph, root: int) -> np.ndarray:
+    """Dijkstra distances from ``root`` (-1 where unreachable)."""
+    dist = np.full(g.n, np.iinfo(np.int64).max, dtype=np.int64)
+    dist[root] = 0
+    heap = [(0, root)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        nbrs = g.neighbors(u)
+        wts = g.neighbor_weights(u)
+        for v, w in zip(nbrs, wts):
+            nd = d + int(w)
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, int(v)))
+    dist[dist == np.iinfo(np.int64).max] = UNREACHED
+    return dist
+
+
+def cc_reference(g: Graph) -> np.ndarray:
+    """Connected-component labels: each vertex gets its component's min id."""
+    label = np.full(g.n, UNREACHED, dtype=np.int64)
+    for s in range(g.n):
+        if label[s] != UNREACHED:
+            continue
+        members = [s]
+        label[s] = s
+        stack = [s]
+        while stack:
+            u = stack.pop()
+            for v in g.neighbors(u):
+                if label[v] == UNREACHED:
+                    label[v] = s
+                    members.append(int(v))
+                    stack.append(int(v))
+        # s is the minimum id in its component because we scan in order.
+    return label
+
+
+def pagerank_reference(
+    g: Graph, damping: float = 0.85, iterations: int = 10, ranks: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Power-iteration PageRank with uniform teleport.
+
+    Degree-0 vertices redistribute their mass uniformly (standard
+    dangling-node handling), matching the task-parallel version exactly.
+    """
+    n = g.n
+    rank = np.full(n, 1.0 / n) if ranks is None else ranks.copy()
+    out_deg = np.diff(g.indptr).astype(np.float64)
+    dangling = out_deg == 0
+    for _ in range(iterations):
+        contrib = np.where(dangling, 0.0, rank / np.maximum(out_deg, 1.0))
+        new = np.zeros(n)
+        # Pull along in-edges; symmetric CSR makes in == out adjacency.
+        np.add.at(new, g.indices, np.repeat(contrib, np.diff(g.indptr)))
+        dangling_mass = rank[dangling].sum() / n
+        rank = (1.0 - damping) / n + damping * (new + dangling_mass)
+    return rank

@@ -1,0 +1,147 @@
+"""Experiment entry points for the graph benchmarks.
+
+``run_graph_algorithm`` executes one (algorithm, strategy, core count)
+cell of Fig. 7 / Fig. 8 / Fig. 10 and returns both the computed result
+(for correctness checks) and the performance record (for the tables).
+Throughput is reported in traversed edges per second (TEPS), the metric
+used by Graph500 and, qualitatively, by the paper's Fig. 7 y-axes.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.hw.machine import Machine
+from repro.runtime.policy import SchedulingStrategy
+from repro.runtime.runtime import Runtime, RunReport
+from repro.sim.rng import stream_rng
+from repro.workloads.graph.generator import Graph
+from repro.workloads.graph.tasks import (
+    GraphState,
+    GraphWorkspace,
+    UNREACHED,
+    bfs_coordinator,
+    cc_coordinator,
+    pagerank_coordinator,
+    sssp_coordinator,
+)
+
+
+@dataclass
+class GraphRunResult:
+    """One cell of a graph-benchmark matrix."""
+
+    algorithm: str
+    strategy: str
+    n_workers: int
+    wall_ns: float
+    edges_traversed: int
+    rounds: int
+    result: np.ndarray
+    report: RunReport
+
+    @property
+    def teps(self) -> float:
+        """Traversed edges per (virtual) second."""
+        if self.wall_ns <= 0:
+            return 0.0
+        return self.edges_traversed / (self.wall_ns * 1e-9)
+
+    @property
+    def mteps(self) -> float:
+        return self.teps / 1e6
+
+
+def _pick_root(graph: Graph, seed: int, salt: int = 0) -> int:
+    """A random vertex with non-zero degree (Graph500 root sampling)."""
+    rng = stream_rng(seed, "root", salt)
+    degs = np.diff(graph.indptr)
+    candidates = np.flatnonzero(degs > 0)
+    if candidates.size == 0:
+        return 0
+    return int(candidates[rng.randrange(candidates.size)])
+
+
+def default_chunk_size(graph: Graph, n_workers: int) -> int:
+    """Several chunks per worker per round, bounded for cache residence."""
+    return max(32, min(512, graph.n // max(1, n_workers * 4)))
+
+
+def run_graph_algorithm(
+    machine: Machine,
+    strategy: SchedulingStrategy,
+    algorithm: str,
+    graph: Graph,
+    n_workers: int,
+    seed: int = 7,
+    chunk_size: Optional[int] = None,
+    pagerank_iterations: int = 5,
+    graph500_roots: int = 4,
+) -> GraphRunResult:
+    """Run one graph algorithm under one strategy; returns result + metrics."""
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; have {sorted(ALGORITHMS)}")
+    runtime = Runtime(machine, n_workers, strategy, seed=seed)
+    ws = GraphWorkspace(runtime, graph)
+    state = GraphState(
+        dist=np.full(graph.n, UNREACHED, dtype=np.int64),
+        label=np.arange(graph.n, dtype=np.int64),
+    )
+    chunk = chunk_size or default_chunk_size(graph, n_workers)
+
+    if algorithm == "bfs":
+        root = _pick_root(graph, seed)
+        runtime.spawn(bfs_coordinator, runtime, ws, state, root, chunk, name="bfs")
+    elif algorithm == "sssp":
+        root = _pick_root(graph, seed)
+        runtime.spawn(sssp_coordinator, runtime, ws, state, root, chunk, name="sssp")
+    elif algorithm == "cc":
+        runtime.spawn(cc_coordinator, runtime, ws, state, chunk, name="cc")
+    elif algorithm == "pagerank":
+        runtime.spawn(
+            pagerank_coordinator, runtime, ws, state, chunk, pagerank_iterations, name="pagerank"
+        )
+    elif algorithm == "graph500":
+        runtime.spawn(
+            _graph500_coordinator, runtime, ws, state, chunk, seed, graph500_roots,
+            name="graph500",
+        )
+    report = runtime.run()
+
+    if algorithm == "bfs" or algorithm == "sssp" or algorithm == "graph500":
+        result = state.dist
+    elif algorithm == "cc":
+        result = state.label
+    else:
+        result = state.rank
+    return GraphRunResult(
+        algorithm=algorithm,
+        strategy=strategy.name,
+        n_workers=n_workers,
+        wall_ns=report.wall_ns,
+        edges_traversed=state.edges_traversed,
+        rounds=state.rounds,
+        result=result,
+        report=report,
+    )
+
+
+def _graph500_coordinator(runtime: Runtime, ws: GraphWorkspace, state: GraphState,
+                          chunk: int, seed: int, n_roots: int):
+    """Graph500 kernel-2 harness: repeated BFS from sampled roots."""
+    for r in range(n_roots):
+        root = _pick_root(ws.graph, seed, salt=r)
+        state.dist[:] = UNREACHED
+        result = yield from bfs_coordinator(runtime, ws, state, root, chunk)
+    return result
+
+
+ALGORITHMS: Dict[str, str] = {
+    "bfs": "Breadth-First Search",
+    "pagerank": "PageRank",
+    "cc": "Connected Components",
+    "sssp": "Single-Source Shortest Paths",
+    "graph500": "Graph500 (multi-root BFS)",
+}

@@ -1,0 +1,13 @@
+"""Mini analytical column store with a TPC-H-shaped 22-query suite.
+
+Stands in for DuckDB in the paper's Fig. 13 experiment: a vectorised,
+morsel-driven columnar engine whose thread mapping is pluggable, so the
+same queries run under stock (placement-oblivious) scheduling and under
+CHARM's adaptive controller.
+"""
+
+from repro.workloads.olap.data import TpchData, generate
+from repro.workloads.olap.engine import QueryEngine, QueryResult
+from repro.workloads.olap.queries import QUERIES, run_query
+
+__all__ = ["TpchData", "generate", "QueryEngine", "QueryResult", "QUERIES", "run_query"]

@@ -1,0 +1,101 @@
+"""TPC-H-shaped synthetic data, scaled for the simulated machine.
+
+Schema follows the TPC-H tables/columns the 22 simplified queries touch.
+Sizes scale with ``sf`` the way TPC-H does (lineitem ~6M rows/SF in the
+real benchmark; here 1/100 of that so the scaled machine's cache
+boundaries fall in the same relative places).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.sim.rng import stream_np_rng
+
+#: lineitem rows per scale factor (real TPC-H: 6_000_000)
+LINEITEM_PER_SF = 60_000
+
+
+@dataclass
+class TpchData:
+    """All tables as dicts of numpy columns."""
+
+    sf: float
+    tables: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+
+    def rows(self, table: str) -> int:
+        cols = self.tables[table]
+        return len(next(iter(cols.values())))
+
+    def col(self, table: str, column: str) -> np.ndarray:
+        return self.tables[table][column]
+
+
+def generate(sf: float = 1.0, seed: int = 42) -> TpchData:
+    """Deterministic TPC-H-shaped dataset at scale factor ``sf``."""
+    rng = stream_np_rng(seed, "tpch", str(sf))
+    n_li = int(LINEITEM_PER_SF * sf)
+    n_ord = max(n_li // 4, 1)
+    n_cust = max(n_ord // 10, 1)
+    n_part = max(n_li // 30, 1)
+    n_supp = max(n_part // 10, 1)
+    n_ps = n_part * 4
+
+    data = TpchData(sf=sf)
+    t = data.tables
+
+    t["region"] = {"regionkey": np.arange(5, dtype=np.int64)}
+    t["nation"] = {
+        "nationkey": np.arange(25, dtype=np.int64),
+        "regionkey": rng.integers(0, 5, 25),
+    }
+    t["supplier"] = {
+        "suppkey": np.arange(n_supp, dtype=np.int64),
+        "nationkey": rng.integers(0, 25, n_supp),
+        "acctbal": rng.uniform(-999, 9999, n_supp),
+    }
+    t["customer"] = {
+        "custkey": np.arange(n_cust, dtype=np.int64),
+        "nationkey": rng.integers(0, 25, n_cust),
+        "mktsegment": rng.integers(0, 5, n_cust),
+        "acctbal": rng.uniform(-999, 9999, n_cust),
+    }
+    t["part"] = {
+        "partkey": np.arange(n_part, dtype=np.int64),
+        "brand": rng.integers(0, 25, n_part),
+        "type": rng.integers(0, 150, n_part),
+        "size": rng.integers(1, 51, n_part),
+        "container": rng.integers(0, 40, n_part),
+    }
+    t["partsupp"] = {
+        "partkey": rng.integers(0, n_part, n_ps),
+        "suppkey": rng.integers(0, n_supp, n_ps),
+        "supplycost": rng.uniform(1, 1000, n_ps),
+        "availqty": rng.integers(1, 10000, n_ps),
+    }
+    t["orders"] = {
+        "orderkey": np.arange(n_ord, dtype=np.int64),
+        "custkey": rng.integers(0, n_cust, n_ord),
+        "orderdate": rng.integers(0, 2500, n_ord),  # days since 1992-01-01
+        "totalprice": rng.uniform(1000, 500000, n_ord),
+        "orderpriority": rng.integers(0, 5, n_ord),
+        "orderstatus": rng.integers(0, 3, n_ord),
+    }
+    t["lineitem"] = {
+        "orderkey": rng.integers(0, n_ord, n_li),
+        "partkey": rng.integers(0, n_part, n_li),
+        "suppkey": rng.integers(0, n_supp, n_li),
+        "quantity": rng.integers(1, 51, n_li).astype(np.float64),
+        "extendedprice": rng.uniform(900, 105000, n_li),
+        "discount": rng.uniform(0.0, 0.1, n_li),
+        "tax": rng.uniform(0.0, 0.08, n_li),
+        "returnflag": rng.integers(0, 3, n_li),
+        "linestatus": rng.integers(0, 2, n_li),
+        "shipdate": rng.integers(0, 2500, n_li),
+        "commitdate": rng.integers(0, 2500, n_li),
+        "receiptdate": rng.integers(0, 2500, n_li),
+        "shipmode": rng.integers(0, 7, n_li),
+        "shipinstruct": rng.integers(0, 4, n_li),
+    }
+    return data

@@ -1,0 +1,22 @@
+"""ERMIA-style memory-optimised OLTP engine (paper section 5.7).
+
+A snapshot-isolation MVCC store with a serialised commit/log pipeline,
+driven by YCSB and TPC-C transaction mixes under the static LocalCache /
+DistributedCache chiplet policies the paper evaluates.
+"""
+
+from repro.workloads.oltp.mvcc import MvccStore, Transaction, TxnAborted
+from repro.workloads.oltp.engine import OltpResult, run_oltp
+from repro.workloads.oltp.ycsb import ycsb_workload
+from repro.workloads.oltp.tpcc import tpcc_workload, TpccTables
+
+__all__ = [
+    "MvccStore",
+    "Transaction",
+    "TxnAborted",
+    "OltpResult",
+    "run_oltp",
+    "ycsb_workload",
+    "tpcc_workload",
+    "TpccTables",
+]

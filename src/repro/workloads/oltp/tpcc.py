@@ -1,0 +1,141 @@
+"""TPC-C driver: New-Order / Payment / Delivery / Order-Status / Stock-Level.
+
+Implements the paper's configuration (section 5.1): 45% New Order, 43%
+Payment, the remainder split across the read-only transactions; uniform
+item distribution; home-warehouse access.  Warehouse count scales down
+from the paper's 50.  The transactions execute real multi-table logic
+against the MVCC store (district order counters, stock quantities,
+customer balances), which the tests verify for consistency invariants
+(e.g. order ids are dense per district, YTD sums match payments).
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.workloads.oltp.mvcc import MvccStore, Transaction
+
+DISTRICTS_PER_WAREHOUSE = 10
+CUSTOMERS_PER_DISTRICT = 30
+ITEMS = 1000
+
+
+@dataclass
+class TpccTables:
+    store: MvccStore
+    n_warehouses: int
+
+
+def load_tpcc(n_warehouses: int = 5) -> TpccTables:
+    store = MvccStore()
+    for w in range(n_warehouses):
+        store.load(("wh", w), {"ytd": 0.0})
+        for d in range(DISTRICTS_PER_WAREHOUSE):
+            store.load(("dist", w, d), {"ytd": 0.0, "next_o_id": 0})
+            for c in range(CUSTOMERS_PER_DISTRICT):
+                store.load(("cust", w, d, c), {"balance": 0.0, "payments": 0})
+        for i in range(ITEMS):
+            store.load(("stock", w, i), {"qty": 100, "ytd": 0})
+    return TpccTables(store, n_warehouses)
+
+
+def _new_order(tables: TpccTables, txn: Transaction, w: int, rng) -> List[Tuple[object, bool]]:
+    d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+    ops: List[Tuple[object, bool]] = []
+    dist_key = ("dist", w, d)
+    dist = dict(txn.read(dist_key))
+    ops.append((dist_key, False))
+    o_id = dist["next_o_id"]
+    dist["next_o_id"] = o_id + 1
+    txn.write(dist_key, dist)
+    ops.append((dist_key, True))
+    n_items = rng.randrange(5, 16)
+    for _ in range(n_items):
+        item = rng.randrange(ITEMS)
+        stock_key = ("stock", w, item)
+        stock = dict(txn.read(stock_key))
+        ops.append((stock_key, False))
+        qty = rng.randrange(1, 11)
+        stock["qty"] = stock["qty"] - qty if stock["qty"] >= qty + 10 else stock["qty"] + 91 - qty
+        stock["ytd"] += qty
+        txn.write(stock_key, stock)
+        ops.append((stock_key, True))
+    order_key = ("order", w, d, o_id)
+    txn.write(order_key, {"items": n_items})
+    ops.append((order_key, True))
+    return ops
+
+
+def _payment(tables: TpccTables, txn: Transaction, w: int, rng) -> List[Tuple[object, bool]]:
+    d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+    c = rng.randrange(CUSTOMERS_PER_DISTRICT)
+    amount = rng.uniform(1.0, 5000.0)
+    ops = []
+    for key in (("wh", w), ("dist", w, d)):
+        row = dict(txn.read(key))
+        ops.append((key, False))
+        row["ytd"] += amount
+        txn.write(key, row)
+        ops.append((key, True))
+    cust_key = ("cust", w, d, c)
+    cust = dict(txn.read(cust_key))
+    ops.append((cust_key, False))
+    cust["balance"] -= amount
+    cust["payments"] += 1
+    txn.write(cust_key, cust)
+    ops.append((cust_key, True))
+    return ops
+
+
+def _order_status(tables: TpccTables, txn: Transaction, w: int, rng):
+    d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+    c = rng.randrange(CUSTOMERS_PER_DISTRICT)
+    key = ("cust", w, d, c)
+    txn.read(key)
+    return [(key, False)]
+
+
+def _delivery(tables: TpccTables, txn: Transaction, w: int, rng):
+    d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+    key = ("dist", w, d)
+    dist = txn.read(key)
+    ops = [(key, False)]
+    if dist and dist["next_o_id"] > 0:
+        o_key = ("order", w, d, rng.randrange(dist["next_o_id"]))
+        order = txn.read(o_key)
+        ops.append((o_key, False))
+        if order is not None:
+            txn.write(o_key, {**order, "delivered": True})
+            ops.append((o_key, True))
+    return ops
+
+
+def _stock_level(tables: TpccTables, txn: Transaction, w: int, rng):
+    ops = []
+    for _ in range(10):
+        key = ("stock", w, rng.randrange(ITEMS))
+        txn.read(key)
+        ops.append((key, False))
+    return ops
+
+
+def tpcc_workload(tables: TpccTables):
+    """Returns a workload callable bound to the loaded tables.
+
+    Mix (paper section 5.1): 45% New Order, 43% Payment, 4% each of
+    Delivery, Order Status, Stock Level; always the home warehouse.
+    """
+
+    def run(store: MvccStore, txn: Transaction, worker_id: int, txn_index: int, rng):
+        w = worker_id % tables.n_warehouses  # home warehouse
+        roll = rng.random()
+        if roll < 0.45:
+            return _new_order(tables, txn, w, rng)
+        if roll < 0.88:
+            return _payment(tables, txn, w, rng)
+        if roll < 0.92:
+            return _delivery(tables, txn, w, rng)
+        if roll < 0.96:
+            return _order_status(tables, txn, w, rng)
+        return _stock_level(tables, txn, w, rng)
+
+    return run

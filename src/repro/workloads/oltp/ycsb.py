@@ -1,0 +1,42 @@
+"""YCSB driver: 45% reads / 55% read-modify-writes on one table.
+
+Matches the paper's configuration (section 5.1): a single table of
+records, uniform key distribution, single-record transactions.  The
+record count scales with the simulated machine instead of the paper's
+50 M rows.
+"""
+
+from typing import List, Tuple
+
+from repro.workloads.oltp.mvcc import MvccStore, Transaction
+
+READ_FRACTION = 0.45
+
+
+def load_ycsb(n_records: int) -> MvccStore:
+    store = MvccStore()
+    for k in range(n_records):
+        store.load(("u", k), k)
+    return store
+
+
+def ycsb_workload(store: MvccStore, txn: Transaction, worker_id: int,
+                  txn_index: int, rng) -> List[Tuple[object, bool]]:
+    """One YCSB transaction; returns the record ops performed."""
+    key = ("u", rng.randrange(store_size(store)))
+    if rng.random() < READ_FRACTION:
+        txn.read(key)
+        return [(key, False)]
+    value = txn.read(key)
+    txn.write(key, (value or 0) + 1)
+    return [(key, False), (key, True)]
+
+
+_SIZE_CACHE = {}
+
+
+def store_size(store: MvccStore) -> int:
+    sid = id(store)
+    if sid not in _SIZE_CACHE:
+        _SIZE_CACHE[sid] = sum(1 for _ in store.keys())
+    return _SIZE_CACHE[sid]

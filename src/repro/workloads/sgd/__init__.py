@@ -1,0 +1,18 @@
+"""DimmWitted-style statistical analytics engine (paper sections 5.1, 5.5).
+
+Stochastic gradient descent for logistic regression over a dense sample
+matrix, with the model-replication schemes of DimmWitted (per-core /
+per-NUMA-node / per-machine) plus the paper's two integration variants
+(DW+CHARM with coroutines, DW+CHARM+std::async with OS threads).
+"""
+
+from repro.workloads.sgd.engine import (
+    SCHEMES,
+    SgdDataset,
+    SgdResult,
+    make_dataset,
+    run_sgd,
+    sgd_reference,
+)
+
+__all__ = ["SCHEMES", "SgdDataset", "SgdResult", "make_dataset", "run_sgd", "sgd_reference"]

@@ -1,0 +1,293 @@
+"""SGD for logistic regression on a DimmWitted-style engine.
+
+The paper (section 5.5) runs SGD over a 10,000 x 8,192 dense matrix on
+DimmWitted [Zhang & Ré] and compares its native scheduling schemes with
+the CHARM integration:
+
+- ``per-core``    — one model replica per worker, placement-oblivious;
+- ``numa-node``   — one replica per NUMA node, workers NUMA-spread
+                    (DimmWitted's best native scheme);
+- ``per-machine`` — a single shared model (maximum coherence traffic);
+- ``charm``       — DW+CHARM: chiplet-aware placement, one replica per
+                    *chiplet* (the model stays in the local L3 slice),
+                    coroutine tasks;
+- ``charm-async`` — DW+CHARM+std::async: same sharding, but thread-per-
+                    task OS scheduling with blocking waits (Fig. 11/12's
+                    degraded variant).
+
+Two kernels are measured, as in Fig. 11: ``loss`` (read-only model) and
+``gradient`` (model updates -> replica invalidation traffic).  Throughput
+is the rate the kernel moves application data (GB/s), the paper's metric.
+The SGD math is real: replicas are numpy vectors, updates are applied in
+deterministic simulation order, and the single-worker run is bit-equal to
+the sequential reference.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.oslike import OsAsyncStrategy
+from repro.baselines.ring import RingStrategy
+from repro.baselines.vanilla import VanillaStrategy
+from repro.hw.machine import Machine
+from repro.hw.memory import MemPolicy
+from repro.runtime.ops import AccessBatch, Compute, YieldPoint
+from repro.runtime.policy import CharmStrategy, SchedulingStrategy
+from repro.runtime.runtime import Runtime, RunReport
+from repro.sim.rng import stream_np_rng
+
+#: SIMD dot-product/AXPY cost per matrix element, ns
+FLOP_NS_PER_ELEM = 0.08
+#: streaming bandwidth for sample rows, bytes/ns
+DATA_SCAN_BW = 25.0
+#: model region block size (fine-grained: coherence at near-line granularity)
+MODEL_BLOCK_BYTES = 512
+
+
+@dataclass
+class SgdDataset:
+    X: np.ndarray  # (n_samples, n_features) float32
+    y: np.ndarray  # (n_samples,) float32 in {0, 1}
+
+    @property
+    def n_samples(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def data_bytes(self) -> int:
+        return self.X.nbytes
+
+
+def make_dataset(n_samples: int = 4096, n_features: int = 1024, seed: int = 11) -> SgdDataset:
+    """Synthetic separable-ish logistic data, deterministic."""
+    rng = stream_np_rng(seed, "sgd-data")
+    X = rng.normal(0, 1, size=(n_samples, n_features)).astype(np.float32)
+    w_true = rng.normal(0, 1, size=n_features).astype(np.float32)
+    logits = X @ w_true
+    y = (logits + rng.normal(0, 0.5, size=n_samples) > 0).astype(np.float32)
+    return SgdDataset(X, y)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+
+
+def _chunk_gradient(X: np.ndarray, y: np.ndarray, w: np.ndarray, lr: float) -> np.ndarray:
+    """One mini-batch SGD step; returns the updated weights."""
+    p = _sigmoid(X @ w)
+    grad = X.T @ (p - y) / X.shape[0]
+    return w - lr * grad
+
+
+def _chunk_loss(X: np.ndarray, y: np.ndarray, w: np.ndarray) -> float:
+    p = _sigmoid(X @ w)
+    eps = 1e-7
+    return float(-(y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps)).sum())
+
+
+def sgd_reference(dataset: SgdDataset, epochs: int, lr: float, chunk_rows: int) -> np.ndarray:
+    """Sequential oracle: same chunk order as a single-worker run."""
+    w = np.zeros(dataset.n_features, dtype=np.float64)
+    for _ in range(epochs):
+        for lo in range(0, dataset.n_samples, chunk_rows):
+            hi = min(lo + chunk_rows, dataset.n_samples)
+            w = _chunk_gradient(dataset.X[lo:hi], dataset.y[lo:hi], w, lr)
+    return w
+
+
+@dataclass
+class SgdResult:
+    scheme: str
+    kernel: str
+    n_workers: int
+    wall_ns: float
+    bytes_processed: int
+    model: np.ndarray
+    loss: float
+    report: RunReport
+
+    @property
+    def throughput_gbs(self) -> float:
+        """Application data moved through the kernel, GB/s (Fig. 11 metric)."""
+        if self.wall_ns <= 0:
+            return 0.0
+        return self.bytes_processed / self.wall_ns  # bytes/ns == GB/s
+
+
+class _Scheme:
+    def __init__(self, name: str, strategy_fn: Callable[[], SchedulingStrategy],
+                 replica_of: str):
+        self.name = name
+        self.strategy_fn = strategy_fn
+        self.replica_of = replica_of  # 'worker' | 'socket' | 'machine' | 'chiplet'
+
+
+class _DwNativeStrategy(OsAsyncStrategy):
+    """DimmWitted's own engine: std::async-style tasks, NUMA-spread workers."""
+
+    name = "dw-native"
+
+    def initial_core(self, worker_id, n_workers, machine):
+        # NUMA-aware spread (DimmWitted is NUMA-optimised), chiplet-blind.
+        topo = machine.topo
+        socket = worker_id % topo.sockets
+        index_in_socket = worker_id // topo.sockets
+        if index_in_socket >= topo.cores_per_socket:
+            raise ValueError("too many workers")
+        return socket * topo.cores_per_socket + index_in_socket
+
+
+SCHEMES: Dict[str, _Scheme] = {
+    "per-core": _Scheme("per-core", _DwNativeStrategy, "worker"),
+    "numa-node": _Scheme("numa-node", _DwNativeStrategy, "socket"),
+    "per-machine": _Scheme("per-machine", _DwNativeStrategy, "machine"),
+    "charm": _Scheme("charm", CharmStrategy, "chiplet"),
+    "charm-async": _Scheme("charm-async", OsAsyncStrategy, "chiplet"),
+}
+
+
+def run_sgd(
+    machine: Machine,
+    scheme: str,
+    n_workers: int,
+    dataset: SgdDataset,
+    kernel: str = "gradient",
+    epochs: int = 2,
+    lr: float = 0.1,
+    chunk_rows: int = 64,
+    seed: int = 7,
+    collect_timeline: bool = False,
+    strategy: Optional[SchedulingStrategy] = None,
+) -> SgdResult:
+    """Run one (scheme, kernel, core-count) cell of Fig. 11."""
+    if kernel not in ("gradient", "loss"):
+        raise ValueError("kernel must be 'gradient' or 'loss'")
+    spec = SCHEMES[scheme]
+    strategy = strategy or spec.strategy_fn()
+    runtime = Runtime(machine, n_workers, strategy, seed=seed,
+                      collect_timeline=collect_timeline)
+    topo = machine.topo
+
+    # Replica groups.
+    if spec.replica_of == "worker":
+        n_replicas = n_workers
+        group = lambda wid: wid
+    elif spec.replica_of == "socket":
+        n_replicas = topo.sockets
+        group = lambda wid: topo.socket_of_core(runtime.workers[wid].core)
+    elif spec.replica_of == "chiplet":
+        n_replicas = topo.total_chiplets
+        group = lambda wid: topo.chiplet_of_core(runtime.workers[wid].core)
+    else:  # machine
+        n_replicas = 1
+        group = lambda wid: 0
+
+    model_bytes = dataset.n_features * 8
+    # NUMA-aware data sharding: one data region per occupied socket, each
+    # holding the rows its socket's workers process (DimmWitted partitions
+    # input per node; CHARM's socket-aware manager does the same).
+    worker_sockets = [topo.socket_of_core(runtime.workers[w].core) for w in range(n_workers)]
+    occupied = sorted(set(worker_sockets))
+    rows_per_socket = {sck: 0 for sck in occupied}
+    for sck in worker_sockets:
+        rows_per_socket[sck] += 1
+    model_region = runtime.alloc_shared(
+        max(n_replicas * model_bytes, MODEL_BLOCK_BYTES),
+        read_only=False, name="sgd-model", block_bytes=MODEL_BLOCK_BYTES,
+    )
+    blocks_per_replica = max(1, model_bytes // MODEL_BLOCK_BYTES)
+
+    # Partition rows over sockets proportionally to their worker counts,
+    # then allocate each partition node-locally.
+    total_workers = sum(rows_per_socket.values())
+    socket_rows = {}
+    data_regions = {}
+    row0 = 0
+    for i, sck in enumerate(occupied):
+        share = dataset.n_samples * rows_per_socket[sck] // total_workers
+        row1 = dataset.n_samples if i == len(occupied) - 1 else row0 + share
+        socket_rows[sck] = (row0, row1)
+        data_regions[sck] = runtime.alloc(
+            max((row1 - row0) * dataset.n_features * 4, 4096),
+            node=sck, policy=MemPolicy.BIND, name=f"sgd-data-n{sck}",
+        )
+        row0 = row1
+
+    replicas = [np.zeros(dataset.n_features, dtype=np.float64) for _ in range(n_replicas)]
+    state = {"loss": 0.0, "bytes": 0}
+    X, y = dataset.X, dataset.y
+    row_bytes = dataset.n_features * 4
+    data_block = next(iter(data_regions.values())).block_bytes
+    scan_ns = data_block / DATA_SCAN_BW
+    write_model = kernel == "gradient"
+
+    def chunk_task(wid: int, region, base_row: int, c0: int, c1: int):
+        """One DimmWitted work chunk: stream rows, touch replica, compute."""
+        b0 = (c0 - base_row) * row_bytes // data_block
+        b1 = max(b0 + 1, -(-(c1 - base_row) * row_bytes // data_block))
+        yield AccessBatch(region, list(range(b0, b1)), compute_ns_per_block=scan_ns)
+        g = group(wid)
+        mb0 = g * blocks_per_replica
+        # Gradient updates are atomic RMW chains on the replica:
+        # dependent accesses, no MLP overlap (coherence-bound).
+        yield AccessBatch(model_region, list(range(mb0, mb0 + blocks_per_replica)),
+                          write=write_model, dependent=write_model)
+        if write_model:
+            replicas[g] = _chunk_gradient(X[c0:c1], y[c0:c1], replicas[g], lr)
+        else:
+            state["loss"] += _chunk_loss(X[c0:c1], y[c0:c1], replicas[g])
+        state["bytes"] += (c1 - c0) * row_bytes
+        yield Compute((c1 - c0) * dataset.n_features * FLOP_NS_PER_ELEM)
+        yield YieldPoint()
+        return c1 - c0
+
+    # Build the chunk list: per-socket shards -> per-worker row ranges ->
+    # fine-grained chunks (DimmWitted partitions work into hundreds of
+    # chunks dispatched as tasks; the spawner pays creation costs).
+    plan = []  # (wid, region, base_row, c0, c1)
+    rows = chunk_rows if scheme != "charm-async" else max(8, chunk_rows // 2)
+    for sck in occupied:
+        socket_workers = [w for w in range(n_workers) if worker_sockets[w] == sck]
+        r0, r1 = socket_rows[sck]
+        wb = np.linspace(r0, r1, len(socket_workers) + 1, dtype=np.int64)
+        for i, wid in enumerate(socket_workers):
+            lo, hi = int(wb[i]), int(wb[i + 1])
+            for c0 in range(lo, hi, rows):
+                plan.append((wid, data_regions[sck], r0, c0, min(c0 + rows, hi)))
+
+    def coordinator():
+        from repro.runtime.ops import SpawnOp, WaitFuture
+
+        for _ in range(epochs):
+            tasks = []
+            for wid, region, base_row, c0, c1 in plan:
+                t = yield SpawnOp(chunk_task, (wid, region, base_row, c0, c1),
+                                  pin_worker=wid, name=f"sgd-{c0}")
+                tasks.append(t)
+            for t in tasks:
+                fut = runtime.completion_future(t)
+                if not fut.done:
+                    yield WaitFuture(fut)
+        return len(plan)
+
+    runtime.spawn(coordinator, name="sgd-coordinator")
+    report = runtime.run()
+
+    used = sorted({group(wid) for wid in range(n_workers)})
+    model = np.mean([replicas[g] for g in used], axis=0)
+    return SgdResult(
+        scheme=scheme,
+        kernel=kernel,
+        n_workers=n_workers,
+        wall_ns=report.wall_ns,
+        bytes_processed=state["bytes"],
+        model=model,
+        loss=state["loss"],
+        report=report,
+    )

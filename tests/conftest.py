@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.hw.machine import Machine, milan, small_test_machine
+
+
+@pytest.fixture
+def tiny() -> Machine:
+    """2 sockets x 2 chiplets x 2 cores, 8-block caches: fully observable."""
+    return small_test_machine()
+
+
+@pytest.fixture
+def milan32() -> Machine:
+    """Scaled Milan used by most workload tests."""
+    return milan(scale=32)

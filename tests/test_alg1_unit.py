@@ -1,0 +1,67 @@
+"""Alg. 1 (ChipletScheduling) state-machine unit tests."""
+
+from repro.hw.counters import FillSource
+from repro.hw.machine import milan
+from repro.runtime.policy import CharmPolicyConfig, CharmStrategy
+from repro.runtime.runtime import Runtime
+
+
+def _worker(threshold=24.0, timer=1000.0):
+    cfg = CharmPolicyConfig(scheduler_timer_ns=timer, rmt_chip_access_rate=threshold)
+    strategy = CharmStrategy(cfg)
+    rt = Runtime(milan(scale=64), 8, strategy, seed=1)
+    return rt, strategy, rt.workers[0]
+
+
+def _tick(rt, strategy, worker, elapsed, remote_fills):
+    worker.clock += elapsed
+    worker.fills.record(FillSource.DRAM_LOCAL, remote_fills)
+    strategy.on_tick(worker, rt)
+
+
+def test_high_rate_spreads():
+    rt, s, w = _worker()
+    assert w.spread_rate == 1
+    _tick(rt, s, w, elapsed=1000.0, remote_fills=100)
+    assert w.spread_rate == 2
+    _tick(rt, s, w, elapsed=1000.0, remote_fills=100)
+    assert w.spread_rate == 3
+
+
+def test_low_rate_compacts_with_hysteresis():
+    rt, s, w = _worker(threshold=24.0)
+    w.spread_rate = 4
+    # Rate just below threshold but above the hysteresis floor: hold.
+    _tick(rt, s, w, elapsed=1000.0, remote_fills=20)
+    assert w.spread_rate == 4
+    # Rate far below threshold: compact.
+    _tick(rt, s, w, elapsed=1000.0, remote_fills=1)
+    assert w.spread_rate == 3
+
+
+def test_timer_gates_decisions():
+    rt, s, w = _worker(timer=10_000.0)
+    _tick(rt, s, w, elapsed=500.0, remote_fills=1000)  # too soon
+    assert w.spread_rate == 1
+
+
+def test_spread_capped_at_chiplets():
+    rt, s, w = _worker()
+    w.spread_rate = 8
+    _tick(rt, s, w, elapsed=1000.0, remote_fills=1000)
+    assert w.spread_rate == 8  # chiplets_per_socket on Milan
+
+
+def test_compact_floor_at_min_spread():
+    rt, s, w = _worker()
+    _tick(rt, s, w, elapsed=1000.0, remote_fills=0)
+    assert w.spread_rate == 1
+
+
+def test_counter_marks_reset_each_interval():
+    rt, s, w = _worker()
+    _tick(rt, s, w, elapsed=1000.0, remote_fills=100)
+    before = w.spread_rate
+    # No new fills in the next interval: the old 100 must not count again.
+    _tick(rt, s, w, elapsed=1000.0, remote_fills=0)
+    assert w.spread_rate == before - 1

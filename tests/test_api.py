@@ -1,0 +1,104 @@
+"""Paper-style Charm facade and in-task combinators."""
+
+import pytest
+
+from repro.hw.machine import milan
+from repro.runtime.api import Charm, co_call_sync, co_spawn, co_wait_all
+from repro.runtime.ops import Compute, WaitBarrier
+
+
+def _charm(workers=4):
+    return Charm.init(machine=milan(scale=64), workers=workers, seed=5)
+
+
+def test_all_do_runs_on_every_worker():
+    charm = _charm(4)
+
+    def body(wid):
+        yield Compute(10.0)
+        return wid
+
+    tasks = charm.all_do(body)
+    charm.run()
+    assert sorted(t.result for t in tasks) == [0, 1, 2, 3]
+
+
+def test_call_async_future():
+    charm = _charm(2)
+
+    def body(x):
+        yield Compute(5.0)
+        return x + 1
+
+    fut = charm.call(1, body, 41)
+    charm.run()
+    assert fut.done and fut.value == 42
+
+
+def test_barrier_helper():
+    charm = _charm(3)
+    bar = charm.barrier()
+
+    def body(wid):
+        yield Compute(float(wid) * 10)
+        yield WaitBarrier(bar)
+        return wid
+
+    charm.all_do(body)
+    charm.run()
+    assert bar.releases == 1
+
+
+def test_co_spawn_and_wait_all():
+    charm = _charm(4)
+
+    def child(i):
+        yield Compute(10.0)
+        return i * i
+
+    def root():
+        tasks = []
+        for i in range(6):
+            t = yield from co_spawn(child, i)
+            tasks.append(t)
+        results = yield from co_wait_all(charm, tasks)
+        return results
+
+    root_task = charm.spawn(root)
+    charm.run()
+    assert root_task.result == [0, 1, 4, 9, 16, 25]
+
+
+def test_co_call_sync():
+    charm = _charm(2)
+
+    def remote(x):
+        yield Compute(10.0)
+        return x * 3
+
+    def root():
+        v = yield from co_call_sync(charm, 1, remote, 4)
+        return v
+
+    t = charm.spawn(root)
+    charm.run()
+    assert t.result == 12
+
+
+def test_finalize_blocks_reuse():
+    charm = _charm(1)
+
+    def body(wid):
+        yield Compute(1.0)
+
+    charm.all_do(body)
+    charm.run()
+    charm.finalize()
+    with pytest.raises(RuntimeError):
+        charm.spawn(body, 0)
+
+
+def test_default_init():
+    charm = Charm.init()
+    assert charm.runtime.machine.topo.name == "epyc-milan-7713"
+    assert len(charm.runtime.workers) == 64

@@ -1,0 +1,95 @@
+"""Baseline strategies: placements, allocation policies, adaptation hooks."""
+
+import pytest
+
+from repro.baselines import (
+    AsymSchedStrategy,
+    OsAsyncStrategy,
+    RingStrategy,
+    SamStrategy,
+    ShoalStrategy,
+)
+from repro.baselines.vanilla import VanillaStrategy
+from repro.hw.machine import milan
+from repro.hw.memory import MemPolicy
+from repro.runtime.ops import AccessBatch, YieldPoint
+from repro.runtime.runtime import Runtime
+
+
+@pytest.fixture
+def machine():
+    return milan(scale=64)
+
+
+def test_ring_round_robin_sockets(machine):
+    s = RingStrategy()
+    sockets = [machine.topo.socket_of_core(s.initial_core(w, 8, machine)) for w in range(8)]
+    assert sockets == [0, 1, 0, 1, 0, 1, 0, 1]
+
+
+def test_shoal_sequential_cores(machine):
+    s = ShoalStrategy()
+    assert [s.initial_core(w, 16, machine) for w in range(16)] == list(range(16))
+
+
+def test_asymsched_even_split(machine):
+    s = AsymSchedStrategy()
+    sockets = [machine.topo.socket_of_core(s.initial_core(w, 8, machine)) for w in range(8)]
+    assert sockets == [0] * 4 + [1] * 4
+
+
+def test_sam_alternating(machine):
+    s = SamStrategy()
+    sockets = [machine.topo.socket_of_core(s.initial_core(w, 4, machine)) for w in range(4)]
+    assert sockets == [0, 1, 0, 1]
+
+
+def test_vanilla_first_touch_node0(machine):
+    s = VanillaStrategy()
+    rt = Runtime(machine, 4, s, seed=1)
+    region = rt.alloc_shared(1 << 20)
+    assert region.home_node == 0
+    assert region.policy is MemPolicy.BIND
+
+
+def test_shoal_replicates_read_only(machine):
+    rt = Runtime(machine, 4, ShoalStrategy(), seed=1)
+    ro = rt.alloc_shared(1 << 20, read_only=True)
+    rw = rt.alloc_shared(1 << 20, read_only=False)
+    assert ro.policy is MemPolicy.REPLICATED
+    assert rw.policy is MemPolicy.INTERLEAVE
+
+
+def test_ring_interleaves_shared(machine):
+    rt = Runtime(machine, 4, RingStrategy(), seed=1)
+    assert rt.alloc_shared(1 << 20).policy is MemPolicy.INTERLEAVE
+
+
+def test_osasync_costs():
+    s = OsAsyncStrategy()
+    assert s.blocking_sync
+    assert s.task_create_cost_ns > 1000
+    assert s.switch_cost_ns > 1000
+
+
+def test_capacity_overflow_rejected(machine):
+    for s in (RingStrategy(), SamStrategy(), VanillaStrategy(), OsAsyncStrategy()):
+        with pytest.raises(ValueError):
+            s.initial_core(200, 201, machine)
+
+
+def test_asymsched_rebalances(machine):
+    """A worker on a hot socket migrates toward the cool one."""
+    rt = Runtime(machine, 4, AsymSchedStrategy(rebalance_interval_ns=1000.0), seed=1)
+    region = rt.alloc(1 << 20, node=0)  # all DRAM load on socket 0
+
+    def body(wid):
+        for r in range(20):
+            yield AccessBatch(region, list(range(r * 8, r * 8 + 8)))
+            yield YieldPoint()
+        return wid
+
+    for w in range(4):
+        rt.spawn(body, w, pin_worker=w)
+    report = rt.run()
+    assert report.tasks_completed == 4  # and no crashes from the hook

@@ -1,0 +1,48 @@
+"""Report rendering and ASCII plotting."""
+
+from repro.bench.plot import ascii_plot, bar_chart
+from repro.bench.report import format_series, format_table
+
+
+def test_format_table_alignment():
+    rows = [{"a": 1, "b": "xy"}, {"a": 22.5, "b": None}]
+    text = format_table(rows, ["a", "b"], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert "22.5" in text and "-" in lines[-1]
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], ["a"], title="T")
+
+
+def test_format_series_grid():
+    series = {"x": [(1, 10.0), (2, 20.0)], "y": [(1, 5.0)]}
+    text = format_series(series, "cores", title="S")
+    assert "cores" in text
+    assert "10.0" in text or "10" in text
+    # Missing point renders as '-'.
+    assert "-" in text.splitlines()[-1]
+
+
+def test_ascii_plot_contains_markers_and_bounds():
+    series = {"a": [(0, 0.0), (10, 100.0)], "b": [(0, 50.0), (10, 50.0)]}
+    text = ascii_plot(series, width=20, height=8, title="P")
+    assert "P" in text
+    assert "o a" in text and "x b" in text
+    assert "100" in text and "0" in text
+
+
+def test_ascii_plot_degenerate():
+    assert "(no data)" in ascii_plot({})
+    one = ascii_plot({"a": [(1, 1.0)]})
+    assert "a" in one
+
+
+def test_bar_chart():
+    text = bar_chart([("q1", 1.0), ("q2", 2.0)], width=10, title="B")
+    lines = text.splitlines()
+    assert lines[0] == "B"
+    assert lines[2].count("█") > lines[1].count("█")
+    assert "(no data)" in bar_chart([])

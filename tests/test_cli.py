@@ -1,0 +1,40 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_ORDER, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENT_ORDER:
+        assert name in out
+
+
+def test_run_known_experiment(capsys):
+    assert main(["run", "fig04_channels"]) == 0
+    assert "memory channels" in capsys.readouterr().out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_machine_presets(capsys):
+    for preset in ("milan", "sapphire-rapids", "genoa"):
+        assert main(["machine", "--preset", preset]) == 0
+    out = capsys.readouterr().out
+    assert "core-to-core latencies" in out
+
+
+def test_machine_unknown_preset(capsys):
+    assert main(["machine", "--preset", "itanium"]) == 2
+
+
+def test_experiment_order_matches_module():
+    from repro.bench import experiments
+
+    for name in EXPERIMENT_ORDER:
+        assert hasattr(experiments, name)

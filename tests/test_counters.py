@@ -1,0 +1,51 @@
+"""PMU-like fill counters."""
+
+from repro.hw.counters import CounterBoard, FillCounters, FillSource
+
+
+def test_remote_fills_excludes_local():
+    c = FillCounters()
+    c.record(FillSource.LOCAL_CHIPLET, 5)
+    c.record(FillSource.REMOTE_CHIPLET, 2)
+    c.record(FillSource.DRAM_LOCAL, 3)
+    assert c.remote_fills() == 5
+    assert c.dram_fills() == 3
+    assert c.total() == 10
+
+
+def test_snapshot_and_reset():
+    c = FillCounters()
+    c.record(FillSource.DRAM_REMOTE)
+    snap = c.snapshot()
+    assert snap[FillSource.DRAM_REMOTE] == 1
+    c.reset()
+    assert c.total() == 0
+    assert snap[FillSource.DRAM_REMOTE] == 1  # snapshot is a copy
+
+
+def test_board_aggregate_selected_cores():
+    b = CounterBoard(4)
+    b.record(0, FillSource.LOCAL_CHIPLET, 2)
+    b.record(1, FillSource.REMOTE_NUMA_CHIPLET, 3)
+    b.record(2, FillSource.DRAM_LOCAL, 1)
+    all_snap = b.aggregate()
+    assert all_snap.local_chiplet == 2
+    assert all_snap.remote_numa_chiplet == 3
+    assert all_snap.dram == 1
+    partial = b.aggregate([0, 2])
+    assert partial.remote_numa_chiplet == 0
+    assert partial.dram == 1
+
+
+def test_snapshot_row_keys():
+    b = CounterBoard(1)
+    row = b.aggregate().as_row()
+    assert set(row) == {"local_chiplet", "remote_chiplet", "remote_numa_chiplet",
+                        "main_memory"}
+
+
+def test_board_reset():
+    b = CounterBoard(2)
+    b.record(1, FillSource.DRAM_LOCAL)
+    b.reset()
+    assert b.aggregate().dram == 0

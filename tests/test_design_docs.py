@@ -1,0 +1,41 @@
+"""The documentation stays in sync with the code it describes."""
+
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+
+
+def test_design_md_lists_every_benchmark_target():
+    design = (ROOT / "DESIGN.md").read_text()
+    for bench in (ROOT / "benchmarks").glob("test_*.py"):
+        name = bench.name
+        if name.startswith("test_ext_") or name.startswith("test_abl_") \
+                or name.startswith("test_sens_"):
+            continue  # extensions/ablations are indexed in EXPERIMENTS.md
+        assert name in design, f"{name} missing from DESIGN.md per-experiment index"
+
+
+def test_experiments_md_covers_every_paper_artifact():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    for artifact in ("Fig. 1", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 7", "Tab. 1",
+                     "Fig. 8", "Fig. 9", "Tab. 2", "Fig. 10", "Fig. 11", "Fig. 12",
+                     "Fig. 13", "Fig. 14"):
+        assert artifact in text, f"{artifact} missing from EXPERIMENTS.md"
+
+
+def test_readme_examples_exist():
+    readme = (ROOT / "README.md").read_text()
+    for example in (ROOT / "examples").glob("*.py"):
+        assert example.name in readme, f"{example.name} not documented in README"
+
+
+def test_modeling_md_constants_match_code():
+    from repro.hw.latency import MILAN_LATENCY
+    from repro.runtime.policy import CharmPolicyConfig
+    from repro.workloads.vector_write import STORE_BYTES_PER_NS
+
+    text = (ROOT / "MODELING.md").read_text()
+    assert f"| `l3_hit` | {MILAN_LATENCY.l3_hit:.0f} |" in text
+    cfg = CharmPolicyConfig()
+    assert f"{cfg.rmt_chip_access_rate:.0f} events" in text.replace("`", "")
+    assert f"| {STORE_BYTES_PER_NS:.0f} |" in text

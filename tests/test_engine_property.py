@@ -1,0 +1,32 @@
+"""Property test: event-loop global time ordering under random actors."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Actor, EventLoop, StepOutcome
+
+
+class RandomStepper(Actor):
+    def __init__(self, actor_id, steps, log):
+        super().__init__(actor_id)
+        self.steps_left = list(steps)
+        self.log = log
+
+    def step(self, loop):
+        self.log.append(self.clock)
+        if not self.steps_left:
+            return StepOutcome.FINISHED
+        self.clock += self.steps_left.pop(0)
+        return StepOutcome.RESCHEDULE
+
+
+@given(st.lists(st.lists(st.floats(0.1, 1000.0), max_size=15), min_size=1, max_size=6))
+@settings(max_examples=80, deadline=None)
+def test_global_time_never_regresses(actor_steps):
+    log = []
+    loop = EventLoop()
+    for i, steps in enumerate(actor_steps):
+        loop.add(RandomStepper(i, steps, log))
+    final = loop.run()
+    assert log == sorted(log)
+    assert final == max(log) if log else True
+    assert loop.steps == sum(len(s) + 1 for s in actor_steps)

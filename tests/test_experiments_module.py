@@ -1,0 +1,26 @@
+"""Experiment registry smoke checks (fast ones only; the heavy ones are
+exercised by benchmarks/)."""
+
+from repro.bench import experiments
+from repro.cli import EXPERIMENT_ORDER
+
+
+def test_all_experiments_return_text():
+    for name in ("fig03_latency_cdf", "fig04_channels"):
+        rows, text = getattr(experiments, name)()
+        assert rows and isinstance(text, str) and text
+
+
+def test_channel_trend_is_historical():
+    years = [y for y, _, _ in experiments.CHANNEL_TREND]
+    assert years == sorted(years)
+    assert years[0] == 2010
+
+
+def test_registry_complete():
+    for name in EXPERIMENT_ORDER:
+        assert callable(getattr(experiments, name))
+
+
+def test_graph_algos_list():
+    assert set(experiments.GRAPH_ALGOS) == {"bfs", "pagerank", "cc", "sssp", "graph500"}

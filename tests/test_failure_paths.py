@@ -1,0 +1,78 @@
+"""Failure injection and defensive paths."""
+
+import pytest
+
+from repro.hw.machine import small_test_machine
+from repro.runtime.ops import Access, AccessBatch, Compute
+from repro.runtime.policy import StaticSpreadStrategy
+from repro.runtime.runtime import Runtime
+from repro.sim.engine import SimulationError
+
+
+def _rt(workers=2):
+    return Runtime(small_test_machine(), workers, StaticSpreadStrategy(1), seed=3)
+
+
+def test_out_of_range_block_raises_inside_task():
+    rt = _rt(1)
+    region = rt.alloc(1024, node=0)
+
+    def body():
+        yield Access(region, region.n_blocks + 5)
+
+    rt.spawn(body, pin_worker=0)
+    with pytest.raises(ValueError, match="outside region"):
+        rt.run()
+
+
+def test_failed_task_decrements_outstanding():
+    rt = _rt(1)
+
+    def bad():
+        yield Compute(1.0)
+        raise KeyError("x")
+
+    rt.spawn(bad, pin_worker=0)
+    with pytest.raises(KeyError):
+        rt.run()
+    assert rt.outstanding == 0
+
+
+def test_pin_out_of_range():
+    rt = _rt(2)
+    with pytest.raises(ValueError, match="pin_worker"):
+        rt.spawn(lambda: iter(()), pin_worker=5)
+
+
+def test_nearest_free_core_exhaustion():
+    rt = _rt(1)
+    topo = rt.machine.topo
+    for c in range(topo.total_cores):
+        rt.core_ledger.setdefault(c, 99)
+    with pytest.raises(SimulationError, match="no free cores"):
+        rt._nearest_free_core(0)
+
+
+def test_nearest_free_core_prefers_same_chiplet():
+    rt = _rt(1)  # worker 0 holds core 0
+    got = rt._nearest_free_core(0)
+    assert rt.machine.topo.chiplet_of_core(got) == 0
+    assert got != 0
+
+
+def test_max_steps_guard_through_runtime():
+    rt = Runtime(small_test_machine(), 1, StaticSpreadStrategy(1), seed=3, max_steps=3)
+
+    def body():
+        for _ in range(1000):
+            yield Compute(10_000.0)
+
+    rt.spawn(body, pin_worker=0)
+    with pytest.raises(SimulationError, match="max_steps"):
+        rt.run()
+
+
+def test_zero_size_region_single_block():
+    rt = _rt(1)
+    region = rt.alloc(0, node=0)
+    assert region.n_blocks == 1  # degenerate allocations still addressable

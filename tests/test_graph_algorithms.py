@@ -1,0 +1,128 @@
+"""Graph algorithm correctness: references vs networkx, tasks vs references."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RingStrategy, SamStrategy
+from repro.hw.machine import milan
+from repro.runtime.policy import CharmStrategy
+from repro.workloads.graph.generator import kronecker, ring_of_cliques
+from repro.workloads.graph.reference import (
+    bfs_reference,
+    cc_reference,
+    pagerank_reference,
+    sssp_reference,
+)
+from repro.workloads.graph.runner import _pick_root, default_chunk_size, run_graph_algorithm
+
+networkx = pytest.importorskip("networkx")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return kronecker(9, 8, seed=2)
+
+
+@pytest.fixture(scope="module")
+def nx_graph(graph):
+    g = networkx.Graph()
+    g.add_nodes_from(range(graph.n))
+    for u in range(graph.n):
+        for v, w in zip(graph.neighbors(u), graph.neighbor_weights(u)):
+            g.add_edge(u, int(v), weight=int(w))
+    return g
+
+
+def test_bfs_reference_vs_networkx(graph, nx_graph):
+    root = _pick_root(graph, 5)
+    dist = bfs_reference(graph, root)
+    nx_dist = networkx.single_source_shortest_path_length(nx_graph, root)
+    for v in range(graph.n):
+        assert dist[v] == nx_dist.get(v, -1)
+
+
+def test_sssp_reference_vs_networkx(graph, nx_graph):
+    root = _pick_root(graph, 5)
+    dist = sssp_reference(graph, root)
+    nx_dist = networkx.single_source_dijkstra_path_length(nx_graph, root)
+    for v in range(graph.n):
+        assert dist[v] == nx_dist.get(v, -1)
+
+
+def test_cc_reference_vs_networkx(graph, nx_graph):
+    label = cc_reference(graph)
+    for comp in networkx.connected_components(nx_graph):
+        comp = sorted(comp)
+        assert len({label[v] for v in comp}) == 1
+        assert label[comp[0]] == comp[0]
+
+
+def test_pagerank_reference_vs_networkx(graph, nx_graph):
+    """Shape check against networkx pagerank (different dangling handling)."""
+    ours = pagerank_reference(graph, iterations=50)
+    theirs = networkx.pagerank(nx_graph, alpha=0.85, max_iter=100)
+    theirs_arr = np.array([theirs[v] for v in range(graph.n)])
+    # Rank correlation on the top vertices.
+    top_ours = set(np.argsort(ours)[-20:])
+    top_theirs = set(np.argsort(theirs_arr)[-20:])
+    assert len(top_ours & top_theirs) >= 12
+
+
+STRATEGIES = [CharmStrategy, RingStrategy, SamStrategy]
+
+
+@pytest.mark.parametrize("strategy_cls", STRATEGIES)
+@pytest.mark.parametrize("algo", ["bfs", "sssp", "cc"])
+def test_task_parallel_matches_reference(graph, algo, strategy_cls):
+    res = run_graph_algorithm(milan(scale=64), strategy_cls(), algo, graph, 8, seed=5)
+    root = _pick_root(graph, 5)
+    expected = {
+        "bfs": lambda: bfs_reference(graph, root),
+        "sssp": lambda: sssp_reference(graph, root),
+        "cc": lambda: cc_reference(graph),
+    }[algo]()
+    assert np.array_equal(res.result, expected)
+
+
+def test_task_pagerank_matches_reference(graph):
+    res = run_graph_algorithm(milan(scale=64), CharmStrategy(), "pagerank", graph, 8,
+                              seed=5, pagerank_iterations=5)
+    assert np.allclose(res.result, pagerank_reference(graph, iterations=5))
+
+
+def test_graph500_reaches_vertices(graph):
+    res = run_graph_algorithm(milan(scale=64), CharmStrategy(), "graph500", graph, 8,
+                              seed=5, graph500_roots=2)
+    assert (res.result >= 0).sum() > graph.n // 2
+    assert res.edges_traversed > 0
+
+
+def test_result_independent_of_worker_count(graph):
+    root = _pick_root(graph, 5)
+    expected = bfs_reference(graph, root)
+    for workers in (1, 3, 16):
+        res = run_graph_algorithm(milan(scale=64), CharmStrategy(), "bfs", graph,
+                                  workers, seed=5)
+        assert np.array_equal(res.result, expected)
+
+
+def test_structured_graph_cc():
+    g = ring_of_cliques(4, 5)
+    res = run_graph_algorithm(milan(scale=64), CharmStrategy(), "cc", g, 4, seed=5)
+    assert set(res.result) == {0}  # single component, min id 0
+
+
+def test_metrics_populated(graph):
+    res = run_graph_algorithm(milan(scale=64), CharmStrategy(), "bfs", graph, 8, seed=5)
+    assert res.teps > 0 and res.mteps == res.teps / 1e6
+    assert res.rounds > 0
+    assert res.report.tasks_completed > res.rounds
+
+
+def test_unknown_algorithm_rejected(graph):
+    with pytest.raises(ValueError):
+        run_graph_algorithm(milan(scale=64), CharmStrategy(), "nope", graph, 4)
+
+
+def test_default_chunk_size_bounds(graph):
+    assert 32 <= default_chunk_size(graph, 8) <= 512

@@ -1,0 +1,112 @@
+"""Kronecker generator and CSR integrity."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graph.generator import from_edge_list, kronecker, ring_of_cliques
+
+networkx = pytest.importorskip("networkx")
+
+
+def test_csr_integrity():
+    g = kronecker(8, 8, seed=1)
+    assert g.indptr[0] == 0
+    assert g.indptr[-1] == g.m
+    assert np.all(np.diff(g.indptr) >= 0)
+    assert g.indices.min() >= 0 and g.indices.max() < g.n
+    assert g.weights.min() >= 1 and g.weights.max() <= 255
+
+
+def test_symmetric_and_simple():
+    g = kronecker(7, 8, seed=2)
+    edges = set()
+    for u in range(g.n):
+        for v in g.neighbors(u):
+            assert v != u  # no self loops
+            edges.add((u, int(v)))
+    for u, v in edges:
+        assert (v, u) in edges  # symmetric
+
+
+def test_neighbor_lists_sorted_unique():
+    g = kronecker(7, 8, seed=3)
+    for u in range(g.n):
+        nbrs = g.neighbors(u)
+        assert np.all(np.diff(nbrs) > 0)
+
+
+def test_deterministic():
+    a = kronecker(7, 8, seed=5)
+    b = kronecker(7, 8, seed=5)
+    assert np.array_equal(a.indices, b.indices)
+    c = kronecker(7, 8, seed=6)
+    assert not np.array_equal(a.indices, c.indices)
+
+
+def test_weights_symmetric():
+    g = kronecker(6, 8, seed=4)
+    w = {}
+    for u in range(g.n):
+        for v, wt in zip(g.neighbors(u), g.neighbor_weights(u)):
+            w[(u, int(v))] = int(wt)
+    for (u, v), wt in w.items():
+        assert w[(v, u)] == wt
+
+
+def test_skewed_degrees():
+    """R-MAT graphs have hubs: max degree far above the mean."""
+    g = kronecker(10, 16, seed=1)
+    degs = np.diff(g.indptr)
+    assert degs.max() > 8 * degs.mean()
+
+
+def test_from_edge_list_dedupes():
+    edges = np.array([[0, 1], [1, 0], [0, 1], [2, 2]])
+    g = from_edge_list(3, edges)
+    assert g.m == 2  # one undirected edge, self loop dropped
+    assert list(g.neighbors(0)) == [1]
+
+
+def test_from_edge_list_validates():
+    with pytest.raises(ValueError):
+        from_edge_list(2, np.array([[0, 5]]))
+
+
+def test_ring_of_cliques_components():
+    g = ring_of_cliques(3, 4)
+    assert g.n == 12
+    nx_g = networkx.Graph()
+    nx_g.add_nodes_from(range(g.n))
+    for u in range(g.n):
+        for v in g.neighbors(u):
+            nx_g.add_edge(u, int(v))
+    assert networkx.number_connected_components(nx_g) == 1
+
+
+def test_matches_networkx_edge_count():
+    g = kronecker(8, 8, seed=9)
+    nx_g = networkx.Graph()
+    nx_g.add_nodes_from(range(g.n))
+    for u in range(g.n):
+        for v in g.neighbors(u):
+            nx_g.add_edge(u, int(v))
+    assert 2 * nx_g.number_of_edges() == g.m
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        kronecker(0)
+    with pytest.raises(ValueError):
+        kronecker(5, 0)
+
+
+def test_max_degree_vertex():
+    g = kronecker(9, 8, seed=1)
+    v = g.max_degree_vertex()
+    degs = [g.degree(u) for u in range(g.n)]
+    assert g.degree(v) == max(degs)
+
+
+def test_adjacency_bytes_formula():
+    g = kronecker(7, 8, seed=1)
+    assert g.adjacency_bytes == 4 * g.m * 2 + 8 * (g.n + 1)

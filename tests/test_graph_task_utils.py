@@ -1,0 +1,107 @@
+"""Graph task machinery: block arithmetic, partitioning, routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.machine import milan
+from repro.runtime.policy import CharmStrategy
+from repro.runtime.runtime import Runtime
+from repro.workloads.graph.generator import kronecker
+from repro.workloads.graph.tasks import (
+    GraphWorkspace,
+    _ranges_to_blocks,
+    gather_neighbors,
+)
+
+
+@pytest.fixture(scope="module")
+def ws():
+    g = kronecker(8, 8, seed=1)
+    rt = Runtime(milan(scale=64), 4, CharmStrategy(), seed=3)
+    return GraphWorkspace(rt, g)
+
+
+def test_ranges_to_blocks_simple():
+    starts = np.array([0, 1000])
+    ends = np.array([100, 1100])
+    blocks = _ranges_to_blocks(starts, ends, 512)
+    assert blocks.tolist() == [0, 1, 2]
+
+
+def test_ranges_to_blocks_empty_ranges_skipped():
+    starts = np.array([0, 50])
+    ends = np.array([0, 50])
+    assert _ranges_to_blocks(starts, ends, 512).size == 0
+
+
+@given(st.lists(st.tuples(st.integers(0, 10_000), st.integers(0, 500)), max_size=20),
+       st.sampled_from([64, 512, 4096]))
+@settings(max_examples=60, deadline=None)
+def test_ranges_to_blocks_matches_bruteforce(ranges, bb):
+    starts = np.array([s for s, _ in ranges], dtype=np.int64)
+    ends = np.array([s + l for s, l in ranges], dtype=np.int64)
+    got = set(_ranges_to_blocks(starts, ends, bb).tolist())
+    expected = set()
+    for s, l in ranges:
+        for byte in (s, s + l - 1):
+            pass
+        for b in range(s // bb, (s + l - 1) // bb + 1) if l > 0 else []:
+            expected.add(b)
+    assert got == expected
+
+
+def test_gather_neighbors_matches_manual(ws):
+    g = ws.graph
+    verts = np.array([0, 5, 17], dtype=np.int64)
+    _, nbrs, counts = gather_neighbors(g, verts)
+    manual = np.concatenate([g.neighbors(int(v)) for v in verts])
+    assert np.array_equal(nbrs, manual)
+    assert counts.tolist() == [g.degree(int(v)) for v in verts]
+
+
+def test_owner_partition_is_a_partition(ws):
+    n = ws.graph.n
+    all_v = np.arange(n, dtype=np.int64)
+    owners = ws.owner_of(all_v)
+    assert owners.min() == 0 and owners.max() == ws.n_parts - 1
+    # part_range boundaries agree with owner_of.
+    for p in range(ws.n_parts):
+        lo, hi = ws.part_range(p)
+        assert (owners[lo:hi] == p).all()
+
+
+def test_group_by_owner_roundtrip(ws):
+    rng = np.random.default_rng(1)
+    v = rng.integers(0, ws.graph.n, 200)
+    payload = v * 10
+    verts, loads = ws.group_by_owner(v, payload)
+    rebuilt_v = np.concatenate([x for x in verts if x is not None])
+    rebuilt_p = np.concatenate([x for x in loads if x is not None])
+    assert sorted(rebuilt_v.tolist()) == sorted(v.tolist())
+    assert np.array_equal(rebuilt_p, rebuilt_v * 10)
+    for p, part in enumerate(verts):
+        if part is not None:
+            assert (ws.owner_of(part) == p).all()
+
+
+def test_inbox_outbox_block_accounting(ws):
+    assert ws.inbox_blocks(0, 0) == []
+    one = ws.inbox_blocks(2, 1)
+    assert len(one) == 1 and one[0] == 2 * ws.inbox_stride
+    many = ws.inbox_blocks(2, 10_000_000)
+    assert len(many) == ws.inbox_stride  # capped at the stride
+    counts = np.zeros(ws.n_parts, dtype=np.int64)
+    counts[1] = 64
+    counts[3] = 1
+    blocks = ws.outbox_blocks(counts)
+    assert set(b // ws.inbox_stride for b in blocks) == {1, 3}
+
+
+def test_edge_chunks_balance(ws):
+    verts = np.arange(ws.graph.n, dtype=np.int64)
+    chunks = ws.edge_chunks(verts, target_chunks=8)
+    assert sum(c.size for c in chunks) == verts.size
+    rebuilt = np.concatenate(chunks)
+    assert np.array_equal(rebuilt, verts)
+    assert ws.edge_chunks(np.empty(0, np.int64), 4) == []

@@ -1,0 +1,38 @@
+"""RandomAccess (GUPS) correctness and behaviour."""
+
+import numpy as np
+
+from repro.baselines import RingStrategy
+from repro.hw.machine import milan
+from repro.runtime.policy import CharmStrategy
+from repro.workloads.gups import apply_updates_reference, run_gups, update_stream
+
+
+def test_updates_match_sequential_replay():
+    res = run_gups(milan(scale=64), CharmStrategy(), 8, 4 << 20,
+                   updates_per_worker=512, seed=3)
+    ref = apply_updates_reference((4 << 20) // 8, 3, 8, 512)
+    assert np.array_equal(res.table, ref)
+
+
+def test_update_streams_deterministic_and_distinct():
+    a = update_stream(3, 0, 100, 1000)
+    b = update_stream(3, 0, 100, 1000)
+    c = update_stream(3, 1, 100, 1000)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_gups_metric():
+    res = run_gups(milan(scale=64), CharmStrategy(), 4, 1 << 20,
+                   updates_per_worker=256, seed=3)
+    assert res.total_updates == 4 * 256
+    assert res.gups > 0
+    assert res.mups == res.gups * 1000
+
+
+def test_charm_beats_ring_at_scale():
+    kw = dict(table_bytes=16 << 20, updates_per_worker=1024, seed=3)
+    rc = run_gups(milan(scale=32), CharmStrategy(), 32, **kw)
+    rr = run_gups(milan(scale=32), RingStrategy(), 32, **kw)
+    assert rc.gups > rr.gups

@@ -1,0 +1,69 @@
+"""Cross-cutting integration checks of the paper's core claims (small scale)."""
+
+import numpy as np
+
+from repro.baselines import RingStrategy, ShoalStrategy
+from repro.hw.machine import milan, sapphire_rapids
+from repro.runtime.policy import CharmStrategy
+from repro.workloads.graph.generator import kronecker
+from repro.workloads.graph.runner import run_graph_algorithm
+
+
+def test_charm_beats_ring_on_graphs():
+    g = kronecker(12, 16, seed=2)
+    rc = run_graph_algorithm(milan(scale=32), CharmStrategy(), "bfs", g, 32, seed=5)
+    rr = run_graph_algorithm(milan(scale=32), RingStrategy(), "bfs", g, 32, seed=5)
+    assert rc.teps > 1.15 * rr.teps
+
+
+def test_charm_remote_numa_fills_much_lower():
+    """Tab. 1's counter contrast."""
+    g = kronecker(12, 16, seed=2)
+    rc = run_graph_algorithm(milan(scale=32), CharmStrategy(), "bfs", g, 32, seed=5)
+    rr = run_graph_algorithm(milan(scale=32), RingStrategy(), "bfs", g, 32, seed=5)
+    assert rc.report.counters.remote_numa_chiplet * 5 < max(
+        rr.report.counters.remote_numa_chiplet, 1)
+
+
+def test_advantage_smaller_on_intel():
+    """Section 5.3: SPR's better interconnect narrows CHARM's margin."""
+    g = kronecker(12, 16, seed=2)
+
+    def gap(machine_fn, cores):
+        rc = run_graph_algorithm(machine_fn(), CharmStrategy(), "bfs", g, cores, seed=5)
+        rr = run_graph_algorithm(machine_fn(), RingStrategy(), "bfs", g, cores, seed=5)
+        return rc.teps / rr.teps
+
+    amd = gap(lambda: milan(scale=32), 32)
+    intel = gap(lambda: sapphire_rapids(scale=32), 32)
+    assert amd > 1.0 and intel > 0.85
+    assert intel < amd + 0.25
+
+
+def test_spread_adapts_to_working_set():
+    """Small working set -> compact; large -> spread (Alg. 1 end to end)."""
+    from repro.runtime.ops import AccessBatch, YieldPoint
+    from repro.runtime.runtime import Runtime
+
+    def run(size_bytes):
+        machine = milan(scale=64)
+        rt = Runtime(machine, 8, CharmStrategy(), seed=3)
+        region = rt.alloc_shared(size_bytes, name="ws")
+        n = region.n_blocks
+
+        def body(wid):
+            for r in range(60):
+                lo = (wid * 97 + r * 31) % max(n - 16, 1)
+                yield AccessBatch(region, list(range(lo, lo + 16)))
+                yield YieldPoint()
+            return wid
+
+        for w in range(8):
+            rt.spawn(body, w, pin_worker=w)
+        rt.run()
+        return {machine.topo.chiplet_of_core(w.core) for w in rt.workers}
+
+    small = run(64 << 10)        # fits one slice
+    large = run(8 << 20)         # needs the socket's aggregate L3
+    assert len(small) <= 2
+    assert len(large) >= 4

@@ -1,0 +1,61 @@
+"""Latency model: hierarchy, determinism, CDF shape."""
+
+import pytest
+
+from repro.hw.latency import MILAN_LATENCY, SPR_LATENCY, LatencyModel
+from repro.hw.topology import milan_topology, sapphire_rapids_topology
+
+
+def test_hierarchy_ordering():
+    topo = milan_topology()
+    lat = MILAN_LATENCY
+    same_chiplet = lat.core_to_core_ns(topo, 0, 1)
+    same_socket = lat.core_to_core_ns(topo, 0, 8)
+    cross = lat.core_to_core_ns(topo, 0, 64)
+    assert same_chiplet < same_socket < cross
+
+
+def test_same_core_zero():
+    topo = milan_topology()
+    assert MILAN_LATENCY.core_to_core_ns(topo, 5, 5) == 0.0
+
+
+def test_deterministic():
+    topo = milan_topology()
+    a = MILAN_LATENCY.core_to_core_ns(topo, 3, 77)
+    b = MILAN_LATENCY.core_to_core_ns(topo, 3, 77)
+    assert a == b
+
+
+def test_near_far_groups_within_socket():
+    """The within-NUMA band has two sub-groups (Fig. 3's middle steps)."""
+    topo = milan_topology()
+    lat = MILAN_LATENCY
+    near = lat.core_to_core_ns(topo, 0, 8)    # chiplet 0 -> 1 (same half)
+    far = lat.core_to_core_ns(topo, 0, 56)    # chiplet 0 -> 7 (other half)
+    assert far > near + 30
+
+
+def test_cdf_sorted_and_sized():
+    topo = milan_topology()
+    cdf = MILAN_LATENCY.latency_cdf(topo)
+    assert cdf == sorted(cdf)
+    assert len(cdf) == len(topo.core_pairs())
+
+
+def test_spr_intra_socket_cheaper_than_milan():
+    """Sapphire Rapids' mesh beats Infinity Fabric within a socket."""
+    mt, st = milan_topology(), sapphire_rapids_topology()
+    milan_cross_chiplet = MILAN_LATENCY.core_to_core_ns(mt, 0, mt.cores_per_chiplet)
+    spr_cross_tile = SPR_LATENCY.core_to_core_ns(st, 0, st.cores_per_chiplet)
+    assert spr_cross_tile < milan_cross_chiplet
+
+
+def test_fill_latency_by_distance():
+    from repro.hw.topology import Distance
+
+    lat = MILAN_LATENCY
+    assert lat.fill_latency(Distance.SAME_CHIPLET) == lat.l3_hit
+    assert lat.fill_latency(Distance.SAME_SOCKET) == lat.fill_same_socket
+    assert lat.fill_latency(Distance.CROSS_SOCKET) == lat.fill_cross_socket
+    assert lat.l3_hit < lat.fill_same_socket < lat.fill_cross_socket

@@ -1,0 +1,113 @@
+"""Machine access paths, counters, and timing split."""
+
+import pytest
+
+from repro.hw.counters import FillSource
+from repro.hw.machine import milan, sapphire_rapids, small_test_machine
+from repro.hw.memory import MemPolicy
+
+
+def test_dram_then_hit(tiny):
+    r = tiny.alloc_region(1024, node=0)
+    res1 = tiny.access(core=0, region=r, block_index=0, now=0.0)
+    assert res1.source is FillSource.DRAM_LOCAL
+    res2 = tiny.access(core=0, region=r, block_index=0, now=res1.ns)
+    assert res2.source is FillSource.LOCAL_CHIPLET
+    assert res2.ns < res1.ns
+
+
+def test_peer_fill_same_socket(tiny):
+    r = tiny.alloc_region(1024, node=0)
+    tiny.access(core=0, region=r, block_index=0, now=0.0)
+    # core 2 is chiplet 1, same socket: served from chiplet 0's L3.
+    res = tiny.access(core=2, region=r, block_index=0, now=1000.0)
+    assert res.source is FillSource.REMOTE_CHIPLET
+
+
+def test_peer_fill_cross_socket(tiny):
+    r = tiny.alloc_region(1024, node=0)
+    tiny.access(core=0, region=r, block_index=0, now=0.0)
+    res = tiny.access(core=4, region=r, block_index=0, now=1000.0)  # socket 1
+    assert res.source is FillSource.REMOTE_NUMA_CHIPLET
+
+
+def test_remote_dram(tiny):
+    r = tiny.alloc_region(1024, node=1)
+    res = tiny.access(core=0, region=r, block_index=0, now=0.0)
+    assert res.source is FillSource.DRAM_REMOTE
+    local = tiny.alloc_region(1024, node=0)
+    res_local = tiny.access(core=1, region=local, block_index=0, now=0.0)
+    assert res.ns > res_local.ns
+
+
+def test_write_invalidates_peers(tiny):
+    r = tiny.alloc_region(1024, node=0)
+    tiny.access(core=0, region=r, block_index=0, now=0.0)
+    tiny.access(core=2, region=r, block_index=0, now=100.0)
+    res = tiny.access(core=0, region=r, block_index=0, now=200.0, write=True)
+    assert res.invalidations == 1
+    # Chiplet 1's copy is gone: its next access is a fill again.
+    res2 = tiny.access(core=2, region=r, block_index=0, now=300.0)
+    assert res2.source is not FillSource.LOCAL_CHIPLET
+
+
+def test_counters_recorded_per_core(tiny):
+    r = tiny.alloc_region(1024, node=0)
+    tiny.access(core=3, region=r, block_index=0, now=0.0)
+    assert tiny.counters.core(3).dram_fills() == 1
+    assert tiny.counters.core(0).total() == 0
+
+
+def test_latency_split_excludes_queueing(tiny):
+    r = tiny.alloc_region(4096, node=0)
+    # Two back-to-back accesses to blocks on the same channel: the second
+    # waits, so its total exceeds its pure latency.
+    a = tiny.access(core=0, region=r, block_index=0, now=0.0)
+    b = tiny.access(core=1, region=r, block_index=2, now=0.0)
+    assert a.latency_ns <= a.ns
+    assert b.latency_ns <= b.ns
+
+
+def test_free_region_flushes_caches(tiny):
+    r = tiny.alloc_region(1024, node=0)
+    tiny.access(core=0, region=r, block_index=0, now=0.0)
+    tiny.free_region(r)
+    assert tiny.caches.resident_bytes(0) == 0
+
+
+def test_replicated_always_local(tiny):
+    r = tiny.alloc_region(1024, node=0, policy=MemPolicy.REPLICATED)
+    res = tiny.access(core=4, region=r, block_index=0, now=0.0)  # socket 1
+    assert res.source is FillSource.DRAM_LOCAL
+
+
+def test_sync_span(tiny):
+    within = tiny.sync_span_ns([0, 1])
+    across = tiny.sync_span_ns([0, 4])
+    assert 0 < within < across
+    assert tiny.sync_span_ns([0]) == 0.0
+
+
+def test_presets_describe():
+    m = milan(scale=64)
+    assert "epyc" in m.describe()
+    s = sapphire_rapids(scale=64)
+    assert s.topo.total_cores == 96
+    assert m.l3_bytes_per_chiplet == 32 * (1 << 20) // 64
+
+
+def test_region_block_bytes_override(tiny):
+    r = tiny.alloc_region(4096, node=0, block_bytes=128)
+    assert r.block_bytes == 128
+    assert r.n_blocks == 32
+
+
+def test_invalid_machine_params():
+    from repro.hw.latency import MILAN_LATENCY
+    from repro.hw.machine import Machine
+    from repro.hw.topology import Topology
+
+    with pytest.raises(ValueError):
+        Machine(Topology(1, 1, 1), MILAN_LATENCY, l3_bytes_per_chiplet=32, block_bytes=64)
+    with pytest.raises(ValueError):
+        Machine(Topology(1, 1, 1), MILAN_LATENCY, l3_bytes_per_chiplet=4096, block_bytes=32)

@@ -1,0 +1,49 @@
+"""Genoa / custom machine builders and scaling behaviour."""
+
+import pytest
+
+from repro.hw.machine import KIB, MIB, custom_machine, genoa, milan, sapphire_rapids
+
+
+def test_genoa_shape():
+    m = genoa(scale=32)
+    assert m.topo.total_cores == 192
+    assert m.topo.chiplets_per_socket == 12
+    assert m.channels.channels_per_socket == 12
+
+
+def test_custom_machine():
+    m = custom_machine(1, 4, 4, l3_bytes_per_chiplet=1 * MIB, name="lab")
+    assert m.topo.total_cores == 16
+    assert m.topo.name == "lab"
+    region = m.alloc_region(64 * KIB)
+    res = m.access(0, region, 0, now=0.0)
+    assert res.ns > 0
+
+
+def test_scale_divides_l3_only():
+    big, small = milan(scale=1), milan(scale=64)
+    assert big.l3_bytes_per_chiplet == 64 * small.l3_bytes_per_chiplet
+    assert big.latency is small.latency
+    assert big.channels.bytes_per_ns == small.channels.bytes_per_ns
+
+
+def test_presets_have_distinct_personalities():
+    amd, intel = milan(scale=32), sapphire_rapids(scale=32)
+    # Intel: fewer, larger tiles; much cheaper cross-tile fills.
+    assert intel.topo.chiplets_per_socket < amd.topo.chiplets_per_socket
+    assert intel.latency.fill_same_socket < amd.latency.fill_same_socket
+    # AMD: more aggregate L3 per socket.
+    amd_l3 = amd.l3_bytes_per_chiplet * amd.topo.chiplets_per_socket
+    intel_l3 = intel.l3_bytes_per_chiplet * intel.topo.chiplets_per_socket
+    assert amd_l3 > intel_l3
+
+
+def test_genoa_runs_workload():
+    from repro.runtime.policy import CharmStrategy
+    from repro.workloads.graph.generator import kronecker
+    from repro.workloads.graph.runner import run_graph_algorithm
+
+    g = kronecker(8, 8, seed=1)
+    res = run_graph_algorithm(genoa(scale=64), CharmStrategy(), "bfs", g, 12, seed=5)
+    assert res.teps > 0

@@ -1,0 +1,49 @@
+"""NUMA-aware allocation helpers and partitioning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.machine import small_test_machine
+from repro.hw.memory import MemPolicy
+from repro.runtime.memory_manager import MemoryManager, chunk_ranges, partition_blocks
+from repro.runtime.policy import StaticSpreadStrategy
+from repro.runtime.runtime import Runtime
+
+
+def test_partition_blocks_exact():
+    parts = partition_blocks(10, 3)
+    assert parts == [(0, 4), (4, 7), (7, 10)]
+
+
+@given(st.integers(0, 10_000), st.integers(1, 64))
+@settings(max_examples=80, deadline=None)
+def test_partition_blocks_properties(n, k):
+    parts = partition_blocks(n, k)
+    assert len(parts) == k
+    assert parts[0][0] == 0 and parts[-1][1] == n
+    sizes = [e - s for s, e in parts]
+    assert sum(sizes) == n
+    assert max(sizes) - min(sizes) <= 1
+    for (s1, e1), (s2, e2) in zip(parts, parts[1:]):
+        assert e1 == s2
+
+
+def test_partition_invalid():
+    with pytest.raises(ValueError):
+        partition_blocks(4, 0)
+
+
+def test_chunk_ranges():
+    assert chunk_ranges(0, 10, 4) == [(0, 4), (4, 8), (8, 10)]
+    with pytest.raises(ValueError):
+        chunk_ranges(0, 10, 0)
+
+
+def test_memory_manager_policies():
+    rt = Runtime(small_test_machine(), 2, StaticSpreadStrategy(1), seed=1)
+    mm = MemoryManager(rt)
+    local = mm.alloc_local(4096, rt.workers[1])
+    assert local.home_node == rt.workers[1].mem_node
+    assert mm.alloc_bind(4096, 1).home_node == 1
+    assert mm.alloc_interleave(4096).policy is MemPolicy.INTERLEAVE
+    assert mm.alloc_replicated(4096).policy is MemPolicy.REPLICATED

@@ -1,0 +1,77 @@
+"""Remaining coverage: co_barrier, SHOAL replication locality, task repr."""
+
+import numpy as np
+
+from repro.baselines import ShoalStrategy
+from repro.hw.counters import FillSource
+from repro.hw.machine import milan
+from repro.runtime.api import Charm, co_barrier
+from repro.runtime.ops import AccessBatch, Compute
+from repro.runtime.runtime import Runtime
+from repro.runtime.task import Task, TaskState
+
+
+def test_co_barrier_helper():
+    charm = Charm.init(machine=milan(scale=64), workers=3, seed=5)
+    bar = charm.barrier()
+    log = []
+
+    def body(wid):
+        yield Compute(10.0 * (wid + 1))
+        yield from co_barrier(bar)
+        log.append(wid)
+        return wid
+
+    charm.all_do(body)
+    charm.run()
+    assert sorted(log) == [0, 1, 2]
+    assert bar.releases == 1
+
+
+def test_shoal_replicated_reads_stay_node_local():
+    """Read-only arrays replicate per node: no cross-socket DRAM fills."""
+    machine = milan(scale=64)
+    rt = Runtime(machine, 4, ShoalStrategy(), seed=1)
+    ro = rt.alloc_shared(1 << 20, read_only=True, name="array")
+
+    def body(wid):
+        yield AccessBatch(ro, list(range(wid * 16, wid * 16 + 16)))
+        return wid
+
+    for w in range(4):
+        rt.spawn(body, w, pin_worker=w)
+    rt.run()
+    for w in rt.workers:
+        assert w.fills.counts[FillSource.DRAM_REMOTE] == 0
+        assert w.fills.counts[FillSource.REMOTE_NUMA_CHIPLET] == 0
+
+
+def test_task_lifecycle_and_repr():
+    def body():
+        yield Compute(1.0)
+        return "v"
+
+    t = Task(body, name="demo")
+    assert t.state is TaskState.CREATED
+    assert "demo" in repr(t)
+    gen = t.ensure_started()
+    assert gen is t.ensure_started()  # idempotent
+    t.finish("v", 10.0)
+    assert t.state is TaskState.DONE and t.result == "v" and t.finished_at == 10.0
+    t2 = Task(body)
+    t2.fail(RuntimeError("x"), 5.0)
+    assert t2.state is TaskState.FAILED and isinstance(t2.error, RuntimeError)
+
+
+def test_completion_future_for_already_done_task():
+    machine = milan(scale=64)
+    rt = Runtime(machine, 1, ShoalStrategy(), seed=1)
+
+    def body():
+        yield Compute(1.0)
+        return 7
+
+    t = rt.spawn(body, pin_worker=0)
+    rt.run()
+    fut = rt.completion_future(t)  # requested only after completion
+    assert fut.done and fut.value == 7

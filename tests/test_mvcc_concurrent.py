@@ -1,0 +1,98 @@
+"""Snapshot-isolation invariants under randomised interleavings."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.oltp.mvcc import MvccStore, Transaction, TxnAborted
+
+KEYS = [0, 1, 2]
+
+
+@st.composite
+def _schedules(draw):
+    """A random interleaving of begin/read/write/commit over 3 txn slots."""
+    ops = draw(st.lists(
+        st.tuples(st.integers(0, 2),
+                  st.sampled_from(["begin", "read", "write", "commit"]),
+                  st.sampled_from(KEYS)),
+        min_size=4, max_size=40))
+    return ops
+
+
+@given(_schedules())
+@settings(max_examples=120, deadline=None)
+def test_no_lost_updates_and_monotone_counters(schedule):
+    """Counters only ever increase by exactly the committed increments.
+
+    Each write increments the snapshot-read value by 1.  Under first-
+    committer-wins SI, every committed transaction's increment is applied
+    exactly once: the final counter value equals the number of committed
+    increments to that key, regardless of interleaving.
+    """
+    store = MvccStore()
+    for k in KEYS:
+        store.load(k, 0)
+    slots = {}
+    committed_increments = {k: 0 for k in KEYS}
+    pending = {}
+
+    for slot, op, key in schedule:
+        if op == "begin":
+            slots[slot] = Transaction(store)
+            pending[slot] = {}
+        elif slot not in slots:
+            continue
+        elif op == "read":
+            slots[slot].read(key)
+        elif op == "write":
+            base = slots[slot].read(key)
+            slots[slot].write(key, base + 1)
+            # read-your-writes: each write adds exactly one on top of the
+            # previous buffered value, so count every write.
+            pending[slot][key] = pending[slot].get(key, 0) + 1
+        else:  # commit
+            txn = slots.pop(slot)
+            writes = pending.pop(slot)
+            try:
+                txn.commit()
+                for k, n in writes.items():
+                    committed_increments[k] += n
+            except TxnAborted:
+                pass
+
+    for k in KEYS:
+        final = Transaction(store).read(k)
+        assert final == committed_increments[k], (k, final, committed_increments)
+
+
+@given(_schedules())
+@settings(max_examples=80, deadline=None)
+def test_snapshots_are_stable(schedule):
+    """A transaction's reads never change over its lifetime."""
+    store = MvccStore()
+    for k in KEYS:
+        store.load(k, 0)
+    slots = {}
+    first_reads = {}
+
+    for slot, op, key in schedule:
+        if op == "begin":
+            slots[slot] = Transaction(store)
+            first_reads[slot] = {}
+        elif slot not in slots:
+            continue
+        elif op == "read":
+            v = slots[slot].read(key)
+            if key in first_reads[slot]:
+                assert v == first_reads[slot][key]
+            elif key not in slots[slot].writes:
+                first_reads[slot][key] = v
+        elif op == "write":
+            slots[slot].write(key, 99)
+            first_reads[slot].pop(key, None)  # read-your-writes takes over
+        else:
+            txn = slots.pop(slot)
+            first_reads.pop(slot)
+            try:
+                txn.commit()
+            except TxnAborted:
+                pass

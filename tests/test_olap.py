@@ -1,0 +1,135 @@
+"""Column store: operators and the 22-query suite."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.vanilla import VanillaStrategy
+from repro.hw.machine import milan
+from repro.runtime.policy import CharmStrategy
+from repro.workloads.olap import QUERIES, generate, run_query
+from repro.workloads.olap.engine import execute_query
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(sf=0.5, seed=42)
+
+
+def test_generate_deterministic(data):
+    again = generate(sf=0.5, seed=42)
+    for table in data.tables:
+        for col in data.tables[table]:
+            assert np.array_equal(data.col(table, col), again.col(table, col))
+
+
+def test_schema_shape(data):
+    assert data.rows("lineitem") == 30_000
+    assert data.rows("orders") == data.rows("lineitem") // 4
+    assert data.col("lineitem", "orderkey").max() < data.rows("orders")
+    assert data.col("orders", "custkey").max() < data.rows("customer")
+
+
+def test_scan_filter_operator(data):
+    def body(e):
+        rows = yield from e.scan_filter("lineitem", lambda c: c["shipdate"] < 100,
+                                        ["shipdate"])
+        return float(rows.size)
+
+    res = execute_query(milan(scale=64), CharmStrategy(), 4, data, body, name="scan")
+    expected = (data.col("lineitem", "shipdate") < 100).sum()
+    assert res.value == expected
+
+
+def test_hash_join_operator(data):
+    def body(e):
+        build = e.data.col("customer", "custkey")[:50]
+        probe = e.data.col("orders", "custkey")
+        pi, bi = yield from e.hash_join(build, probe)
+        assert np.array_equal(build[bi], probe[pi])
+        return float(pi.size)
+
+    res = execute_query(milan(scale=64), CharmStrategy(), 4, data, body, name="join")
+    expected = np.isin(data.col("orders", "custkey"), np.arange(50)).sum()
+    assert res.value == expected
+
+
+def test_aggregate_operator(data):
+    def body(e):
+        groups = e.data.col("lineitem", "returnflag")
+        vals = e.data.col("lineitem", "quantity")
+        keys, sums = yield from e.aggregate(groups, vals)
+        assert np.allclose(sums.sum(), vals.sum())
+        return float(keys.size)
+
+    res = execute_query(milan(scale=64), CharmStrategy(), 4, data, body, name="agg")
+    assert res.value == 3  # three return flags
+
+
+@pytest.mark.parametrize("query", sorted(QUERIES))
+def test_query_values_strategy_independent(data, query):
+    """Every query computes the same value under stock and CHARM."""
+    rs = run_query(milan(scale=64), VanillaStrategy(), 4, data, query)
+    rc = run_query(milan(scale=64), CharmStrategy(), 4, data, query)
+    assert rs.value == pytest.approx(rc.value, rel=1e-9)
+    assert rs.wall_ns > 0 and rc.wall_ns > 0
+
+
+def test_q6_matches_direct_evaluation(data):
+    r = run_query(milan(scale=64), CharmStrategy(), 4, data, "q6")
+    c = data.tables["lineitem"]
+    mask = ((c["shipdate"] >= 365) & (c["shipdate"] < 730)
+            & (c["discount"] >= 0.05) & (c["discount"] <= 0.07) & (c["quantity"] < 24))
+    assert r.value == pytest.approx((c["extendedprice"][mask] * c["discount"][mask]).sum())
+
+
+def test_q1_matches_direct_evaluation(data):
+    r = run_query(milan(scale=64), CharmStrategy(), 4, data, "q1")
+    c = data.tables["lineitem"]
+    mask = c["shipdate"] <= 2200
+    assert r.value == pytest.approx(
+        (c["extendedprice"][mask] * (1 - c["discount"][mask])).sum())
+
+
+def test_query_kinds_cover_both():
+    kinds = {kind for _, kind in QUERIES.values()}
+    assert kinds == {"scan", "join"}
+    assert len(QUERIES) == 22
+
+
+def test_q13_matches_direct_evaluation(data):
+    r = run_query(milan(scale=64), CharmStrategy(), 4, data, "q13")
+    ck = data.col("orders", "custkey")
+    counts = np.bincount(ck)
+    assert r.value == (counts[counts >= 2]).size
+
+
+def test_q15_matches_direct_evaluation(data):
+    r = run_query(milan(scale=64), CharmStrategy(), 4, data, "q15")
+    c = data.tables["lineitem"]
+    mask = (c["shipdate"] >= 600) & (c["shipdate"] < 690)
+    rev = c["extendedprice"][mask] * (1 - c["discount"][mask])
+    sums = np.bincount(c["suppkey"][mask], weights=rev)
+    assert r.value == pytest.approx(sums.max())
+
+
+def test_q19_matches_direct_evaluation(data):
+    r = run_query(milan(scale=64), CharmStrategy(), 4, data, "q19")
+    c = data.tables["lineitem"]
+    mask = (c["quantity"] < 12) & (c["shipinstruct"] == 1)
+    brand = data.col("part", "brand")[c["partkey"][mask]]
+    assert r.value == pytest.approx(c["extendedprice"][mask][brand < 8].sum())
+
+
+def test_q22_matches_direct_evaluation(data):
+    r = run_query(milan(scale=64), CharmStrategy(), 4, data, "q22")
+    bal = data.col("customer", "acctbal")
+    pos = bal[bal > 0]
+    assert r.value == (bal > pos.mean()).sum()
+
+
+def test_q4_semi_join_counts_each_order_once(data):
+    r = run_query(milan(scale=64), CharmStrategy(), 4, data, "q4")
+    c = data.tables["lineitem"]
+    late_orders = np.unique(c["orderkey"][c["commitdate"] < c["receiptdate"]])
+    odate = data.col("orders", "orderdate")[late_orders]
+    assert r.value == (odate < 1200).sum()

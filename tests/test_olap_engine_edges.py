@@ -1,0 +1,86 @@
+"""Column-store engine edge cases."""
+
+import numpy as np
+
+from repro.hw.machine import milan
+from repro.runtime.policy import CharmStrategy
+from repro.workloads.olap import generate
+from repro.workloads.olap.engine import execute_query
+
+
+def _exec(body, workers=4, sf=0.2):
+    data = generate(sf=sf, seed=42)
+    return execute_query(milan(scale=64), CharmStrategy(), workers, data, body,
+                         name="edge"), data
+
+
+def test_empty_filter_result():
+    def body(e):
+        rows = yield from e.scan_filter("lineitem", lambda c: c["shipdate"] < -1,
+                                        ["shipdate"])
+        vals = yield from e.gather("lineitem", "quantity", rows)
+        return float(vals.sum())
+
+    res, _ = _exec(body)
+    assert res.value == 0.0
+
+
+def test_join_with_no_matches():
+    def body(e):
+        build = np.array([10**9], dtype=np.int64)
+        probe = e.data.col("lineitem", "partkey")
+        pi, bi = yield from e.hash_join(build, probe)
+        return float(pi.size + bi.size)
+
+    res, _ = _exec(body)
+    assert res.value == 0.0
+
+
+def test_join_first_match_semantics_on_duplicate_build():
+    """With duplicate build keys each probe row matches exactly once."""
+    def body(e):
+        build = np.array([1, 1, 2], dtype=np.int64)
+        probe = np.array([1, 2, 3], dtype=np.int64)
+        pi, bi = yield from e.hash_join(build, probe)
+        assert np.array_equal(pi, np.array([0, 1]))
+        assert np.array_equal(build[bi], np.array([1, 2]))
+        return float(pi.size)
+
+    res, _ = _exec(body)
+    assert res.value == 2.0
+
+
+def test_aggregate_empty():
+    def body(e):
+        keys, sums = yield from e.aggregate(np.empty(0, np.int64), np.empty(0))
+        return float(keys.size + sums.size)
+
+    res, _ = _exec(body)
+    assert res.value == 0.0
+
+
+def test_gather_unsorted_rows():
+    def body(e):
+        rows = np.array([100, 3, 50, 3], dtype=np.int64)
+        vals = yield from e.gather("lineitem", "quantity", rows)
+        expect = e.data.col("lineitem", "quantity")[rows]
+        assert np.array_equal(vals, expect)
+        return float(vals.sum())
+
+    res, data = _exec(body)
+    assert res.value > 0
+
+
+def test_morsel_rows_affects_task_count():
+    def body(e):
+        rows = yield from e.scan_filter("lineitem", lambda c: c["shipdate"] >= 0,
+                                        ["shipdate"])
+        return float(rows.size)
+
+    data = generate(sf=0.2, seed=42)
+    fine = execute_query(milan(scale=64), CharmStrategy(), 4, data, body,
+                         name="fine", morsel_rows=512)
+    coarse = execute_query(milan(scale=64), CharmStrategy(), 4, data, body,
+                           name="coarse", morsel_rows=8192)
+    assert fine.value == coarse.value
+    assert fine.report.tasks_created > coarse.report.tasks_created

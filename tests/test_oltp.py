@@ -1,0 +1,138 @@
+"""MVCC store invariants and the OLTP engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.machine import milan
+from repro.runtime.policy import distributed_cache_strategy, local_cache_strategy
+from repro.workloads.oltp import (
+    MvccStore,
+    Transaction,
+    TxnAborted,
+    run_oltp,
+    tpcc_workload,
+    ycsb_workload,
+)
+from repro.workloads.oltp.tpcc import DISTRICTS_PER_WAREHOUSE, load_tpcc
+from repro.workloads.oltp.ycsb import load_ycsb
+
+
+def test_snapshot_isolation_repeatable_read():
+    s = MvccStore()
+    s.load("k", 1)
+    t1 = Transaction(s)
+    assert t1.read("k") == 1
+    t2 = Transaction(s)
+    t2.write("k", 2)
+    t2.commit()
+    # t1 still sees its snapshot.
+    assert t1.read("k") == 1
+    # A fresh transaction sees the new value.
+    assert Transaction(s).read("k") == 2
+
+
+def test_write_write_conflict_aborts():
+    s = MvccStore()
+    s.load("k", 0)
+    t1, t2 = Transaction(s), Transaction(s)
+    t1.write("k", 1)
+    t2.write("k", 2)
+    t1.commit()
+    with pytest.raises(TxnAborted):
+        t2.commit()
+    assert s.aborts == 1
+    assert Transaction(s).read("k") == 1  # no lost update
+
+
+def test_read_your_writes():
+    s = MvccStore()
+    s.load("k", 0)
+    t = Transaction(s)
+    t.write("k", 9)
+    assert t.read("k") == 9
+
+
+def test_atomic_multi_key_commit():
+    s = MvccStore()
+    s.load("a", 0)
+    s.load("b", 0)
+    t = Transaction(s)
+    t.write("a", 1)
+    t.write("b", 1)
+    snapshot_before = Transaction(s)
+    t.commit()
+    # The pre-commit snapshot sees neither write; a new one sees both.
+    assert snapshot_before.read("a") == 0 and snapshot_before.read("b") == 0
+    after = Transaction(s)
+    assert after.read("a") == 1 and after.read("b") == 1
+
+
+def test_commit_timestamps_monotonic():
+    s = MvccStore()
+    s.load("k", 0)
+    ts = []
+    for i in range(5):
+        t = Transaction(s)
+        t.write("k", i)
+        ts.append(t.commit())
+    assert ts == sorted(ts) and len(set(ts)) == 5
+    assert s.version_count("k") == 6
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 100)), max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_serial_transactions_match_dict(ops):
+    """Serially committed transactions behave like a plain dict."""
+    s = MvccStore()
+    model = {}
+    for key, value in ops:
+        t = Transaction(s)
+        t.write(key, value)
+        t.commit()
+        model[key] = value
+    for key, value in model.items():
+        assert Transaction(s).read(key) == value
+
+
+def test_ycsb_engine_runs_and_commits():
+    store = load_ycsb(5000)
+    res = run_oltp(milan(scale=64), local_cache_strategy(), 8, ycsb_workload, "ycsb",
+                   store, 4 << 20, txns_per_worker=50)
+    assert res.committed + res.aborted == 8 * 50
+    assert res.committed > 0
+    assert res.commits_per_second > 0
+    assert store.commits == res.committed
+
+
+def test_tpcc_consistency_invariants():
+    tables = load_tpcc(2)
+    res = run_oltp(milan(scale=64), local_cache_strategy(), 8, tpcc_workload(tables),
+                   "tpcc", tables.store, 4 << 20, txns_per_worker=40)
+    assert res.committed > 0
+    s = tables.store
+    for w in range(2):
+        # District order counters are consistent: next_o_id equals the
+        # number of committed orders in that district.
+        for d in range(DISTRICTS_PER_WAREHOUSE):
+            dist = Transaction(s).read(("dist", w, d))
+            n_orders = sum(
+                1 for k in s.keys()
+                if isinstance(k, tuple) and k[0] == "order" and k[1] == w and k[2] == d
+                and Transaction(s).read(k) is not None
+            )
+            assert dist["next_o_id"] == n_orders
+        # Customer payment counts sum to positive payments reflected in YTD.
+        wh = Transaction(s).read(("wh", w))
+        assert wh["ytd"] >= 0
+
+
+def test_local_vs_distributed_equivalent_throughput():
+    """Fig. 14's core finding at small scale."""
+    m1 = milan(scale=64)
+    r_local = run_oltp(m1, local_cache_strategy(), 16, ycsb_workload, "ycsb",
+                       load_ycsb(5000), 4 << 20, txns_per_worker=40)
+    m2 = milan(scale=64)
+    r_dist = run_oltp(m2, distributed_cache_strategy(m2), 16, ycsb_workload, "ycsb",
+                      load_ycsb(5000), 4 << 20, txns_per_worker=40)
+    ratio = r_local.commits_per_second / r_dist.commits_per_second
+    assert 0.8 < ratio < 1.25

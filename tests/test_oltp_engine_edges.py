@@ -1,0 +1,63 @@
+"""OLTP engine edge cases: aborts, determinism, mixed workloads."""
+
+import pytest
+
+from repro.hw.machine import milan
+from repro.runtime.policy import local_cache_strategy
+from repro.workloads.oltp import run_oltp, tpcc_workload, ycsb_workload
+from repro.workloads.oltp.mvcc import MvccStore, Transaction
+from repro.workloads.oltp.tpcc import load_tpcc
+from repro.workloads.oltp.ycsb import load_ycsb
+
+
+def test_high_contention_produces_aborts():
+    """A 4-key YCSB keyspace under 16 workers must conflict."""
+    store = load_ycsb(4)
+    res = run_oltp(milan(scale=64), local_cache_strategy(), 16, ycsb_workload,
+                   "ycsb", store, 1 << 20, txns_per_worker=40)
+    assert res.aborted > 0
+    assert res.committed + res.aborted == 16 * 40
+    assert store.aborts == res.aborted
+
+
+def test_deterministic_across_runs():
+    def run():
+        return run_oltp(milan(scale=64), local_cache_strategy(), 8, ycsb_workload,
+                        "ycsb", load_ycsb(1000), 1 << 20, txns_per_worker=30)
+
+    a, b = run(), run()
+    assert a.committed == b.committed
+    assert a.wall_ns == b.wall_ns
+
+
+def test_tpcc_stock_quantities_stay_positive():
+    tables = load_tpcc(2)
+    run_oltp(milan(scale=64), local_cache_strategy(), 8, tpcc_workload(tables),
+             "tpcc", tables.store, 1 << 20, txns_per_worker=30)
+    s = tables.store
+    for key in list(s.keys()):
+        if isinstance(key, tuple) and key[0] == "stock":
+            row = Transaction(s).read(key)
+            assert row["qty"] > 0, key
+
+
+def test_read_only_transactions_never_abort():
+    store = MvccStore()
+    store.load("k", 1)
+
+    def read_only(store_, txn, wid, i, rng):
+        txn.read("k")
+        return [("k", False)]
+
+    res = run_oltp(milan(scale=64), local_cache_strategy(), 8, read_only, "ro",
+                   store, 1 << 20, txns_per_worker=25)
+    assert res.aborted == 0
+    assert res.committed == 200
+
+
+def test_commits_metric_consistency():
+    store = load_ycsb(500)
+    res = run_oltp(milan(scale=64), local_cache_strategy(), 4, ycsb_workload,
+                   "ycsb", store, 1 << 20, txns_per_worker=25)
+    assert res.commits_per_second == pytest.approx(
+        res.committed / (res.wall_ns * 1e-9))

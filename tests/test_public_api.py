@@ -1,0 +1,37 @@
+"""The package's public surface is importable and consistent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize("module", [
+    "repro.hw", "repro.runtime", "repro.baselines", "repro.sim",
+    "repro.workloads", "repro.workloads.graph", "repro.workloads.sgd",
+    "repro.workloads.olap", "repro.workloads.oltp", "repro.bench",
+])
+def test_subpackage_all_resolves(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert getattr(mod, name, None) is not None, f"{module}.{name}"
+
+
+def test_version():
+    assert repro.__version__.count(".") == 2
+
+
+def test_every_public_module_has_docstring():
+    import pkgutil
+
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would run the CLI
+        mod = importlib.import_module(info.name)
+        assert mod.__doc__, f"{info.name} lacks a module docstring"

@@ -1,0 +1,68 @@
+"""Local task queues and steal ordering."""
+
+from repro.hw.topology import milan_topology
+from repro.runtime.queues import LocalQueue, flat_steal_order, hierarchical_steal_order
+from repro.runtime.task import Task
+from repro.sim.rng import stream_rng
+
+
+def _task(pinned=False):
+    def body():
+        yield None
+
+    return Task(body, pinned=pinned)
+
+
+def test_owner_pops_fifo():
+    q = LocalQueue()
+    a, b = _task(), _task()
+    q.push(a)
+    q.push(b)
+    assert q.pop_local() is a
+    assert q.pop_local() is b
+    assert q.pop_local() is None
+
+
+def test_thief_steals_newest_unpinned():
+    q = LocalQueue()
+    a, b = _task(), _task()
+    q.push(a)
+    q.push(b)
+    assert q.steal() is b
+
+
+def test_pinned_tasks_not_stealable():
+    q = LocalQueue()
+    p1, u, p2 = _task(pinned=True), _task(), _task(pinned=True)
+    q.push(p1)
+    q.push(u)
+    q.push(p2)
+    assert q.steal() is u  # skips the pinned tail
+    assert q.steal() is None
+    assert len(q) == 2
+
+
+def test_remove():
+    q = LocalQueue()
+    a = _task()
+    q.push(a)
+    assert q.remove(a)
+    assert not q.remove(a)
+
+
+def test_hierarchical_order_tiers():
+    topo = milan_topology()
+    # workers on cores 0..15 (chiplets 0,1) plus one on socket 1.
+    cores = list(range(16)) + [64]
+    rng = stream_rng(1, "steal")
+    order = hierarchical_steal_order(topo, my_core=0, worker_cores=cores, rng=rng)
+    # First tier: same chiplet (cores 1..7 -> worker ids 1..7).
+    assert set(order[:7]) == set(range(1, 8))
+    # Last: the cross-socket worker.
+    assert order[-1] == 16
+
+
+def test_flat_order_complete():
+    rng = stream_rng(1, "steal")
+    order = flat_steal_order(3, 8, rng)
+    assert sorted(order) == [0, 1, 2, 4, 5, 6, 7]

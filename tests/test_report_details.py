@@ -1,0 +1,60 @@
+"""RunReport details: spread history, cumulative concurrency, wall metrics."""
+
+from repro.hw.machine import milan, small_test_machine
+from repro.runtime.ops import AccessBatch, Compute, YieldPoint
+from repro.runtime.policy import CharmStrategy, StaticSpreadStrategy
+from repro.runtime.runtime import Runtime
+
+
+def test_spread_history_records_migrations():
+    machine = milan(scale=64)
+    rt = Runtime(machine, 8, CharmStrategy(), seed=3, collect_timeline=True)
+    region = rt.alloc_shared(8 << 20, name="big")
+
+    def body(wid):
+        for r in range(40):
+            yield AccessBatch(region, list(range(r * 16, r * 16 + 16)))
+            yield YieldPoint()
+        return wid
+
+    for w in range(8):
+        rt.spawn(body, w, pin_worker=w)
+    report = rt.run()
+    assert len(report.spread_history) == report.migrations > 0
+    times = [t for t, _, _ in report.spread_history]
+    assert all(t >= 0 for t in times)
+    spreads = [s for _, _, s in report.spread_history]
+    assert max(spreads) > 1  # footprint widened
+
+
+def test_cumulative_concurrency_sorted_and_balanced():
+    rt = Runtime(small_test_machine(), 2, StaticSpreadStrategy(1), seed=3,
+                 collect_timeline=True)
+
+    def body(wid):
+        yield Compute(500.0)
+        yield YieldPoint()
+        yield Compute(500.0)
+        return wid
+
+    rt.spawn(body, 0, pin_worker=0)
+    rt.spawn(body, 1, pin_worker=1)
+    report = rt.run()
+    curve = report.cumulative_concurrency()
+    xs = [t for t, _ in curve]
+    assert xs == sorted(xs)
+    assert curve[-1][1] == 0  # all starts matched by stops
+    assert max(c for _, c in curve) <= 2
+
+
+def test_wall_seconds_and_throughput():
+    rt = Runtime(small_test_machine(), 1, StaticSpreadStrategy(1), seed=3)
+
+    def body():
+        yield Compute(2_000_000.0)  # 2 ms
+        return None
+
+    rt.spawn(body, pin_worker=0)
+    report = rt.run()
+    assert abs(report.wall_seconds - 2e-3) < 1e-4
+    assert abs(report.throughput(2000) - 1e6) / 1e6 < 0.1

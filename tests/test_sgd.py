@@ -1,0 +1,68 @@
+"""DimmWitted-style SGD engine."""
+
+import numpy as np
+import pytest
+
+from repro.hw.machine import milan
+from repro.workloads.sgd import SCHEMES, make_dataset, run_sgd, sgd_reference
+from repro.workloads.sgd.engine import _chunk_gradient, _chunk_loss, _sigmoid
+
+
+def test_dataset_deterministic():
+    a = make_dataset(64, 16, seed=1)
+    b = make_dataset(64, 16, seed=1)
+    assert np.array_equal(a.X, b.X) and np.array_equal(a.y, b.y)
+    assert a.data_bytes == 64 * 16 * 4
+
+
+def test_sigmoid_bounds():
+    z = np.array([-1000.0, 0.0, 1000.0])
+    s = _sigmoid(z)
+    assert 0 < s[0] < 0.01 and s[1] == 0.5 and s[2] > 0.99
+
+
+def test_gradient_reduces_loss():
+    ds = make_dataset(256, 32, seed=2)
+    w0 = np.zeros(32)
+    l0 = _chunk_loss(ds.X, ds.y, w0)
+    w1 = w0
+    for _ in range(20):
+        w1 = _chunk_gradient(ds.X, ds.y, w1, 0.5)
+    assert _chunk_loss(ds.X, ds.y, w1) < l0
+
+
+def test_single_worker_matches_reference():
+    ds = make_dataset(512, 64, seed=3)
+    res = run_sgd(milan(scale=64), "per-machine", 1, ds, kernel="gradient",
+                  epochs=2, chunk_rows=64)
+    assert np.allclose(res.model, sgd_reference(ds, 2, 0.1, 64))
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_all_schemes_run_and_learn(scheme):
+    ds = make_dataset(512, 64, seed=3)
+    res = run_sgd(milan(scale=64), scheme, 8, ds, kernel="gradient", epochs=1)
+    # The averaged model must classify better than chance.
+    preds = (_sigmoid(ds.X @ res.model) > 0.5).astype(np.float32)
+    assert (preds == ds.y).mean() > 0.7
+    assert res.throughput_gbs > 0
+
+
+def test_loss_kernel_accumulates():
+    ds = make_dataset(256, 32, seed=3)
+    res = run_sgd(milan(scale=64), "charm", 4, ds, kernel="loss", epochs=1)
+    assert res.loss > 0
+    assert res.bytes_processed == ds.data_bytes
+
+
+def test_invalid_kernel():
+    ds = make_dataset(64, 16, seed=3)
+    with pytest.raises(ValueError):
+        run_sgd(milan(scale=64), "charm", 2, ds, kernel="median")
+
+
+def test_charm_beats_native_at_scale():
+    ds = make_dataset(2048, 512, seed=11)
+    rc = run_sgd(milan(scale=32), "charm", 32, ds, kernel="gradient", epochs=1)
+    rn = run_sgd(milan(scale=32), "numa-node", 32, ds, kernel="gradient", epochs=1)
+    assert rc.throughput_gbs > 1.5 * rn.throughput_gbs

@@ -1,0 +1,106 @@
+"""Virtual-time event loop semantics."""
+
+import pytest
+
+from repro.sim.engine import Actor, EventLoop, SimulationError, StepOutcome
+
+
+class Stepper(Actor):
+    """Advances its clock by `step_ns` for `n` steps, recording order."""
+
+    def __init__(self, actor_id, step_ns, n, log):
+        super().__init__(actor_id)
+        self.step_ns = step_ns
+        self.n = n
+        self.log = log
+
+    def step(self, loop):
+        self.log.append((self.actor_id, self.clock))
+        self.n -= 1
+        if self.n <= 0:
+            return StepOutcome.FINISHED
+        self.clock += self.step_ns
+        return StepOutcome.RESCHEDULE
+
+
+def test_min_clock_first_ordering():
+    log = []
+    loop = EventLoop()
+    loop.add(Stepper(0, 10.0, 5, log))
+    loop.add(Stepper(1, 25.0, 3, log))
+    loop.run()
+    times = [t for _, t in log]
+    assert times == sorted(times)
+
+
+def test_tie_break_deterministic():
+    log = []
+    loop = EventLoop()
+    loop.add(Stepper(1, 10.0, 2, log))
+    loop.add(Stepper(0, 10.0, 2, log))
+    loop.run()
+    assert log[0][0] == 0  # lower actor id first on equal clocks
+
+
+def test_final_time_is_max_clock():
+    loop = EventLoop()
+    loop.add(Stepper(0, 7.0, 4, []))
+    assert loop.run() == pytest.approx(21.0)
+
+
+class Parker(Actor):
+    def step(self, loop):
+        return StepOutcome.PARKED
+
+
+def test_deadlock_detected():
+    loop = EventLoop()
+    loop.add(Parker(0))
+    with pytest.raises(SimulationError, match="deadlock"):
+        loop.run()
+
+
+def test_wake_advances_clock():
+    class WakeOnce(Actor):
+        def __init__(self):
+            super().__init__(0)
+            self.phase = 0
+
+        def step(self, loop):
+            if self.phase == 0:
+                self.phase = 1
+                return StepOutcome.PARKED
+            return StepOutcome.FINISHED
+
+    class Waker(Actor):
+        def __init__(self, target):
+            super().__init__(1)
+            self.target = target
+
+        def step(self, loop):
+            loop.wake(self.target, at_time=500.0)
+            return StepOutcome.FINISHED
+
+    sleeper = WakeOnce()
+    loop = EventLoop()
+    loop.add(sleeper)
+    loop.add(Waker(sleeper))
+    loop.run()
+    assert sleeper.clock == 500.0
+
+
+def test_wake_finished_actor_rejected():
+    loop = EventLoop()
+    a = Stepper(0, 1.0, 1, [])
+    loop.add(a)
+    loop.run()
+    with pytest.raises(SimulationError):
+        loop.wake(a)
+
+
+def test_max_steps_livelock_guard():
+    loop = EventLoop()
+    loop.max_steps = 10
+    loop.add(Stepper(0, 1.0, 1000, []))
+    with pytest.raises(SimulationError, match="max_steps"):
+        loop.run()

@@ -1,0 +1,42 @@
+"""Streamcluster kernel correctness and scaling mechanics."""
+
+import numpy as np
+
+from repro.baselines import ShoalStrategy
+from repro.baselines.vanilla import VanillaStrategy
+from repro.hw.machine import milan
+from repro.runtime.policy import CharmStrategy
+from repro.workloads.streamcluster import assign_reference, make_points, run_streamcluster
+
+
+def test_assignment_matches_reference():
+    pts = make_points(4096, 16, 6, seed=4)
+    res = run_streamcluster(milan(scale=64), CharmStrategy(), 8, pts, n_centers=6,
+                            batch_points=1024)
+    ref_assign, ref_cost = assign_reference(pts, pts[:6].copy())
+    assert np.array_equal(res.assignment, ref_assign)
+    assert abs(res.cost - ref_cost) / ref_cost < 1e-5
+
+
+def test_points_deterministic():
+    a = make_points(128, 8, 3, seed=1)
+    b = make_points(128, 8, 3, seed=1)
+    assert np.array_equal(a, b)
+
+
+def test_assignment_independent_of_strategy():
+    pts = make_points(4096, 16, 6, seed=4)
+    r1 = run_streamcluster(milan(scale=64), CharmStrategy(), 8, pts, n_centers=6)
+    r2 = run_streamcluster(milan(scale=64), ShoalStrategy(), 8, pts, n_centers=6)
+    assert np.array_equal(r1.assignment, r2.assignment)
+    assert r1.cost == r2.cost
+
+
+def test_parallel_speedup_then_fragmentation():
+    pts = make_points(16384, 32, 8, seed=4)
+    kw = dict(n_centers=8, batch_points=8192)
+    t1 = run_streamcluster(milan(scale=32), VanillaStrategy(), 1, pts, **kw).wall_ns
+    t16 = run_streamcluster(milan(scale=32), CharmStrategy(), 16, pts, **kw).wall_ns
+    t128 = run_streamcluster(milan(scale=32), CharmStrategy(), 128, pts, **kw).wall_ns
+    assert t1 / t16 > 3.0          # parallel speedup exists
+    assert t1 / t128 < t1 / t16    # fragmentation erodes it

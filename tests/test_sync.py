@@ -1,0 +1,82 @@
+"""Barriers and futures."""
+
+import pytest
+
+from repro.runtime.sync import Barrier, Future
+from repro.runtime.task import Task, TaskState
+
+
+def _task():
+    def body():
+        yield None
+
+    return Task(body)
+
+
+def test_barrier_releases_on_last_arrival():
+    b = Barrier(3)
+    assert b.arrive(_task(), 0, 10.0) is None
+    assert b.arrive(_task(), 1, 20.0) is None
+    released = b.arrive(_task(), 2, 30.0)
+    assert released is not None and len(released) == 3
+    assert b.generation == 1
+
+
+def test_barrier_reusable():
+    b = Barrier(2)
+    b.arrive(_task(), 0, 1.0)
+    assert b.arrive(_task(), 1, 2.0)
+    b.arrive(_task(), 0, 3.0)
+    assert b.arrive(_task(), 1, 4.0)
+    assert b.releases == 2
+
+
+def test_barrier_overfill_rejected():
+    b = Barrier(1)
+    b.arrive(_task(), 0, 1.0)  # releases immediately
+    b2 = Barrier(2)
+    b2.arrive(_task(), 0, 1.0)
+    b2._arrived.append((_task(), 1, 2.0))  # force inconsistent state
+    with pytest.raises(RuntimeError):
+        b2.arrive(_task(), 2, 3.0)
+
+
+def test_barrier_invalid_parties():
+    with pytest.raises(ValueError):
+        Barrier(0)
+
+
+def test_future_resolve_wakes_waiters():
+    f = Future()
+    t = _task()
+    f.add_waiter(t)
+    assert t.state is TaskState.BLOCKED
+    woken = f.resolve("value", now=42.0)
+    assert woken == [t]
+    assert t.send_value == "value"
+    assert t.ready_at == 42.0
+    assert t.state is TaskState.READY
+
+
+def test_future_double_resolve_rejected():
+    f = Future()
+    f.resolve(1, 0.0)
+    with pytest.raises(RuntimeError):
+        f.resolve(2, 0.0)
+
+
+def test_future_wait_after_done_rejected():
+    f = Future()
+    f.resolve(1, 0.0)
+    with pytest.raises(RuntimeError):
+        f.add_waiter(_task())
+
+
+def test_future_callbacks():
+    f = Future()
+    seen = []
+    f.on_resolve(lambda fut, now: seen.append((fut.value, now)))
+    f.resolve(7, 9.0)
+    assert seen == [(7, 9.0)]
+    with pytest.raises(RuntimeError):
+        f.on_resolve(lambda fut, now: None)

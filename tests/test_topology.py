@@ -1,0 +1,101 @@
+"""Topology id arithmetic and distance classes."""
+
+import pytest
+
+from repro.hw.topology import (
+    Distance,
+    Topology,
+    milan_topology,
+    sapphire_rapids_topology,
+)
+
+
+@pytest.fixture(params=["milan", "spr", "small"])
+def topo(request):
+    return {
+        "milan": milan_topology(),
+        "spr": sapphire_rapids_topology(),
+        "small": Topology(2, 2, 2, name="small"),
+    }[request.param]
+
+
+def test_sizes_consistent(topo):
+    assert topo.total_cores == topo.sockets * topo.chiplets_per_socket * topo.cores_per_chiplet
+    assert topo.total_chiplets == topo.sockets * topo.chiplets_per_socket
+    assert topo.numa_nodes == topo.sockets
+
+
+def test_core_to_chiplet_roundtrip(topo):
+    for chiplet in range(topo.total_chiplets):
+        for core in topo.cores_of_chiplet(chiplet):
+            assert topo.chiplet_of_core(core) == chiplet
+
+
+def test_chiplet_to_socket_roundtrip(topo):
+    for socket in range(topo.sockets):
+        for chiplet in topo.chiplets_of_socket(socket):
+            assert topo.socket_of_chiplet(chiplet) == socket
+
+
+def test_cores_of_socket_partition(topo):
+    seen = []
+    for s in range(topo.sockets):
+        seen.extend(topo.cores_of_socket(s))
+    assert seen == list(range(topo.total_cores))
+
+
+def test_core_id_inverse(topo):
+    for chiplet in range(topo.total_chiplets):
+        for slot in range(topo.cores_per_chiplet):
+            core = topo.core_id(chiplet, slot)
+            assert topo.chiplet_of_core(core) == chiplet
+            assert core % topo.cores_per_chiplet == slot
+
+
+def test_distance_classes(topo):
+    c0 = 0
+    assert topo.distance(c0, c0) is Distance.SAME_CORE
+    same_chiplet = topo.cores_of_chiplet(0)[1]
+    assert topo.distance(c0, same_chiplet) is Distance.SAME_CHIPLET
+    if topo.chiplets_per_socket > 1:
+        other_chiplet_core = topo.cores_of_chiplet(1)[0]
+        assert topo.distance(c0, other_chiplet_core) is Distance.SAME_SOCKET
+    if topo.sockets > 1:
+        remote = topo.cores_of_socket(1)[0]
+        assert topo.distance(c0, remote) is Distance.CROSS_SOCKET
+
+
+def test_distance_symmetric(topo):
+    cores = [0, topo.cores_per_chiplet, topo.cores_per_socket % topo.total_cores]
+    for a in cores:
+        for b in cores:
+            assert topo.distance(a, b) is topo.distance(b, a)
+
+
+def test_core_pairs_count(topo):
+    n = topo.total_cores
+    assert len(topo.core_pairs()) == n * (n - 1) // 2
+
+
+def test_out_of_range_rejected(topo):
+    with pytest.raises(ValueError):
+        topo.chiplet_of_core(topo.total_cores)
+    with pytest.raises(ValueError):
+        topo.cores_of_chiplet(topo.total_chiplets)
+    with pytest.raises(ValueError):
+        topo.core_id(0, topo.cores_per_chiplet)
+
+
+def test_invalid_dimensions_rejected():
+    with pytest.raises(ValueError):
+        Topology(sockets=0)
+    with pytest.raises(ValueError):
+        Topology(smt=0)
+
+
+def test_presets():
+    m = milan_topology()
+    assert (m.sockets, m.chiplets_per_socket, m.cores_per_chiplet) == (2, 8, 8)
+    assert m.total_cores == 128
+    s = sapphire_rapids_topology()
+    assert s.total_cores == 96

@@ -1,0 +1,38 @@
+"""Fig. 5 microbenchmark mechanics."""
+
+import pytest
+
+from repro.hw.machine import milan
+from repro.runtime.policy import distributed_cache_strategy, local_cache_strategy
+from repro.workloads.vector_write import run_vector_write, sweep_sizes
+
+
+def test_small_sizes_favor_local():
+    m_l, m_d = milan(scale=64), milan(scale=64)
+    size = m_l.l3_bytes_per_chiplet // 64
+    rl = run_vector_write(m_l, local_cache_strategy(), size)
+    rd = run_vector_write(m_d, distributed_cache_strategy(m_d), size)
+    assert rl.ns_per_iteration < rd.ns_per_iteration
+
+
+def test_large_sizes_favor_distributed():
+    m_l, m_d = milan(scale=64), milan(scale=64)
+    size = m_l.l3_bytes_per_chiplet * 4
+    rl = run_vector_write(m_l, local_cache_strategy(), size)
+    rd = run_vector_write(m_d, distributed_cache_strategy(m_d), size)
+    assert rd.ns_per_iteration < rl.ns_per_iteration
+    assert 1.5 < rl.ns_per_iteration / rd.ns_per_iteration < 5.0
+
+
+def test_result_fields():
+    m = milan(scale=64)
+    r = run_vector_write(m, local_cache_strategy(), 1 << 16, iterations=2)
+    assert r.iterations == 2
+    assert r.ns_per_iteration == pytest.approx(r.wall_ns / 2)
+    assert r.bytes_per_ns > 0
+
+
+def test_sweep_sizes_cover_boundaries():
+    sizes = sweep_sizes(32 << 20, 8)
+    assert min(sizes) < (32 << 20) // 100
+    assert max(sizes) > 8 * (32 << 20)

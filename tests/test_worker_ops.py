@@ -1,0 +1,172 @@
+"""Worker-level op semantics: MLP, dependent chains, slicing, stealing."""
+
+import pytest
+
+from repro.hw.machine import small_test_machine
+from repro.runtime.ops import (
+    Access,
+    AccessBatch,
+    Compute,
+    SimLock,
+    SpawnOp,
+    WaitBarrier,
+    WaitFuture,
+    YieldPoint,
+)
+from repro.runtime.policy import StaticSpreadStrategy
+from repro.runtime.runtime import Runtime
+from repro.runtime.sync import Barrier
+
+
+def _rt(workers=1, **kw):
+    return Runtime(small_test_machine(), workers, StaticSpreadStrategy(1), seed=3, **kw)
+
+
+def test_batch_overlaps_latency_vs_dependent_chain():
+    """The same blocks cost much more as a dependent chain than a batch."""
+    def run(dependent):
+        rt = _rt()
+        region = rt.alloc(64 * 64, node=0)
+        blocks = list(range(region.n_blocks))
+
+        def body():
+            yield AccessBatch(region, blocks, dependent=dependent)
+            return None
+
+        rt.spawn(body, pin_worker=0)
+        return rt.run().wall_ns
+
+    assert run(dependent=True) > 2.0 * run(dependent=False)
+
+
+def test_single_access_equals_dependent_batch_cost_shape():
+    rt = _rt()
+    region = rt.alloc(64 * 8, node=0)
+
+    def body():
+        for b in range(region.n_blocks):
+            yield Access(region, b)
+        return None
+
+    rt.spawn(body, pin_worker=0)
+    serial = rt.run().wall_ns
+    rt2 = _rt()
+    region2 = rt2.alloc(64 * 8, node=0)
+
+    def body2():
+        yield AccessBatch(region2, list(range(region2.n_blocks)))
+        return None
+
+    rt2.spawn(body2, pin_worker=0)
+    batched = rt2.run().wall_ns
+    assert serial > batched
+
+
+def test_compute_rejects_negative():
+    with pytest.raises(ValueError):
+        Compute(-1.0)
+
+
+def test_unknown_op_rejected():
+    rt = _rt()
+
+    def body():
+        yield "not-an-op"
+
+    rt.spawn(body, pin_worker=0)
+    with pytest.raises(TypeError, match="unknown op"):
+        rt.run()
+
+
+def test_non_generator_task_rejected():
+    rt = _rt()
+    rt.spawn(lambda: 42, pin_worker=0)
+    with pytest.raises(TypeError, match="generator"):
+        rt.run()
+
+
+def test_step_slice_bounds_single_turn():
+    """A long compute sequence is split across event-loop turns."""
+    rt = _rt(step_slice_ns=100.0)
+
+    def body():
+        for _ in range(50):
+            yield Compute(50.0)
+        return None
+
+    rt.spawn(body, pin_worker=0)
+    rt.run()
+    assert rt.loop.steps > 10  # many slices, not one monolithic step
+
+
+def test_sim_lock_contention_tracked():
+    lock = SimLock("L")
+    rt = _rt(workers=2)
+    from repro.runtime.ops import CriticalSection
+
+    def body(wid):
+        yield CriticalSection(lock, 500.0)
+        return wid
+
+    rt.spawn(body, 0, pin_worker=0)
+    rt.spawn(body, 1, pin_worker=1)
+    rt.run()
+    assert lock.acquisitions == 2
+    assert lock.contended_ns > 0
+
+
+def test_barrier_underfilled_deadlocks():
+    """A barrier expecting more parties than exist is a detected deadlock."""
+    from repro.sim.engine import SimulationError
+
+    rt = _rt(workers=2)
+    bar = Barrier(3)
+
+    def body(wid):
+        yield WaitBarrier(bar)
+        return wid
+
+    rt.spawn(body, 0, pin_worker=0)
+    rt.spawn(body, 1, pin_worker=1)
+    with pytest.raises(SimulationError, match="deadlock"):
+        rt.run()
+
+
+def test_worker_steals_when_local_empty():
+    rt = _rt(workers=4)
+
+    def chunk(i):
+        yield Compute(2000.0)
+        return i
+
+    def root():
+        tasks = []
+        for i in range(12):
+            t = yield SpawnOp(chunk, (i,))
+            tasks.append(t)
+        for t in tasks:
+            fut = rt.completion_future(t)
+            if not fut.done:
+                yield WaitFuture(fut)
+        return None
+
+    rt.spawn(root, pin_worker=0)
+    report = rt.run()
+    # rr placement + imbalance means some stealing occurred or all workers busy
+    assert sum(1 for b in report.per_worker_busy_ns if b > 0) >= 3
+
+
+def test_yield_point_requeues_fifo_order():
+    rt = _rt(workers=1)
+    order = []
+
+    def body(tag):
+        order.append(("start", tag))
+        yield YieldPoint()
+        order.append(("end", tag))
+        return tag
+
+    rt.spawn(body, "a", pin_worker=0)
+    rt.spawn(body, "b", pin_worker=0)
+    rt.run()
+    assert order == [("start", "a"), ("start", "b"), ("end", "a"), ("end", "b")]

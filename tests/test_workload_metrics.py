@@ -1,0 +1,39 @@
+"""Metric plumbing across workload result types."""
+
+import numpy as np
+
+from repro.hw.machine import milan
+from repro.runtime.policy import CharmStrategy
+from repro.workloads.graph import kronecker, run_graph_algorithm
+from repro.workloads.gups import run_gups
+from repro.workloads.sgd import make_dataset, run_sgd
+from repro.workloads.streamcluster import make_points, run_streamcluster
+
+
+def test_graph_result_metrics_consistent():
+    g = kronecker(8, 8, seed=1)
+    r = run_graph_algorithm(milan(scale=64), CharmStrategy(), "bfs", g, 4, seed=5)
+    assert r.teps == r.edges_traversed / (r.wall_ns * 1e-9)
+    assert r.report.strategy == "charm"
+    assert r.n_workers == 4
+
+
+def test_gups_metrics_consistent():
+    r = run_gups(milan(scale=64), CharmStrategy(), 4, 1 << 20,
+                 updates_per_worker=128, seed=3)
+    assert r.gups == r.total_updates / r.wall_ns
+    assert r.table.dtype == np.int64
+
+
+def test_sgd_bytes_accounting():
+    ds = make_dataset(256, 64, seed=2)
+    r = run_sgd(milan(scale=64), "charm", 4, ds, kernel="gradient", epochs=2)
+    assert r.bytes_processed == 2 * ds.data_bytes  # every row twice
+
+
+def test_streamcluster_report_strategy_names():
+    pts = make_points(1024, 16, 4, seed=2)
+    r = run_streamcluster(milan(scale=64), CharmStrategy(), 4, pts, n_centers=4)
+    assert r.strategy == "charm"
+    assert (r.assignment >= 0).all()
+    assert r.cost > 0

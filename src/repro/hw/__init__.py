@@ -22,6 +22,7 @@ from repro.hw.memory import ChannelBank, LinkBank, Region, RegionTable, MemPolic
 from repro.hw.counters import FillSource, FillCounters, CounterBoard
 from repro.hw.machine import (
     AccessResult,
+    BatchResult,
     Machine,
     custom_machine,
     genoa,
@@ -50,6 +51,7 @@ __all__ = [
     "CounterBoard",
     "Machine",
     "AccessResult",
+    "BatchResult",
     "custom_machine",
     "genoa",
     "milan",

@@ -52,6 +52,8 @@ class ChipletCache:
 
     def insert(self, block: int, nbytes: int) -> List[int]:
         """Insert ``block`` (``nbytes`` resident); return evicted block keys."""
+        if nbytes <= 0:
+            raise ValueError(f"cannot insert block with nbytes={nbytes}; must be positive")
         if block in self._lru:
             self._lru.move_to_end(block)
             return []
@@ -96,6 +98,7 @@ class CacheSystem:
             ChipletCache(ch, capacity_bytes_per_chiplet) for ch in range(topo.total_chiplets)
         ]
         self.directory: Dict[int, Set[int]] = {}
+        self._socket_of = topo.socket_of_chiplet_table
 
     @property
     def capacity_bytes_per_chiplet(self) -> int:
@@ -108,21 +111,29 @@ class CacheSystem:
     def find_holder(self, chiplet: int, block: int) -> Optional[int]:
         """Find a peer chiplet holding ``block``, preferring the same socket.
 
+        Within each distance class the *minimum-id* holder wins, so the
+        chosen fill source is a pure function of the directory contents —
+        not of set iteration order, which varies with the history of
+        insertions and removals.
+
         Returns ``None`` when no L3 slice holds the block (DRAM fill needed).
         """
         holders = self.directory.get(block)
         if not holders:
             return None
-        my_socket = self.topo.socket_of_chiplet(chiplet)
-        best = None
+        socket_of = self._socket_of
+        my_socket = socket_of[chiplet]
+        best_same: Optional[int] = None
+        best_remote: Optional[int] = None
         for h in holders:
             if h == chiplet:
                 continue
-            if self.topo.socket_of_chiplet(h) == my_socket:
-                return h
-            if best is None:
-                best = h
-        return best
+            if socket_of[h] == my_socket:
+                if best_same is None or h < best_same:
+                    best_same = h
+            elif best_remote is None or h < best_remote:
+                best_remote = h
+        return best_same if best_same is not None else best_remote
 
     def fill(self, chiplet: int, block: int, nbytes: int) -> List[int]:
         """Install ``block`` into ``chiplet``'s slice; return evicted keys."""
@@ -154,6 +165,41 @@ class CacheSystem:
 
     def resident_bytes(self, chiplet: int) -> int:
         return self.caches[chiplet].used_bytes
+
+    def stats(self) -> Dict:
+        """Hit/miss/eviction statistics per slice plus machine-wide totals.
+
+        Consumed by the sim-throughput perf report (``repro.bench.perf``)
+        and handy for debugging capacity effects in experiments.
+        """
+        per_chiplet = []
+        hits = misses = evictions = resident = blocks = 0
+        for c in self.caches:
+            per_chiplet.append({
+                "chiplet": c.chiplet,
+                "hits": c.hits,
+                "misses": c.misses,
+                "evictions": c.evictions,
+                "resident_bytes": c.used_bytes,
+                "blocks": len(c),
+            })
+            hits += c.hits
+            misses += c.misses
+            evictions += c.evictions
+            resident += c.used_bytes
+            blocks += len(c)
+        lookups = hits + misses
+        return {
+            "per_chiplet": per_chiplet,
+            "total": {
+                "hits": hits,
+                "misses": misses,
+                "evictions": evictions,
+                "resident_bytes": resident,
+                "blocks": blocks,
+                "hit_rate": hits / lookups if lookups else 0.0,
+            },
+        }
 
     def check_directory_consistent(self) -> bool:
         """Invariant: directory and per-slice contents agree exactly."""

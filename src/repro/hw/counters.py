@@ -6,13 +6,19 @@ another chiplet on the same NUMA node, a chiplet on a remote NUMA node, or
 main memory.  This module exposes the same signal for the simulated machine:
 every serviced access increments a per-core counter keyed by fill source.
 
+Counters are array-backed: each core holds one flat ``int`` vector indexed
+by the dense source index (``SOURCE_INDEX``), because counter updates happen
+once per simulated access and dict-keyed updates were a measurable fraction
+of simulator time.  The batched access path accumulates a whole batch into
+a local vector and commits it with one :meth:`CounterBoard.record_batch`.
+
 Alg. 1's policy input — "cache fill events from beyond the local chiplet" —
 is :meth:`FillCounters.remote_fills`.
 """
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Sequence
 
 
 class FillSource(Enum):
@@ -25,27 +31,44 @@ class FillSource(Enum):
     DRAM_REMOTE = "dram_remote"              # main memory, remote node
 
 
-_REMOTE_SOURCES = (
-    FillSource.REMOTE_CHIPLET,
-    FillSource.REMOTE_NUMA_CHIPLET,
-    FillSource.DRAM_LOCAL,
-    FillSource.DRAM_REMOTE,
-)
+#: Dense index of each source in the per-core count vector, in declaration
+#: order.  Fast paths index count vectors with these instead of enum keys.
+SOURCE_INDEX: Dict[FillSource, int] = {s: i for i, s in enumerate(FillSource)}
+N_SOURCES = len(FillSource)
+
+IDX_LOCAL_CHIPLET = SOURCE_INDEX[FillSource.LOCAL_CHIPLET]
+IDX_REMOTE_CHIPLET = SOURCE_INDEX[FillSource.REMOTE_CHIPLET]
+IDX_REMOTE_NUMA_CHIPLET = SOURCE_INDEX[FillSource.REMOTE_NUMA_CHIPLET]
+IDX_DRAM_LOCAL = SOURCE_INDEX[FillSource.DRAM_LOCAL]
+IDX_DRAM_REMOTE = SOURCE_INDEX[FillSource.DRAM_REMOTE]
 
 
 class FillCounters:
-    """Fill-event counts for one core."""
+    """Fill-event counts for one core, as a flat vector (``SOURCE_INDEX``)."""
 
-    __slots__ = ("counts",)
+    __slots__ = ("v",)
 
     def __init__(self) -> None:
-        self.counts: Dict[FillSource, int] = {s: 0 for s in FillSource}
+        self.v: List[int] = [0] * N_SOURCES
 
     def record(self, source: FillSource, n: int = 1) -> None:
-        self.counts[source] += n
+        self.v[SOURCE_INDEX[source]] += n
+
+    def record_counts(self, counts: Sequence[int]) -> None:
+        """Add a whole per-source count vector (one batched access op)."""
+        v = self.v
+        for i, n in enumerate(counts):
+            if n:
+                v[i] += n
+
+    @property
+    def counts(self) -> Dict[FillSource, int]:
+        """Enum-keyed view of the vector (compatibility accessor)."""
+        v = self.v
+        return {s: v[i] for s, i in SOURCE_INDEX.items()}
 
     def total(self) -> int:
-        return sum(self.counts.values())
+        return sum(self.v)
 
     def remote_fills(self) -> int:
         """Fills serviced from beyond the local chiplet.
@@ -54,18 +77,19 @@ class FillCounters:
         ``ANY_DATA_CACHE_FILLS_FROM_SYSTEM`` remote-source mask — the event
         counter read by Alg. 1.
         """
-        c = self.counts
-        return sum(c[s] for s in _REMOTE_SOURCES)
+        v = self.v
+        return v[IDX_REMOTE_CHIPLET] + v[IDX_REMOTE_NUMA_CHIPLET] + \
+            v[IDX_DRAM_LOCAL] + v[IDX_DRAM_REMOTE]
 
     def dram_fills(self) -> int:
-        return self.counts[FillSource.DRAM_LOCAL] + self.counts[FillSource.DRAM_REMOTE]
+        v = self.v
+        return v[IDX_DRAM_LOCAL] + v[IDX_DRAM_REMOTE]
 
     def snapshot(self) -> Dict[FillSource, int]:
-        return dict(self.counts)
+        return self.counts
 
     def reset(self) -> None:
-        for s in FillSource:
-            self.counts[s] = 0
+        self.v = [0] * N_SOURCES
 
 
 @dataclass
@@ -89,11 +113,17 @@ class CounterSnapshot:
 class CounterBoard:
     """Per-core fill counters for the whole machine."""
 
+    __slots__ = ("per_core",)
+
     def __init__(self, total_cores: int):
         self.per_core: List[FillCounters] = [FillCounters() for _ in range(total_cores)]
 
     def record(self, core: int, source: FillSource, n: int = 1) -> None:
         self.per_core[core].record(source, n)
+
+    def record_batch(self, core: int, counts: Sequence[int]) -> None:
+        """Commit one batch's per-source count vector to ``core``."""
+        self.per_core[core].record_counts(counts)
 
     def core(self, core: int) -> FillCounters:
         return self.per_core[core]
@@ -103,11 +133,11 @@ class CounterBoard:
         sel = list(cores) or range(len(self.per_core))
         snap = CounterSnapshot()
         for c in sel:
-            counts = self.per_core[c].counts
-            snap.local_chiplet += counts[FillSource.LOCAL_CHIPLET]
-            snap.remote_chiplet += counts[FillSource.REMOTE_CHIPLET]
-            snap.remote_numa_chiplet += counts[FillSource.REMOTE_NUMA_CHIPLET]
-            snap.dram += counts[FillSource.DRAM_LOCAL] + counts[FillSource.DRAM_REMOTE]
+            v = self.per_core[c].v
+            snap.local_chiplet += v[IDX_LOCAL_CHIPLET]
+            snap.remote_chiplet += v[IDX_REMOTE_CHIPLET]
+            snap.remote_numa_chiplet += v[IDX_REMOTE_NUMA_CHIPLET]
+            snap.dram += v[IDX_DRAM_LOCAL] + v[IDX_DRAM_REMOTE]
         return snap
 
     def reset(self) -> None:

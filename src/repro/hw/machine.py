@@ -21,10 +21,19 @@ by source — the signal consumed by CHARM's Alg. 1.
 """
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hw.cache import CacheSystem
-from repro.hw.counters import CounterBoard, FillSource
+from repro.hw.counters import (
+    IDX_DRAM_LOCAL,
+    IDX_DRAM_REMOTE,
+    IDX_LOCAL_CHIPLET,
+    IDX_REMOTE_CHIPLET,
+    IDX_REMOTE_NUMA_CHIPLET,
+    N_SOURCES,
+    CounterBoard,
+    FillSource,
+)
 from repro.hw.latency import LatencyModel, MILAN_LATENCY, SPR_LATENCY
 from repro.hw.memory import (
     ChannelBank,
@@ -35,7 +44,6 @@ from repro.hw.memory import (
     RegionTable,
 )
 from repro.hw.topology import (
-    Distance,
     Topology,
     milan_topology,
     sapphire_rapids_topology,
@@ -61,6 +69,32 @@ class AccessResult:
     source: FillSource
     invalidations: int = 0
     latency_ns: float = 0.0
+
+
+class BatchResult:
+    """Aggregate outcome of one serviced :meth:`Machine.access_batch`.
+
+    ``ns`` is the total virtual time the issuing core is occupied by the
+    batch (the amount the worker charges to its clock); ``finish`` is the
+    absolute completion time of the slowest individual access.
+    ``fill_counts`` is a per-source count vector indexed by
+    ``repro.hw.counters.SOURCE_INDEX`` — callers bulk-record it instead of
+    constructing one :class:`AccessResult` per block.
+    """
+
+    __slots__ = ("ns", "finish", "fill_counts", "invalidations", "accesses")
+
+    def __init__(self, ns: float, finish: float, fill_counts: List[int],
+                 invalidations: int, accesses: int):
+        self.ns = ns
+        self.finish = finish
+        self.fill_counts = fill_counts
+        self.invalidations = invalidations
+        self.accesses = accesses
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BatchResult(ns={self.ns:.1f}, finish={self.finish:.1f}, "
+                f"accesses={self.accesses}, fills={self.fill_counts})")
 
 
 class Machine:
@@ -110,6 +144,14 @@ class Machine:
         self.counters = CounterBoard(topo.total_cores)
         self.regions = RegionTable(topo.numa_nodes, block_bytes)
         self.total_accesses = 0
+        # Flat topology tables, bound once: the access paths index these
+        # instead of re-deriving ids arithmetically per access.
+        self._chiplet_of_core = topo.chiplet_of_core_table
+        self._numa_of_core = topo.numa_of_core_table
+        self._socket_of_chiplet = topo.socket_of_chiplet_table
+        # Barrier-span memo, keyed on the participant core tuple;
+        # invalidated by the runtime on migration (see sync_span_ns).
+        self._span_cache: Dict[Tuple[int, ...], float] = {}
 
     # -- Allocation ----------------------------------------------------------
 
@@ -153,7 +195,7 @@ class Machine:
         self.total_accesses += 1
         nbytes = nbytes or region.block_bytes
         key = region.block_key(block_index)
-        chiplet = self.topo.chiplet_of_core(core)
+        chiplet = self._chiplet_of_core[core]
 
         if self.caches.lookup_local(chiplet, key):
             inval = self.caches.invalidate_others(chiplet, key) if write else 0
@@ -179,8 +221,9 @@ class Machine:
         now: float,
         write: bool,
     ) -> AccessResult:
-        dist = self.topo.chiplet_distance(chiplet, holder)
-        ns = self.latency.fill_latency(dist)
+        socket_of = self._socket_of_chiplet
+        same_socket = socket_of[chiplet] == socket_of[holder]
+        ns = self.latency.fill_same_socket if same_socket else self.latency.fill_cross_socket
         wait = 0.0
         d, w = self.links.service(holder, nbytes, now)
         ns += d
@@ -188,12 +231,7 @@ class Machine:
         d, w = self.links.service(chiplet, nbytes, now)
         ns += d
         wait += w
-        d, w = self.xlinks.service(
-            self.topo.socket_of_chiplet(chiplet),
-            self.topo.socket_of_chiplet(holder),
-            nbytes,
-            now,
-        )
+        d, w = self.xlinks.service(socket_of[chiplet], socket_of[holder], nbytes, now)
         ns += d
         wait += w
         self.caches.fill(chiplet, key, resident_bytes)
@@ -201,10 +239,7 @@ class Machine:
         if write:
             inval = self.caches.invalidate_others(chiplet, key)
             ns += inval * self.latency.invalidate
-        if dist is Distance.SAME_SOCKET:
-            source = FillSource.REMOTE_CHIPLET
-        else:
-            source = FillSource.REMOTE_NUMA_CHIPLET
+        source = FillSource.REMOTE_CHIPLET if same_socket else FillSource.REMOTE_NUMA_CHIPLET
         self.counters.record(core, source)
         return AccessResult(ns, source, inval, ns - wait)
 
@@ -219,7 +254,7 @@ class Machine:
         now: float,
         write: bool,
     ) -> AccessResult:
-        my_node = self.topo.numa_of_core(core)
+        my_node = self._numa_of_core[core]
         home = region.node_of_block(block_index, requester_node=my_node)
         local = home == my_node
         ns = self.latency.dram_local if local else self.latency.dram_remote
@@ -239,6 +274,168 @@ class Machine:
         self.counters.record(core, source)
         return AccessResult(ns, source, 0, ns - wait)
 
+    # -- Batched access servicing (fast path) ----------------------------------
+
+    def access_batch(
+        self,
+        core: int,
+        region: Region,
+        blocks: Sequence[int],
+        now: float,
+        nbytes: Optional[int] = None,
+        write: bool = False,
+        per_issue_ns: float = 0.0,
+        mlp: float = 1.0,
+    ) -> BatchResult:
+        """Service a whole batch of block accesses by ``core`` in one call.
+
+        Semantically equivalent to issuing each block through
+        :meth:`access` in order with the memory-level-parallelism rule of
+        ``Worker._do_batch`` — each access is serviced at the batch's
+        rolling issue time ``t``, pure latency overlaps across ``mlp``
+        outstanding misses while queue waits push out the completion max —
+        but with all per-access invariants hoisted out of the loop:
+        topology lookups, the region's block-key base, latency constants,
+        cache/directory bindings, and counter updates (accumulated into one
+        vector and committed once).  The virtual-time results are
+        bit-identical to the per-access path; only the Python work per
+        access shrinks.
+        """
+        n_blocks = region.n_blocks
+        self.total_accesses += len(blocks)
+        req_bytes = nbytes or region.block_bytes
+        resident_bytes = region.block_bytes
+        key_base = region.region_id << Region._KEY_SHIFT
+
+        chiplet = self._chiplet_of_core[core]
+        my_node = self._numa_of_core[core]
+        socket_of = self._socket_of_chiplet
+        my_socket = socket_of[chiplet]
+
+        lat = self.latency
+        l3_hit_ns = lat.l3_hit
+        invalidate_ns = lat.invalidate
+        fill_same_ns = lat.fill_same_socket
+        fill_cross_ns = lat.fill_cross_socket
+        dram_local_ns = lat.dram_local
+        dram_remote_ns = lat.dram_remote
+
+        caches = self.caches
+        cache = caches.caches[chiplet]
+        lru = cache._lru
+        move_to_end = lru.move_to_end
+        dir_get = caches.directory.get
+        cache_fill = caches.fill
+        invalidate_others = caches.invalidate_others
+        links_service = self.links.service
+        xlinks_service = self.xlinks.service
+        channels_service = self.channels.service
+        # BIND regions have one home node for every block; resolve it once.
+        bind_home = region.home_node if region.policy is MemPolicy.BIND else None
+        node_of_block = region.node_of_block
+
+        counts = [0] * N_SOURCES
+        inval_total = 0
+        hits = 0
+        misses = 0
+        t = now
+        finish = now
+        for block in blocks:
+            if not 0 <= block < n_blocks:
+                raise ValueError(
+                    f"block {block} outside region '{region.name}' ({n_blocks} blocks)"
+                )
+            key = key_base | block
+
+            if key in lru:
+                # Local L3 hit.
+                move_to_end(key)
+                hits += 1
+                if write:
+                    inval = invalidate_others(chiplet, key)
+                    inval_total += inval
+                    ns = l3_hit_ns + inval * invalidate_ns
+                else:
+                    ns = l3_hit_ns
+                counts[IDX_LOCAL_CHIPLET] += 1
+                completion = t + ns
+                if completion > finish:
+                    finish = completion
+                step = ns / mlp  # hits have no queue wait: latency == ns
+                t += step if step > per_issue_ns else per_issue_ns
+                continue
+            misses += 1
+
+            # Directory lookup: minimum-id holder per distance class, the
+            # same deterministic rule as CacheSystem.find_holder.
+            holders = dir_get(key)
+            holder = None
+            if holders:
+                best_same = None
+                best_remote = None
+                for h in holders:
+                    if h == chiplet:
+                        continue
+                    if socket_of[h] == my_socket:
+                        if best_same is None or h < best_same:
+                            best_same = h
+                    elif best_remote is None or h < best_remote:
+                        best_remote = h
+                holder = best_same if best_same is not None else best_remote
+
+            if holder is not None:
+                # Fill from a peer chiplet's L3.
+                holder_socket = socket_of[holder]
+                same_socket = holder_socket == my_socket
+                ns = fill_same_ns if same_socket else fill_cross_ns
+                wait = 0.0
+                d, w = links_service(holder, req_bytes, t)
+                ns += d
+                wait += w
+                d, w = links_service(chiplet, req_bytes, t)
+                ns += d
+                wait += w
+                d, w = xlinks_service(my_socket, holder_socket, req_bytes, t)
+                ns += d
+                wait += w
+                cache_fill(chiplet, key, resident_bytes)
+                if write:
+                    inval = invalidate_others(chiplet, key)
+                    inval_total += inval
+                    ns += inval * invalidate_ns
+                counts[IDX_REMOTE_CHIPLET if same_socket else IDX_REMOTE_NUMA_CHIPLET] += 1
+            else:
+                # Fill from DRAM on the block's home node.
+                home = bind_home if bind_home is not None else \
+                    node_of_block(block, requester_node=my_node)
+                local = home == my_node
+                ns = dram_local_ns if local else dram_remote_ns
+                wait = 0.0
+                d, w = channels_service(home, key, req_bytes, t)
+                ns += d
+                wait += w
+                d, w = links_service(chiplet, req_bytes, t)
+                ns += d
+                wait += w
+                if not local:
+                    d, w = xlinks_service(my_node, home, req_bytes, t)
+                    ns += d
+                    wait += w
+                cache_fill(chiplet, key, resident_bytes)
+                counts[IDX_DRAM_LOCAL if local else IDX_DRAM_REMOTE] += 1
+
+            completion = t + ns
+            if completion > finish:
+                finish = completion
+            step = (ns - wait) / mlp  # overlap pure latency, not queue waits
+            t += step if step > per_issue_ns else per_issue_ns
+
+        cache.hits += hits
+        cache.misses += misses
+        self.counters.record_batch(core, counts)
+        end = t if t > finish else finish
+        return BatchResult(end - now, finish, counts, inval_total, len(blocks))
+
     # -- Synchronisation latency ---------------------------------------------
 
     def cas_ns(self, core_a: int, core_b: int) -> float:
@@ -251,12 +448,26 @@ class Machine:
         A tree barrier's critical path is dominated by the slowest
         core-to-core link among participants, which this returns (plus a
         fixed arbitration cost per participant handled by the caller).
+
+        Barriers are re-entered many times by the same frozen participant
+        set, so the all-pairs max is memoized per core tuple.  The runtime
+        invalidates the memo on migration (:meth:`invalidate_sync_cache`),
+        which also bounds its size over long runs with churning placements.
         """
-        cores = list(cores)
-        if len(cores) < 2:
+        key = tuple(cores)
+        if len(key) < 2:
             return 0.0
-        ref = cores[0]
-        return max(self.cas_ns(ref, c) for c in cores[1:])
+        cached = self._span_cache.get(key)
+        if cached is None:
+            ref = key[0]
+            cas = self.cas_ns
+            cached = max(cas(ref, c) for c in key[1:])
+            self._span_cache[key] = cached
+        return cached
+
+    def invalidate_sync_cache(self) -> None:
+        """Drop memoized barrier spans (call when worker placement changes)."""
+        self._span_cache.clear()
 
     # -- Introspection ---------------------------------------------------------
 

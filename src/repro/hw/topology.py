@@ -16,8 +16,9 @@ This matches the ``unique_worker_ID -> (chiplet, slot)`` arithmetic of
 Alg. 2 in the paper, which assumes exactly this dense layout.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
+from functools import cached_property
 from typing import List, Tuple
 
 
@@ -86,22 +87,67 @@ class Topology:
         """NUMA node count (NPS1: one node per socket)."""
         return self.sockets
 
+    # -- Precomputed lookup tables -----------------------------------------
+    #
+    # The id-mapping arithmetic below is exercised once per simulated memory
+    # access, which makes it one of the hottest paths in the repository.
+    # These flat tables are computed once per topology (cached_property
+    # writes into the frozen dataclass's __dict__) and are what the fast
+    # paths in latency/cache/machine index directly.
+
+    @cached_property
+    def chiplet_of_core_table(self) -> Tuple[int, ...]:
+        """``core id -> chiplet id`` as a flat tuple."""
+        cpc = self.cores_per_chiplet
+        return tuple(c // cpc for c in range(self.total_cores))
+
+    @cached_property
+    def numa_of_core_table(self) -> Tuple[int, ...]:
+        """``core id -> NUMA node (== socket) id`` as a flat tuple."""
+        cps = self.cores_per_socket
+        return tuple(c // cps for c in range(self.total_cores))
+
+    @cached_property
+    def socket_of_chiplet_table(self) -> Tuple[int, ...]:
+        """``chiplet id -> socket id`` as a flat tuple."""
+        cps = self.chiplets_per_socket
+        return tuple(ch // cps for ch in range(self.total_chiplets))
+
+    @cached_property
+    def chiplet_distance_matrix(self) -> Tuple[Distance, ...]:
+        """Flat ``total_chiplets x total_chiplets`` distance-class matrix.
+
+        Entry ``a * total_chiplets + b`` is ``chiplet_distance(a, b)``.
+        """
+        n = self.total_chiplets
+        sock = self.socket_of_chiplet_table
+        out: List[Distance] = []
+        for a in range(n):
+            for b in range(n):
+                if a == b:
+                    out.append(Distance.SAME_CHIPLET)
+                elif sock[a] == sock[b]:
+                    out.append(Distance.SAME_SOCKET)
+                else:
+                    out.append(Distance.CROSS_SOCKET)
+        return tuple(out)
+
     # -- Id mapping --------------------------------------------------------
 
     def chiplet_of_core(self, core: int) -> int:
         self._check_core(core)
-        return core // self.cores_per_chiplet
+        return self.chiplet_of_core_table[core]
 
     def socket_of_core(self, core: int) -> int:
         self._check_core(core)
-        return core // self.cores_per_socket
+        return self.numa_of_core_table[core]
 
     def numa_of_core(self, core: int) -> int:
         return self.socket_of_core(core)
 
     def socket_of_chiplet(self, chiplet: int) -> int:
         self._check_chiplet(chiplet)
-        return chiplet // self.chiplets_per_socket
+        return self.socket_of_chiplet_table[chiplet]
 
     def cores_of_chiplet(self, chiplet: int) -> List[int]:
         self._check_chiplet(chiplet)
@@ -133,20 +179,16 @@ class Topology:
         self._check_core(core_b)
         if core_a == core_b:
             return Distance.SAME_CORE
-        if self.chiplet_of_core(core_a) == self.chiplet_of_core(core_b):
+        chips = self.chiplet_of_core_table
+        ch_a, ch_b = chips[core_a], chips[core_b]
+        if ch_a == ch_b:
             return Distance.SAME_CHIPLET
-        if self.socket_of_core(core_a) == self.socket_of_core(core_b):
-            return Distance.SAME_SOCKET
-        return Distance.CROSS_SOCKET
+        return self.chiplet_distance_matrix[ch_a * self.total_chiplets + ch_b]
 
     def chiplet_distance(self, chiplet_a: int, chiplet_b: int) -> Distance:
         self._check_chiplet(chiplet_a)
         self._check_chiplet(chiplet_b)
-        if chiplet_a == chiplet_b:
-            return Distance.SAME_CHIPLET
-        if self.socket_of_chiplet(chiplet_a) == self.socket_of_chiplet(chiplet_b):
-            return Distance.SAME_SOCKET
-        return Distance.CROSS_SOCKET
+        return self.chiplet_distance_matrix[chiplet_a * self.total_chiplets + chiplet_b]
 
     def core_pairs(self) -> List[Tuple[int, int]]:
         """All unordered core pairs, used for latency CDF measurement."""

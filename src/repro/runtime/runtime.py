@@ -284,15 +284,21 @@ class Runtime:
         )
 
     def _aggregate_worker_counters(self) -> CounterSnapshot:
-        from repro.hw.counters import FillSource
+        from repro.hw.counters import (
+            IDX_DRAM_LOCAL,
+            IDX_DRAM_REMOTE,
+            IDX_LOCAL_CHIPLET,
+            IDX_REMOTE_CHIPLET,
+            IDX_REMOTE_NUMA_CHIPLET,
+        )
 
         snap = CounterSnapshot()
         for w in self.workers:
-            c = w.fills.counts
-            snap.local_chiplet += c[FillSource.LOCAL_CHIPLET]
-            snap.remote_chiplet += c[FillSource.REMOTE_CHIPLET]
-            snap.remote_numa_chiplet += c[FillSource.REMOTE_NUMA_CHIPLET]
-            snap.dram += c[FillSource.DRAM_LOCAL] + c[FillSource.DRAM_REMOTE]
+            v = w.fills.v
+            snap.local_chiplet += v[IDX_LOCAL_CHIPLET]
+            snap.remote_chiplet += v[IDX_REMOTE_CHIPLET]
+            snap.remote_numa_chiplet += v[IDX_REMOTE_NUMA_CHIPLET]
+            snap.dram += v[IDX_DRAM_LOCAL] + v[IDX_DRAM_REMOTE]
         return snap
 
     # -- Worker callbacks ---------------------------------------------------------------
@@ -411,6 +417,8 @@ class Runtime:
         del self.core_ledger[worker.core]
         self.core_ledger[target_core] = worker.worker_id
         worker.core = target_core
+        # Worker placement changed: memoized barrier spans are stale-keyed.
+        self.machine.invalidate_sync_cache()
         # Alg. 2 lines 13-14: bind the worker's memory policy to the new node.
         worker.mem_node = self.machine.topo.numa_of_core(target_core)
         worker.clock += self.strategy.migration_cost_ns

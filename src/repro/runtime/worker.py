@@ -38,6 +38,13 @@ if TYPE_CHECKING:  # pragma: no cover
 class Worker(Actor):
     """One worker pinned to (and migratable between) physical cores."""
 
+    __slots__ = (
+        "worker_id", "core", "runtime", "rng", "queue", "current",
+        "blocked_current", "spread_rate", "policy_time", "fills",
+        "_fill_mark", "_dram_mark", "mem_node", "busy_ns", "tasks_done",
+        "steal_attempts", "steals_ok", "migrations", "switches",
+    )
+
     def __init__(self, worker_id: int, core: int, runtime: "Runtime", rng):
         super().__init__(worker_id)
         self.worker_id = worker_id
@@ -135,9 +142,15 @@ class Worker(Actor):
         deadline = self.clock + rt.step_slice_ns
         task = self.current
         gen = task.gen
+        send = gen.send
+        # Bind op classes locally: the dispatch below runs once per yielded
+        # op, and module-global lookups are measurable at that frequency.
+        compute_op, access_op, batch_op = Compute, Access, AccessBatch
+        critical_op, yield_op, spawn_op = CriticalSection, YieldPoint, SpawnOp
+        barrier_op, future_op = WaitBarrier, WaitFuture
         while True:
             try:
-                op = gen.send(task.send_value)
+                op = send(task.send_value)
                 task.send_value = None
             except StopIteration as stop:
                 self._finish_task(task, stop.value)
@@ -149,22 +162,22 @@ class Worker(Actor):
                 raise
 
             kind = type(op)
-            if kind is Compute:
-                self._charge(op.ns)
-            elif kind is CriticalSection:
-                self._charge(op.lock.acquire(self.clock, op.ns))
-            elif kind is Access:
-                self._do_access(op.region, op.block, op.write, op.nbytes, task)
-            elif kind is AccessBatch:
+            if kind is batch_op:
                 self._do_batch(op, task)
-            elif kind is YieldPoint:
+            elif kind is compute_op:
+                self._charge(op.ns)
+            elif kind is access_op:
+                self._do_access(op.region, op.block, op.write, op.nbytes, task)
+            elif kind is critical_op:
+                self._charge(op.lock.acquire(self.clock, op.ns))
+            elif kind is yield_op:
                 task.state = TaskState.READY
                 self.queue.push(task)
                 rt.on_task_paused(self)  # before clearing current: hooks see the task
                 self.current = None
                 rt.strategy.on_tick(self, rt)
                 return StepOutcome.RESCHEDULE
-            elif kind is SpawnOp:
+            elif kind is spawn_op:
                 # Creation cost is paid by the *spawner*: ~nothing for
                 # coroutines, a full pthread_create for std::async-style
                 # runtimes — which serialises task creation on the caller,
@@ -174,9 +187,9 @@ class Worker(Actor):
                     op.fn, *op.args, pin_worker=op.pin_worker, name=op.name, spawner=self
                 )
                 task.send_value = child
-            elif kind is WaitBarrier:
+            elif kind is barrier_op:
                 return self._wait_barrier(op, task, loop)
-            elif kind is WaitFuture:
+            elif kind is future_op:
                 if op.future.done:
                     task.send_value = op.future.value
                 else:
@@ -251,28 +264,25 @@ class Worker(Actor):
         ones, exactly the penalty chiplet-oblivious placement pays.
         Dependent (pointer-chasing) accesses should use single
         :class:`Access` ops, which serialise fully.
+
+        The whole batch is serviced by one
+        :meth:`~repro.hw.machine.Machine.access_batch` call — the
+        simulator's batched fast path — which applies the same MLP rule
+        with bit-identical virtual-time results.
         """
-        machine = self.runtime.machine
-        fills = self.fills
-        tfills = task.fills
-        region, write, nbytes = op.region, op.write, op.nbytes
-        per_issue = self.BATCH_ISSUE_NS + op.compute_ns_per_block
-        mlp = 1.0 if op.dependent else self.MLP
-        t = self.clock
-        finish = t
-        for block in op.blocks:
-            res = machine.access(self.core, region, block, now=t, nbytes=nbytes, write=write)
-            completion = t + res.ns
-            if completion > finish:
-                finish = completion
-            # Overlap pure latency across MLP outstanding misses; queue
-            # waits (res.ns - latency_ns) only push out the completion max.
-            step = res.latency_ns / mlp
-            t += step if step > per_issue else per_issue
-            fills.record(res.source)
-            tfills.record(res.source)
-        end = t if t > finish else finish
-        self._charge(end - self.clock)
+        res = self.runtime.machine.access_batch(
+            self.core,
+            op.region,
+            op.blocks,
+            now=self.clock,
+            nbytes=op.nbytes,
+            write=op.write,
+            per_issue_ns=self.BATCH_ISSUE_NS + op.compute_ns_per_block,
+            mlp=1.0 if op.dependent else self.MLP,
+        )
+        self._charge(res.ns)
+        self.fills.record_counts(res.fill_counts)
+        task.fills.record_counts(res.fill_counts)
 
     def _finish_task(self, task: Task, value) -> None:
         rt = self.runtime

@@ -30,6 +30,8 @@ class StepOutcome(Enum):
 class Actor:
     """Base class for schedulable entities.  Subclasses implement ``step``."""
 
+    __slots__ = ("actor_id", "clock", "parked", "finished")
+
     def __init__(self, actor_id: int):
         self.actor_id = actor_id
         self.clock = 0.0
@@ -68,25 +70,38 @@ class EventLoop:
 
     def run(self) -> float:
         """Run until every actor finishes; return final virtual time."""
-        while self._heap:
+        # The scheduling loop runs once per actor step; bind the heap, the
+        # heapq functions, and the outcome sentinels locally so each
+        # iteration avoids repeated attribute/global lookups.  ``self.now``
+        # and ``self.steps`` are still flushed every iteration because
+        # actor steps may read them.
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        reschedule = StepOutcome.RESCHEDULE
+        parked_outcome = StepOutcome.PARKED
+        finished_outcome = StepOutcome.FINISHED
+        max_steps = self.max_steps
+        while heap:
             self.steps += 1
-            if self.max_steps is not None and self.steps > self.max_steps:
+            if max_steps is not None and self.steps > max_steps:
                 raise SimulationError(
-                    f"exceeded max_steps={self.max_steps}; likely a livelock "
+                    f"exceeded max_steps={max_steps}; likely a livelock "
                     f"(live={self._live}, now={self.now:.0f} ns)"
                 )
-            clock, _, actor = heapq.heappop(self._heap)
+            clock, _, actor = heappop(heap)
             if actor.parked or actor.finished:
                 continue
             if clock < self.now - 1e-6:
                 raise SimulationError("virtual time went backwards")
-            self.now = max(self.now, clock)
+            if clock > self.now:
+                self.now = clock
             outcome = actor.step(self)
-            if outcome is StepOutcome.RESCHEDULE:
-                self._push(actor)
-            elif outcome is StepOutcome.PARKED:
+            if outcome is reschedule:
+                heappush(heap, (actor.clock, actor.actor_id, actor))
+            elif outcome is parked_outcome:
                 actor.parked = True
-            elif outcome is StepOutcome.FINISHED:
+            elif outcome is finished_outcome:
                 actor.finished = True
                 self._live -= 1
             else:  # pragma: no cover - defensive

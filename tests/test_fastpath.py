@@ -1,0 +1,167 @@
+"""Fast-path satellites: deterministic holder choice, span memo, cache stats."""
+
+import pytest
+
+from repro.hw.cache import CacheSystem, ChipletCache
+from repro.hw.machine import small_test_machine
+from repro.hw.topology import Distance, Topology, milan_topology
+from repro.runtime.policy import CharmStrategy
+from repro.runtime.runtime import Runtime
+from repro.runtime.ops import Compute
+
+
+def _cs() -> CacheSystem:
+    # 2 sockets x 2 chiplets: chiplets 0,1 on socket 0; 2,3 on socket 1.
+    return CacheSystem(Topology(sockets=2, chiplets_per_socket=2,
+                                cores_per_chiplet=2, name="t"), 1024)
+
+
+# -- find_holder determinism ---------------------------------------------------
+
+
+def test_find_holder_min_id_within_same_socket():
+    cs = _cs()
+    # Insert in descending id order so a set-iteration-order dependent
+    # implementation would be tempted to return the first same-socket hit.
+    for ch in (3, 1, 0):
+        cs.fill(ch, 7, 64)
+    # Requester chiplet 2 (socket 1): same-socket holder 3 beats remote 0/1.
+    assert cs.find_holder(2, 7) == 3
+    # Requester chiplet 0 holds the block itself; min same-socket peer is 1.
+    assert cs.find_holder(0, 7) == 1
+
+
+def test_find_holder_min_id_among_remote_holders():
+    cs = _cs()
+    for ch in (3, 2):
+        cs.fill(ch, 9, 64)
+    # Requester on socket 0, no same-socket holder: minimum remote id wins.
+    assert cs.find_holder(0, 9) == 2
+    assert cs.find_holder(1, 9) == 2
+
+
+def test_find_holder_is_directory_order_independent():
+    """The same directory contents must give the same holder regardless of
+    the insertion/removal history that built the set."""
+    a = _cs()
+    for ch in (1, 2, 3):
+        a.fill(ch, 5, 64)
+    b = _cs()
+    for ch in (3, 2, 1, 0):
+        b.fill(ch, 5, 64)
+    b.caches[0].drop(5)
+    b.directory[5].discard(0)
+    assert a.directory[5] == b.directory[5]
+    for requester in range(4):
+        assert a.find_holder(requester, 5) == b.find_holder(requester, 5)
+
+
+def test_machine_batch_uses_same_holder_rule(tiny):
+    """access and access_batch agree on the fill source chiplet."""
+    r = tiny.alloc_region(1024, node=0)
+    # Warm the block into chiplets 3 then 1 (insertion order reversed).
+    tiny.access(core=6, region=r, block_index=0, now=0.0)
+    tiny.access(core=2, region=r, block_index=0, now=100.0)
+    res = tiny.access_batch(0, r, [0], now=200.0)
+    # Requester chiplet 0 (socket 0): same-socket holder is chiplet 1.
+    assert res.fill_counts[1] == 1  # REMOTE_CHIPLET, not REMOTE_NUMA_CHIPLET
+
+
+# -- sync_span_ns memoization --------------------------------------------------
+
+
+def test_sync_span_memoized_per_core_tuple(tiny, monkeypatch):
+    calls = {"n": 0}
+    real = tiny.cas_ns
+
+    def counting(a, b):
+        calls["n"] += 1
+        return real(a, b)
+
+    monkeypatch.setattr(tiny, "cas_ns", counting)
+    first = tiny.sync_span_ns([0, 3, 5])
+    assert calls["n"] == 2
+    again = tiny.sync_span_ns([0, 3, 5])
+    assert again == first
+    assert calls["n"] == 2  # served from the memo
+    tiny.invalidate_sync_cache()
+    assert tiny.sync_span_ns([0, 3, 5]) == first
+    assert calls["n"] == 4  # recomputed after invalidation
+
+
+def test_sync_span_values_unchanged(tiny):
+    within = tiny.sync_span_ns([0, 1])
+    across = tiny.sync_span_ns([0, 4])
+    assert across > within
+    assert tiny.sync_span_ns([0]) == 0.0
+    assert tiny.sync_span_ns([]) == 0.0
+
+
+def test_migration_invalidates_span_cache():
+    machine = small_test_machine()
+
+    def _spin():
+        yield Compute(10.0)
+
+    rt = Runtime(machine, 2, CharmStrategy(), seed=1)
+    rt.spawn(_spin, pin_worker=0)
+    machine.sync_span_ns([w.core for w in rt.workers])
+    assert machine._span_cache
+    assert rt.request_migration(rt.workers[0], target_core=7)
+    assert not machine._span_cache
+
+
+# -- ChipletCache.insert guard and CacheSystem.stats ---------------------------
+
+
+def test_insert_rejects_non_positive_bytes():
+    cache = ChipletCache(0, 1024)
+    with pytest.raises(ValueError, match="nbytes"):
+        cache.insert(1, 0)
+    with pytest.raises(ValueError, match="nbytes"):
+        cache.insert(1, -64)
+    assert len(cache) == 0 and cache.used_bytes == 0
+
+
+def test_cache_stats_counts_hits_misses_evictions(tiny):
+    r = tiny.alloc_region(2048, node=0)  # 32 blocks >> 8-block slices
+    for b in range(r.n_blocks):
+        tiny.access(core=0, region=r, block_index=b, now=float(b))
+    tiny.access(core=0, region=r, block_index=r.n_blocks - 1, now=1e6)
+    stats = tiny.caches.stats()
+    total = stats["total"]
+    assert total["misses"] == r.n_blocks
+    assert total["hits"] == 1
+    assert total["evictions"] == r.n_blocks - 8  # 8-block slice capacity
+    assert total["hit_rate"] == pytest.approx(1 / (r.n_blocks + 1))
+    row = stats["per_chiplet"][0]
+    assert row["chiplet"] == 0
+    assert row["blocks"] == 8
+    assert row["resident_bytes"] == 8 * tiny.block_bytes
+    assert len(stats["per_chiplet"]) == tiny.topo.total_chiplets
+
+
+def test_stats_counts_batched_lookups(tiny):
+    r = tiny.alloc_region(512, node=0)  # 8 blocks, fits one slice
+    blocks = list(range(r.n_blocks))
+    tiny.access_batch(0, r, blocks + blocks, now=0.0)
+    total = tiny.caches.stats()["total"]
+    assert total["misses"] == r.n_blocks
+    assert total["hits"] == r.n_blocks
+
+
+# -- Topology tables -----------------------------------------------------------
+
+
+def test_topology_tables_match_methods():
+    topo = milan_topology()
+    for core in range(topo.total_cores):
+        assert topo.chiplet_of_core_table[core] == topo.chiplet_of_core(core)
+        assert topo.numa_of_core_table[core] == topo.numa_of_core(core)
+    for ch in range(topo.total_chiplets):
+        assert topo.socket_of_chiplet_table[ch] == topo.socket_of_chiplet(ch)
+        for other in range(topo.total_chiplets):
+            assert topo.chiplet_distance_matrix[
+                ch * topo.total_chiplets + other
+            ] is topo.chiplet_distance(ch, other)
+    assert topo.chiplet_distance(0, 0) is Distance.SAME_CHIPLET

@@ -1,0 +1,43 @@
+"""The sim-throughput benchmark harness (repro.bench.perf)."""
+
+import json
+
+from repro.bench import perf
+
+
+def test_run_suite_reports_metrics_and_determinism(tmp_path):
+    sizes = {"gups": 512, "stream": 512, "shared_read": 1}
+    results = perf.run_suite(sizes, verbose=False)
+    assert set(results) == set(perf.SCENARIOS)
+    for name, row in results.items():
+        assert row["accesses"] > 0
+        assert row["accesses_per_sec"] > 0
+        assert row["events_per_sec"] > 0
+        assert row["sim_wall_ns"] > 0
+        assert set(row["fill_counts"]) == {"local_chiplet", "remote_chiplet",
+                                           "remote_numa_chiplet", "main_memory"}
+        assert 0.0 <= row["cache"]["hit_rate"] <= 1.0
+
+    doc = perf.write_report(results, tmp_path / "simperf.json")
+    on_disk = json.loads((tmp_path / "simperf.json").read_text())
+    assert on_disk == doc
+    assert on_disk["schema"] == 1
+    assert set(on_disk["speedup_vs_baseline"]) == set(perf.RECORDED_BASELINE)
+
+
+def test_check_mode_exit_codes(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setattr(perf, "CHECK_SIZES", {"gups": 256, "stream": 256,
+                                              "shared_read": 1})
+    assert perf.main(["--check"]) == 0
+    assert not (tmp_path / "BENCH_simperf.json").exists()  # check writes nothing
+    # An absurd throughput floor must fail loudly.
+    assert perf.main(["--check", "--min-aps", "1e15"]) == 1
+
+
+def test_scenarios_exercise_expected_fill_mix():
+    gups = perf.scenario_gups(512)
+    assert gups["fill_counts"]["main_memory"] > 0  # table >> aggregate L3
+    shared = perf.scenario_shared_read(2)
+    assert shared["fill_counts"]["local_chiplet"] > 0  # re-reads hit locally
+    assert shared["cache"]["hit_rate"] > 0.3

@@ -1,7 +1,9 @@
 """Shared benchmark configuration.
 
 Set ``REPRO_BENCH_FULL=1`` to run the full paper-shaped sweeps instead of
-the quick matrices.
+the quick matrices.  Set ``REPRO_BENCH_JOBS=N`` to route experiments
+through the parallel sweep engine (N worker processes, 0 = auto) instead
+of running them inline — results are bit-identical either way.
 """
 
 import os
@@ -14,15 +16,42 @@ def quick() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") != "1"
 
 
+def _sweep_jobs():
+    raw = os.environ.get("REPRO_BENCH_JOBS", "")
+    return int(raw) if raw else None
+
+
 def run_experiment(benchmark, fn, *args, **kwargs):
-    """Run one experiment exactly once under pytest-benchmark and print it."""
+    """Run one experiment exactly once under pytest-benchmark and print it.
+
+    With ``REPRO_BENCH_JOBS`` set, the run is dispatched to
+    :func:`repro.bench.sweep.run_experiment` (the experiment is looked up
+    by the function's name); positional args are bound to the function's
+    signature so ``quick`` routes correctly.
+    """
+    jobs = _sweep_jobs()
     result = {}
 
-    def once():
-        rows, text = fn(*args, **kwargs)
-        result["rows"] = rows
-        result["text"] = text
-        return rows
+    if jobs is None:
+        def once():
+            rows, text = fn(*args, **kwargs)
+            result["rows"] = rows
+            result["text"] = text
+            return rows
+    else:
+        import inspect
+
+        from repro.bench import sweep
+
+        bound = inspect.signature(fn).bind(*args, **kwargs)
+        quick = bound.arguments.pop("quick", True)
+
+        def once():
+            rows, text, _stats = sweep.run_experiment(
+                fn.__name__, quick=quick, jobs=jobs, **bound.arguments)
+            result["rows"] = rows
+            result["text"] = text
+            return rows
 
     benchmark.pedantic(once, rounds=1, iterations=1)
     print()

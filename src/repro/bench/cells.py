@@ -1,0 +1,136 @@
+"""Experiment cells: the unit of work of the parallel sweep engine.
+
+Every experiment in :mod:`repro.bench.experiments` decomposes into a list
+of :class:`ExperimentCell` — a pure, picklable description of one
+simulated run (experiment, machine preset, strategy, core count,
+workload parameters, seed) — plus a deterministic merge/render step that
+turns the per-cell results back into the experiment's rows/series and
+text table.  The decomposition is what lets :mod:`repro.bench.sweep`
+shard the experiment matrix across worker processes and cache completed
+cells on disk without changing a single output bit:
+
+- a cell's result is a function of the cell alone (explicit seeds, no
+  shared RNG state, machine built inside the runner);
+- cell results are JSON-native (dicts/lists/str/int/float/bool/None), so
+  a result read back from the disk cache compares equal to one computed
+  in-process (Python's float repr round-trips exactly);
+- merge order is fixed by the cells' construction order (and therefore
+  by ``cell_id``), never by completion order.
+
+Serial experiment functions and the parallel engine share this exact
+code path — ``merge(quick, {cell_id: run_cell(cell)})`` — which is what
+the equivalence suite (``tests/test_sweep_equivalence.py``) pins.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+__all__ = [
+    "ExperimentCell",
+    "CelledExperiment",
+    "REGISTRY",
+    "register",
+    "execute_cell",
+    "run_serial",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One pure unit of sweep work.
+
+    ``workload_params`` is a sorted tuple of (name, value) pairs so the
+    cell is hashable and its JSON form is canonical.  Values must be
+    JSON-native scalars (str/int/float/bool/None).
+    """
+
+    experiment: str
+    machine_preset: str = ""
+    strategy: str = ""
+    cores: int = 0
+    workload_params: Tuple[Tuple[str, Any], ...] = ()
+    seed: int = 7
+
+    @staticmethod
+    def make(experiment: str, machine_preset: str = "", strategy: str = "",
+             cores: int = 0, seed: int = 7, **params: Any) -> "ExperimentCell":
+        return ExperimentCell(experiment, machine_preset, strategy, cores,
+                              tuple(sorted(params.items())), seed)
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return dict(self.workload_params)
+
+    @property
+    def cell_id(self) -> str:
+        """Stable human-readable identity (also the merge-order key)."""
+        parts = [self.experiment]
+        if self.machine_preset:
+            parts.append(self.machine_preset)
+        if self.strategy:
+            parts.append(self.strategy)
+        parts.append(f"c{self.cores}")
+        if self.workload_params:
+            parts.append(",".join(f"{k}={v}" for k, v in self.workload_params))
+        parts.append(f"s{self.seed}")
+        return "/".join(parts)
+
+    def config(self) -> Dict[str, Any]:
+        """Canonical JSON-shaped description (the cache-key input)."""
+        return {
+            "experiment": self.experiment,
+            "machine_preset": self.machine_preset,
+            "strategy": self.strategy,
+            "cores": self.cores,
+            "workload_params": [[k, v] for k, v in self.workload_params],
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class CelledExperiment:
+    """An experiment expressed as cells + runner + merge.
+
+    - ``cells(quick, **overrides)`` returns the cell list in merge order;
+    - ``run_cell(cell)`` executes one cell and returns a JSON-native
+      result (pure: no reads of global mutable state);
+    - ``merge(quick, results, **overrides)`` receives ``{cell_id:
+      result}`` and returns the experiment's ``(rows_or_series, text)``.
+    """
+
+    name: str
+    cells: Callable[..., List["ExperimentCell"]]
+    run_cell: Callable[["ExperimentCell"], Any]
+    merge: Callable[..., Tuple[Any, str]]
+
+
+#: every celled experiment, keyed by name (populated by experiments.py)
+REGISTRY: Dict[str, CelledExperiment] = {}
+
+
+def register(name: str, cells: Callable, run_cell: Callable,
+             merge: Callable) -> CelledExperiment:
+    exp = CelledExperiment(name, cells, run_cell, merge)
+    REGISTRY[name] = exp
+    return exp
+
+
+def execute_cell(cell: ExperimentCell) -> Any:
+    """Top-level (picklable) cell executor used by the process pool."""
+    # Worker processes may not have imported the experiment definitions
+    # yet (spawn start method); importing registers them.
+    from repro.bench import experiments  # noqa: F401
+
+    try:
+        exp = REGISTRY[cell.experiment]
+    except KeyError:
+        raise KeyError(f"unknown experiment in cell {cell.cell_id!r}") from None
+    return exp.run_cell(cell)
+
+
+def run_serial(name: str, quick: bool = True, **overrides) -> Tuple[Any, str]:
+    """Run one experiment inline through its cells + merge path."""
+    exp = REGISTRY[name]
+    cells = exp.cells(quick, **overrides)
+    results = {c.cell_id: exp.run_cell(c) for c in cells}
+    return exp.merge(quick, results, **overrides)

@@ -1,45 +1,45 @@
-"""One experiment function per paper table/figure.
+"""One experiment function per paper table/figure, decomposed into cells.
 
 Every function returns ``(rows_or_series, rendered_text)``.  ``quick=True``
 (the benchmark default) shrinks the matrix to a few core counts and
 smaller inputs; ``quick=False`` runs the full paper-shaped sweep.  All
 functions are deterministic for a fixed seed.
+
+Since PR 2 each experiment is expressed as three pieces registered with
+:mod:`repro.bench.cells`:
+
+- ``cells(quick)`` — the experiment's matrix as a list of pure, picklable
+  :class:`~repro.bench.cells.ExperimentCell` (machine preset, strategy,
+  core count, workload params, seed);
+- ``run_cell(cell)`` — executes one cell (machine and dataset are built
+  inside the call; datasets come from the per-process keyed cache in
+  :mod:`repro.bench.datasets`) and returns a JSON-native result;
+- ``merge(quick, results)`` — folds ``{cell_id: result}`` back into the
+  experiment's rows/series and rendered table, in cell order.
+
+The public experiment functions run exactly this path inline, and the
+parallel sweep engine (:mod:`repro.bench.sweep`) runs the same cells in a
+process pool with an on-disk result cache — outputs are bit-identical by
+construction (pinned by ``tests/test_sweep_equivalence.py``).
 """
 
 from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.baselines import (
-    AsymSchedStrategy,
-    OsAsyncStrategy,
-    RingStrategy,
-    SamStrategy,
-    ShoalStrategy,
-    distributed_cache_strategy,
-    local_cache_strategy,
-)
-from repro.baselines.vanilla import VanillaStrategy
+from repro.bench import datasets
+from repro.bench.cells import ExperimentCell, register, run_serial
 from repro.bench.report import format_series, format_table
 from repro.hw.machine import Machine, milan, sapphire_rapids
 from repro.hw.topology import Distance
 from repro.runtime.policy import CharmPolicyConfig, CharmStrategy, StaticSpreadStrategy
-from repro.workloads.graph.generator import kronecker
-from repro.workloads.graph.runner import run_graph_algorithm
-from repro.workloads.gups import run_gups
-from repro.workloads.olap import generate as tpch_generate
-from repro.workloads.olap.queries import QUERIES, run_query
-from repro.workloads.oltp import run_oltp, tpcc_workload, ycsb_workload
-from repro.workloads.oltp.tpcc import load_tpcc
-from repro.workloads.oltp.ycsb import load_ycsb
-from repro.workloads.sgd import make_dataset, run_sgd
-from repro.workloads.streamcluster import make_points, run_streamcluster
-from repro.workloads.vector_write import run_vector_write, sweep_sizes
 
 SEED = 7
 MACHINE_SCALE = 32
 
 GRAPH_ALGOS = ["bfs", "pagerank", "cc", "sssp", "graph500"]
+
+_Cell = ExperimentCell.make
 
 
 def _milan() -> Machine:
@@ -50,21 +50,208 @@ def _spr() -> Machine:
     return sapphire_rapids(scale=MACHINE_SCALE)
 
 
+def _machine_for(preset: str) -> Machine:
+    if preset == "milan":
+        return milan(scale=MACHINE_SCALE)
+    if preset == "sapphire_rapids":
+        return sapphire_rapids(scale=MACHINE_SCALE)
+    if preset == "genoa":
+        from repro.hw.machine import genoa
+
+        return genoa(scale=MACHINE_SCALE)
+    raise ValueError(f"unknown machine preset {preset!r}")
+
+
+class FlatCharmStrategy(CharmStrategy):
+    """CHARM with flat random stealing (the abl_stealing ablation)."""
+
+    name = "charm-flat-steal"
+    hierarchical_stealing = False
+
+
+def _strategy_for(name: str, machine: Machine):
+    """Instantiate the scheduling strategy a cell names."""
+    from repro.baselines import (
+        AsymSchedStrategy,
+        RingStrategy,
+        SamStrategy,
+        ShoalStrategy,
+        distributed_cache_strategy,
+        local_cache_strategy,
+    )
+    from repro.baselines.vanilla import VanillaStrategy
+
+    if name == "charm":
+        return CharmStrategy()
+    if name == "ring":
+        return RingStrategy()
+    if name == "asymsched":
+        return AsymSchedStrategy()
+    if name == "sam":
+        return SamStrategy()
+    if name == "shoal":
+        return ShoalStrategy()
+    if name == "vanilla":
+        return VanillaStrategy()
+    if name == "local":
+        return local_cache_strategy()
+    if name == "distributed":
+        return distributed_cache_strategy(machine)
+    if name == "charm-flat":
+        return FlatCharmStrategy()
+    if name.startswith("charm-thr-"):
+        thr = float(name[len("charm-thr-"):])
+        return CharmStrategy(CharmPolicyConfig(rmt_chip_access_rate=thr))
+    if name.startswith("static-"):
+        return StaticSpreadStrategy(int(name[len("static-"):]))
+    raise ValueError(f"unknown strategy {name!r}")
+
+
 def _graph(quick: bool):
-    return kronecker(14 if quick else 16, 16, seed=2)
+    return datasets.graph(14 if quick else 16, 16, seed=2)
 
 
 def _cores(quick: bool, cap: int = 128) -> List[int]:
+    """Core-count axis, clamped to ``cap`` and deduplicated.
+
+    Entries above the machine size are capped (not dropped) so the
+    largest configuration is always swept, then duplicates introduced by
+    the capping are removed.
+    """
     cores = [8, 32, 64] if quick else [8, 16, 32, 48, 64, 96, 128]
-    return [c for c in cores if c <= cap]
+    return sorted({min(c, cap) for c in cores})
+
+
+# -- shared cell runners -------------------------------------------------------
+#
+# Most experiments are matrices over the same few simulated runs; each
+# runner below executes one cell and returns plain JSON-native data so
+# results survive the disk cache byte-for-byte.
+
+
+def _counters_row(counters) -> Dict[str, int]:
+    return {
+        "local_chiplet": int(counters.local_chiplet),
+        "remote_chiplet": int(counters.remote_chiplet),
+        "remote_numa_chiplet": int(counters.remote_numa_chiplet),
+        "dram": int(counters.dram),
+    }
+
+
+def _run_graph_cell(cell: ExperimentCell) -> Dict:
+    """One graph-algorithm or GUPS run (fig07/fig08/fig10/tab1/...)."""
+    from repro.workloads.graph.runner import run_graph_algorithm
+    from repro.workloads.gups import run_gups
+
+    p = cell.params
+    machine = _machine_for(cell.machine_preset)
+    strategy = _strategy_for(cell.strategy, machine)
+    if p["algo"] == "gups":
+        res = run_gups(machine, strategy, cell.cores, p["table_bytes"],
+                       updates_per_worker=p["updates_per_worker"], seed=cell.seed)
+        return {"metric": float(res.mups), "counters": _counters_row(res.report.counters)}
+    graph = datasets.graph(p["graph_scale"], p.get("edgefactor", 16),
+                           seed=p.get("graph_seed", 2))
+    kwargs = {}
+    if "pagerank_iterations" in p:
+        kwargs["pagerank_iterations"] = p["pagerank_iterations"]
+    res = run_graph_algorithm(machine, strategy, p["algo"], graph, cell.cores,
+                              seed=cell.seed, **kwargs)
+    return {
+        "metric": float(res.mteps),
+        "teps": float(res.teps),
+        "graph_adjacency_bytes": int(graph.adjacency_bytes),
+        "counters": _counters_row(res.report.counters),
+    }
+
+
+def _run_streamcluster_cell(cell: ExperimentCell) -> Dict:
+    """One streamcluster run (fig09/tab2/sens_threshold/abl_spread/...)."""
+    from repro.workloads.streamcluster import run_streamcluster
+
+    p = cell.params
+    machine = _machine_for(cell.machine_preset)
+    strategy = _strategy_for(cell.strategy, machine)
+    pts = datasets.sc_points(p["n_points"])
+    res = run_streamcluster(machine, strategy, cell.cores, pts,
+                            n_centers=p["n_centers"], batch_points=p["batch_points"],
+                            seed=cell.seed)
+    return {
+        "wall_ns": float(res.wall_ns),
+        "migrations": int(res.report.migrations),
+        "counters": _counters_row(res.report.counters),
+    }
+
+
+def _run_sgd_cell(cell: ExperimentCell) -> Dict:
+    """One SGD run (fig11/fig12/fig01)."""
+    from repro.workloads.sgd import run_sgd
+
+    p = cell.params
+    machine = _machine_for(cell.machine_preset)
+    ds = datasets.sgd_dataset(p["n_samples"], p["n_features"], seed=p["ds_seed"])
+    res = run_sgd(machine, cell.strategy, cell.cores, ds, kernel=p["kernel"],
+                  epochs=p["epochs"], seed=cell.seed,
+                  collect_timeline=p.get("collect_timeline", False))
+    out = {"throughput_gbs": float(res.throughput_gbs)}
+    if p.get("collect_timeline"):
+        out["threads_created"] = int(res.report.tasks_created)
+        out["avg_concurrency"] = float(res.report.avg_concurrency())
+    return out
+
+
+def _run_tpch_cell(cell: ExperimentCell) -> Dict:
+    """One TPC-H query run (fig13/fig01)."""
+    from repro.workloads.olap.queries import run_query
+
+    p = cell.params
+    machine = _machine_for(cell.machine_preset)
+    strategy = _strategy_for(cell.strategy, machine)
+    data = datasets.tpch(p["sf"], seed=p["tpch_seed"])
+    res = run_query(machine, strategy, cell.cores, data, p["query"], seed=cell.seed)
+    return {"ms": float(res.ms), "wall_ns": float(res.wall_ns)}
+
+
+def _run_oltp_cell(cell: ExperimentCell) -> Dict:
+    """One OLTP run (fig14); the store is a fresh clone per cell."""
+    from repro.workloads.oltp import run_oltp, tpcc_workload, ycsb_workload
+
+    p = cell.params
+    machine = _machine_for(cell.machine_preset)
+    strategy = _strategy_for(cell.strategy, machine)
+    if p["workload"] == "ycsb":
+        store = datasets.ycsb_store(p["n_records"])
+        res = run_oltp(machine, strategy, cell.cores, ycsb_workload, "ycsb",
+                       store, p["table_bytes"], txns_per_worker=p["txns_per_worker"],
+                       seed=cell.seed)
+    else:
+        tables = datasets.tpcc_tables(p["warehouses"])
+        res = run_oltp(machine, strategy, cell.cores, tpcc_workload(tables), "tpcc",
+                       tables.store, p["table_bytes"],
+                       txns_per_worker=p["txns_per_worker"], seed=cell.seed)
+    return {"commits_per_second": float(res.commits_per_second),
+            "committed": int(res.committed), "aborted": int(res.aborted)}
+
+
+def _run_vector_write_cell(cell: ExperimentCell) -> Dict:
+    """One segmented-write microbenchmark run (fig05)."""
+    from repro.workloads.vector_write import run_vector_write
+
+    machine = _machine_for(cell.machine_preset)
+    strategy = _strategy_for(cell.strategy, machine)
+    res = run_vector_write(machine, strategy, cell.params["size_bytes"], seed=cell.seed)
+    return {"ns_iter": float(res.ns_per_iteration)}
 
 
 # -- Fig. 3: core-to-core latency CDF ------------------------------------------------
 
 
-def fig03_latency_cdf():
-    """CDF groups of CAS latency by topological distance (Fig. 3)."""
-    machine = _milan()
+def _fig03_cells(quick: bool) -> List[ExperimentCell]:
+    return [_Cell("fig03_latency_cdf", machine_preset="milan", seed=SEED)]
+
+
+def _fig03_run(cell: ExperimentCell) -> List[Dict]:
+    machine = _machine_for(cell.machine_preset)
     topo, lat = machine.topo, machine.latency
     groups: Dict[str, List[float]] = {"same_chiplet": [], "same_numa": [], "cross_numa": []}
     for a, b in topo.core_pairs():
@@ -81,13 +268,26 @@ def fig03_latency_cdf():
         arr = np.array(vals)
         rows.append({
             "group": name,
-            "count": arr.size,
+            "count": int(arr.size),
             "p10_ns": float(np.percentile(arr, 10)),
             "p50_ns": float(np.percentile(arr, 50)),
             "p90_ns": float(np.percentile(arr, 90)),
         })
+    return rows
+
+
+def _fig03_merge(quick: bool, results: Dict) -> Tuple[List[Dict], str]:
+    rows = results[_fig03_cells(quick)[0].cell_id]
     return rows, format_table(rows, ["group", "count", "p10_ns", "p50_ns", "p90_ns"],
                               "Fig. 3: core-to-core latency groups (dual-socket Milan)")
+
+
+register("fig03_latency_cdf", _fig03_cells, _fig03_run, _fig03_merge)
+
+
+def fig03_latency_cdf():
+    """CDF groups of CAS latency by topological distance (Fig. 3)."""
+    return run_serial("fig03_latency_cdf")
 
 
 # -- Fig. 4: cores vs memory channels trend ------------------------------------------
@@ -100,194 +300,350 @@ CHANNEL_TREND = [
 ]
 
 
-def fig04_channels():
-    rows = [
+def _fig04_cells(quick: bool) -> List[ExperimentCell]:
+    return [_Cell("fig04_channels", seed=SEED)]
+
+
+def _fig04_run(cell: ExperimentCell) -> List[Dict]:
+    return [
         {"year": y, "cores": c, "mem_channels": m, "cores_per_channel": round(c / m, 1)}
         for y, c, m in CHANNEL_TREND
     ]
+
+
+def _fig04_merge(quick: bool, results: Dict) -> Tuple[List[Dict], str]:
+    rows = results[_fig04_cells(quick)[0].cell_id]
     return rows, format_table(rows, ["year", "cores", "mem_channels", "cores_per_channel"],
                               "Fig. 4: core count vs memory channels")
+
+
+register("fig04_channels", _fig04_cells, _fig04_run, _fig04_merge)
+
+
+def fig04_channels():
+    return run_serial("fig04_channels")
 
 
 # -- Fig. 5: LocalCache vs DistributedCache microbenchmark ---------------------------
 
 
-def fig05_local_vs_distributed(quick: bool = True):
+def _fig05_sizes(quick: bool) -> List[int]:
+    from repro.workloads.vector_write import sweep_sizes
+
     m0 = _milan()
     sizes = sorted(set(sweep_sizes(m0.l3_bytes_per_chiplet, m0.topo.chiplets_per_socket)))
     if quick:
         sizes = sizes[::2] + [sizes[-1]]
+    return sorted(set(sizes))
+
+
+def _fig05_cells(quick: bool) -> List[ExperimentCell]:
+    cells = []
+    for size in _fig05_sizes(quick):
+        for strat in ("local", "distributed"):
+            cells.append(_Cell("fig05_local_vs_distributed", machine_preset="milan",
+                               strategy=strat, cores=8, seed=SEED, size_bytes=size))
+    return cells
+
+
+def _fig05_merge(quick: bool, results: Dict) -> Tuple[List[Dict], str]:
+    cells = _fig05_cells(quick)
     rows = []
-    for size in sorted(set(sizes)):
-        ml, md = _milan(), _milan()
-        rl = run_vector_write(ml, local_cache_strategy(), size, seed=SEED)
-        rd = run_vector_write(md, distributed_cache_strategy(md), size, seed=SEED)
+    for i in range(0, len(cells), 2):
+        local, dist = cells[i], cells[i + 1]
+        rl = results[local.cell_id]["ns_iter"]
+        rd = results[dist.cell_id]["ns_iter"]
         rows.append({
-            "size_kib": size // 1024,
-            "local_ns_iter": rl.ns_per_iteration,
-            "dist_ns_iter": rd.ns_per_iteration,
-            "dist_speedup": rl.ns_per_iteration / rd.ns_per_iteration,
+            "size_kib": local.params["size_bytes"] // 1024,
+            "local_ns_iter": rl,
+            "dist_ns_iter": rd,
+            "dist_speedup": rl / rd,
         })
     return rows, format_table(
         rows, ["size_kib", "local_ns_iter", "dist_ns_iter", "dist_speedup"],
         "Fig. 5: LocalCache vs DistributedCache segmented write (8 threads)")
 
 
+register("fig05_local_vs_distributed", _fig05_cells, _run_vector_write_cell, _fig05_merge)
+
+
+def fig05_local_vs_distributed(quick: bool = True):
+    return run_serial("fig05_local_vs_distributed", quick)
+
+
 # -- Fig. 7 / Fig. 8: graph scalability ----------------------------------------------
 
+_SCALABILITY_SYSTEMS = ["charm", "ring", "asymsched", "sam"]
 
-def _graph_scalability(machine_fn, quick: bool, algorithms=None, cores=None):
-    graph = _graph(quick)
-    algorithms = algorithms or (["bfs", "pagerank"] if quick else GRAPH_ALGOS)
-    max_cores = machine_fn().topo.total_cores
-    cores = cores or _cores(quick, cap=max_cores)
-    systems = [("charm", CharmStrategy), ("ring", RingStrategy),
-               ("asymsched", AsymSchedStrategy), ("sam", SamStrategy)]
-    series: Dict[str, List[Tuple[int, float]]] = {}
+
+def _scalability_cells(experiment: str, preset: str, quick: bool,
+                       algorithms: List[str], cores: List[int]) -> List[ExperimentCell]:
+    cells = []
     for algo in algorithms:
-        for sys_name, mk in systems:
-            pts = []
+        for sys_name in _SCALABILITY_SYSTEMS:
             for c in cores:
                 if algo == "gups":
-                    res = run_gups(machine_fn(), mk(), c, 16 << 20,
-                                   updates_per_worker=1024 if quick else 4096, seed=SEED)
-                    pts.append((c, res.mups))
+                    cells.append(_Cell(experiment, machine_preset=preset,
+                                       strategy=sys_name, cores=c, seed=SEED,
+                                       algo="gups", table_bytes=16 << 20,
+                                       updates_per_worker=1024 if quick else 4096))
                 else:
-                    res = run_graph_algorithm(
-                        machine_fn(), mk(), algo, graph, c, seed=SEED,
-                        pagerank_iterations=3 if quick else 5)
-                    pts.append((c, res.mteps))
-            series[f"{algo}/{sys_name}"] = pts
+                    cells.append(_Cell(experiment, machine_preset=preset,
+                                       strategy=sys_name, cores=c, seed=SEED,
+                                       algo=algo, graph_scale=14 if quick else 16,
+                                       edgefactor=16, graph_seed=2,
+                                       pagerank_iterations=3 if quick else 5))
+    return cells
+
+
+def _scalability_merge(cells: List[ExperimentCell], results: Dict) -> Dict:
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for cell in cells:
+        key = f"{cell.params['algo']}/{cell.strategy}"
+        series.setdefault(key, []).append((cell.cores, results[cell.cell_id]["metric"]))
     return series
 
 
-def fig07_amd_scalability(quick: bool = True, algorithms=None):
-    algorithms = algorithms or (["bfs", "gups"] if quick else GRAPH_ALGOS + ["gups"])
-    series = _graph_scalability(_milan, quick, algorithms=algorithms)
+def _fig07_algorithms(quick: bool, algorithms=None) -> List[str]:
+    return algorithms or (["bfs", "gups"] if quick else GRAPH_ALGOS + ["gups"])
+
+
+def _fig07_cells(quick: bool, algorithms=None) -> List[ExperimentCell]:
+    cores = _cores(quick, cap=_milan().topo.total_cores)
+    return _scalability_cells("fig07_amd_scalability", "milan", quick,
+                              _fig07_algorithms(quick, algorithms), cores)
+
+
+def _fig07_merge(quick: bool, results: Dict, algorithms=None):
+    series = _scalability_merge(_fig07_cells(quick, algorithms), results)
     return series, format_series(series, "cores",
                                  "Fig. 7: graph + GUPS scalability, AMD Milan (MTEPS / MUPS)")
 
 
-def fig08_intel_scalability(quick: bool = True, algorithms=None):
+register("fig07_amd_scalability", _fig07_cells, _run_graph_cell, _fig07_merge)
+
+
+def fig07_amd_scalability(quick: bool = True, algorithms=None):
+    return run_serial("fig07_amd_scalability", quick, algorithms=algorithms)
+
+
+def _fig08_cells(quick: bool, algorithms=None, cores=None) -> List[ExperimentCell]:
     algorithms = algorithms or (["bfs"] if quick else GRAPH_ALGOS + ["gups"])
-    series = _graph_scalability(_spr, quick, algorithms=algorithms,
-                                cores=[8, 32, 48, 96] if quick else [8, 16, 32, 48, 64, 96])
+    cores = cores or ([8, 32, 48, 96] if quick else [8, 16, 32, 48, 64, 96])
+    return _scalability_cells("fig08_intel_scalability", "sapphire_rapids", quick,
+                              algorithms, cores)
+
+
+def _fig08_merge(quick: bool, results: Dict, algorithms=None, cores=None):
+    series = _scalability_merge(_fig08_cells(quick, algorithms, cores), results)
     return series, format_series(series, "cores",
                                  "Fig. 8: graph scalability, Intel Sapphire Rapids")
+
+
+register("fig08_intel_scalability", _fig08_cells, _run_graph_cell, _fig08_merge)
+
+
+def fig08_intel_scalability(quick: bool = True, algorithms=None):
+    return run_serial("fig08_intel_scalability", quick, algorithms=algorithms)
 
 
 # -- Tab. 1: chiplet access counters -------------------------------------------------
 
 
-def tab1_chiplet_accesses(quick: bool = True, cores: int = 64):
-    graph = _graph(quick)
-    algorithms = ["bfs", "pagerank"] if quick else GRAPH_ALGOS
-    rows = []
-    for algo in algorithms + ["gups"]:
-        row = {"application": algo}
-        for sys_name, mk in (("charm", CharmStrategy), ("ring", RingStrategy)):
+def _tab1_cells(quick: bool, cores: int = 64) -> List[ExperimentCell]:
+    algorithms = (["bfs", "pagerank"] if quick else GRAPH_ALGOS) + ["gups"]
+    cells = []
+    for algo in algorithms:
+        for sys_name in ("charm", "ring"):
             if algo == "gups":
-                res = run_gups(_milan(), mk(), cores, 16 << 20,
-                               updates_per_worker=1024 if quick else 4096, seed=SEED)
-                counters = res.report.counters
+                cells.append(_Cell("tab1_chiplet_accesses", machine_preset="milan",
+                                   strategy=sys_name, cores=cores, seed=SEED,
+                                   algo="gups", table_bytes=16 << 20,
+                                   updates_per_worker=1024 if quick else 4096))
             else:
-                counters = run_graph_algorithm(
-                    _milan(), mk(), algo, graph, cores, seed=SEED,
-                    pagerank_iterations=3 if quick else 5).report.counters
-            row[f"remote_numa_{sys_name}"] = counters.remote_numa_chiplet
-            row[f"local_chiplet_{sys_name}"] = counters.local_chiplet + counters.remote_chiplet
-        rows.append(row)
+                cells.append(_Cell("tab1_chiplet_accesses", machine_preset="milan",
+                                   strategy=sys_name, cores=cores, seed=SEED,
+                                   algo=algo, graph_scale=14 if quick else 16,
+                                   edgefactor=16, graph_seed=2,
+                                   pagerank_iterations=3 if quick else 5))
+    return cells
+
+
+def _tab1_merge(quick: bool, results: Dict, cores: int = 64):
+    cells = _tab1_cells(quick, cores)
+    rows: List[Dict] = []
+    by_algo: Dict[str, Dict] = {}
+    for cell in cells:
+        algo = cell.params["algo"]
+        row = by_algo.get(algo)
+        if row is None:
+            row = by_algo[algo] = {"application": algo}
+            rows.append(row)
+        counters = results[cell.cell_id]["counters"]
+        row[f"remote_numa_{cell.strategy}"] = counters["remote_numa_chiplet"]
+        row[f"local_chiplet_{cell.strategy}"] = (
+            counters["local_chiplet"] + counters["remote_chiplet"])
     cols = ["application", "remote_numa_charm", "remote_numa_ring",
             "local_chiplet_charm", "local_chiplet_ring"]
     return rows, format_table(rows, cols, f"Tab. 1: chiplet accesses at {cores} cores")
 
 
+register("tab1_chiplet_accesses", _tab1_cells, _run_graph_cell, _tab1_merge)
+
+
+def tab1_chiplet_accesses(quick: bool = True, cores: int = 64):
+    return run_serial("tab1_chiplet_accesses", quick, cores=cores)
+
+
 # -- Fig. 9 / Tab. 2: streamcluster --------------------------------------------------
 
 
+def _sc_n_points(quick: bool) -> int:
+    return 32768 if quick else 65536
+
+
 def _sc_points(quick: bool):
-    return make_points(32768 if quick else 65536, 64, 10, seed=4)
+    return datasets.sc_points(_sc_n_points(quick))
 
 
-def fig09_streamcluster(quick: bool = True):
-    pts = _sc_points(quick)
-    batch = pts.shape[0] // 2
-    base = run_streamcluster(_milan(), VanillaStrategy(), 1, pts, n_centers=12,
-                             batch_points=batch, seed=SEED).wall_ns
+def _fig09_cells(quick: bool) -> List[ExperimentCell]:
+    n = _sc_n_points(quick)
+    batch = n // 2
+    cells = [_Cell("fig09_streamcluster", machine_preset="milan", strategy="vanilla",
+                   cores=1, seed=SEED, n_points=n, batch_points=batch, n_centers=12)]
     cores = [8, 24, 32, 64, 128] if quick else [1, 8, 16, 24, 32, 40, 48, 64, 96, 128]
-    series = {"charm": [], "shoal": []}
     for c in cores:
-        rc = run_streamcluster(_milan(), CharmStrategy(), c, pts, n_centers=12,
-                               batch_points=batch, seed=SEED)
-        rs = run_streamcluster(_milan(), ShoalStrategy(), c, pts, n_centers=12,
-                               batch_points=batch, seed=SEED)
-        series["charm"].append((c, base / rc.wall_ns))
-        series["shoal"].append((c, base / rs.wall_ns))
+        for strat in ("charm", "shoal"):
+            cells.append(_Cell("fig09_streamcluster", machine_preset="milan",
+                               strategy=strat, cores=c, seed=SEED,
+                               n_points=n, batch_points=batch, n_centers=12))
+    return cells
+
+
+def _fig09_merge(quick: bool, results: Dict):
+    cells = _fig09_cells(quick)
+    base = results[cells[0].cell_id]["wall_ns"]
+    series: Dict[str, List[Tuple[int, float]]] = {"charm": [], "shoal": []}
+    for cell in cells[1:]:
+        series[cell.strategy].append(
+            (cell.cores, base / results[cell.cell_id]["wall_ns"]))
     return series, format_series(series, "cores",
                                  "Fig. 9: Streamcluster speedup over no-runtime baseline")
 
 
-def tab2_streamcluster_accesses(quick: bool = True):
-    pts = _sc_points(quick)
+register("fig09_streamcluster", _fig09_cells, _run_streamcluster_cell, _fig09_merge)
+
+
+def fig09_streamcluster(quick: bool = True):
+    return run_serial("fig09_streamcluster", quick)
+
+
+def _tab2_cells(quick: bool) -> List[ExperimentCell]:
+    n = _sc_n_points(quick)
     # Keep the batch within the socket's aggregate L3 at every scale, as
     # the paper's 200K-point batches (100 MB) fit its 256 MB socket L3 —
     # the reuse that Tab. 2's counter contrast comes from.
-    batch = pts.shape[0] // (2 if quick else 4)
-    rows = []
+    batch = n // (2 if quick else 4)
+    cells = []
     for c in (8, 16, 32, 64):
-        row = {"cores": c}
-        for name, mk in (("charm", CharmStrategy), ("shoal", ShoalStrategy)):
-            res = run_streamcluster(_milan(), mk(), c, pts, n_centers=12,
-                                    batch_points=batch, seed=SEED)
-            cnt = res.report.counters
-            row[f"local_{name}"] = cnt.local_chiplet + cnt.remote_chiplet
-            row[f"remote_numa_{name}"] = cnt.remote_numa_chiplet
-            row[f"dram_{name}"] = cnt.dram
-        rows.append(row)
+        for strat in ("charm", "shoal"):
+            cells.append(_Cell("tab2_streamcluster_accesses", machine_preset="milan",
+                               strategy=strat, cores=c, seed=SEED,
+                               n_points=n, batch_points=batch, n_centers=12))
+    return cells
+
+
+def _tab2_merge(quick: bool, results: Dict):
+    cells = _tab2_cells(quick)
+    rows: List[Dict] = []
+    by_cores: Dict[int, Dict] = {}
+    for cell in cells:
+        row = by_cores.get(cell.cores)
+        if row is None:
+            row = by_cores[cell.cores] = {"cores": cell.cores}
+            rows.append(row)
+        cnt = results[cell.cell_id]["counters"]
+        row[f"local_{cell.strategy}"] = cnt["local_chiplet"] + cnt["remote_chiplet"]
+        row[f"remote_numa_{cell.strategy}"] = cnt["remote_numa_chiplet"]
+        row[f"dram_{cell.strategy}"] = cnt["dram"]
     cols = ["cores", "local_charm", "local_shoal", "remote_numa_charm",
             "remote_numa_shoal", "dram_charm", "dram_shoal"]
     return rows, format_table(rows, cols, "Tab. 2: streamcluster memory/cache accesses")
 
 
+register("tab2_streamcluster_accesses", _tab2_cells, _run_streamcluster_cell, _tab2_merge)
+
+
+def tab2_streamcluster_accesses(quick: bool = True):
+    return run_serial("tab2_streamcluster_accesses", quick)
+
+
 # -- Fig. 10: data-size sensitivity ---------------------------------------------------
 
 
-def fig10_datasize(quick: bool = True):
+def _fig10_cells(quick: bool) -> List[ExperimentCell]:
     scales = [12, 14] if quick else [12, 13, 14, 15, 16]
-    cores_list = [32, 64]
     algorithms = ["bfs"] if quick else ["bfs", "sssp", "graph500"]
-    rows = []
+    cells = []
     for scale in scales:
-        graph = kronecker(scale, 16, seed=2)
         for algo in algorithms:
-            for c in cores_list:
-                rc = run_graph_algorithm(_milan(), CharmStrategy(), algo, graph, c, seed=SEED)
-                rr = run_graph_algorithm(_milan(), RingStrategy(), algo, graph, c, seed=SEED)
-                rows.append({
-                    "algo": algo,
-                    "graph_mib": graph.adjacency_bytes // (1 << 20),
-                    "cores": c,
-                    "speedup_vs_ring": rc.teps / max(rr.teps, 1e-9),
-                })
+            for c in (32, 64):
+                for strat in ("charm", "ring"):
+                    cells.append(_Cell("fig10_datasize", machine_preset="milan",
+                                       strategy=strat, cores=c, seed=SEED,
+                                       algo=algo, graph_scale=scale,
+                                       edgefactor=16, graph_seed=2))
+    return cells
+
+
+def _fig10_merge(quick: bool, results: Dict):
+    cells = _fig10_cells(quick)
+    rows = []
+    for i in range(0, len(cells), 2):
+        charm, ring = cells[i], cells[i + 1]
+        rc, rr = results[charm.cell_id], results[ring.cell_id]
+        rows.append({
+            "algo": charm.params["algo"],
+            "graph_mib": rc["graph_adjacency_bytes"] // (1 << 20),
+            "cores": charm.cores,
+            "speedup_vs_ring": rc["teps"] / max(rr["teps"], 1e-9),
+        })
     return rows, format_table(rows, ["algo", "graph_mib", "cores", "speedup_vs_ring"],
                               "Fig. 10: CHARM speedup over RING vs graph size")
 
 
+register("fig10_datasize", _fig10_cells, _run_graph_cell, _fig10_merge)
+
+
+def fig10_datasize(quick: bool = True):
+    return run_serial("fig10_datasize", quick)
+
+
 # -- Fig. 11 / Fig. 12: SGD ------------------------------------------------------------
 
+_SGD_SCHEMES = ["per-core", "numa-node", "per-machine", "charm", "charm-async"]
 
-def fig11_sgd(quick: bool = True):
-    ds = make_dataset(4096 if quick else 8192, 1024, seed=11)
-    cores = _cores(quick)
-    schemes = ["per-core", "numa-node", "per-machine", "charm", "charm-async"]
-    out = {}
+
+def _fig11_cells(quick: bool) -> List[ExperimentCell]:
+    n = 4096 if quick else 8192
+    cells = []
     for kernel in ("loss", "gradient"):
-        series = {s: [] for s in schemes}
-        for c in cores:
-            for s in schemes:
-                res = run_sgd(_milan(), s, c, ds, kernel=kernel, epochs=1, seed=SEED)
-                series[s].append((c, res.throughput_gbs))
-        out[kernel] = series
+        for c in _cores(quick):
+            for scheme in _SGD_SCHEMES:
+                cells.append(_Cell("fig11_sgd", machine_preset="milan",
+                                   strategy=scheme, cores=c, seed=SEED,
+                                   kernel=kernel, n_samples=n, n_features=1024,
+                                   ds_seed=11, epochs=1))
+    return cells
+
+
+def _fig11_merge(quick: bool, results: Dict):
+    cells = _fig11_cells(quick)
+    out: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
+    for cell in cells:
+        series = out.setdefault(cell.params["kernel"], {s: [] for s in _SGD_SCHEMES})
+        series[cell.strategy].append(
+            (cell.cores, results[cell.cell_id]["throughput_gbs"]))
     text = "\n\n".join(
         format_series(out[k], "cores", f"Fig. 11{chr(97 + i)}: SGD {k} throughput (GB/s)")
         for i, k in enumerate(("loss", "gradient"))
@@ -295,151 +651,293 @@ def fig11_sgd(quick: bool = True):
     return out, text
 
 
-def fig12_concurrency(quick: bool = True, cores: int = 32):
-    ds = make_dataset(2048 if quick else 4096, 1024, seed=11)
+register("fig11_sgd", _fig11_cells, _run_sgd_cell, _fig11_merge)
+
+
+def fig11_sgd(quick: bool = True):
+    return run_serial("fig11_sgd", quick)
+
+
+def _fig12_cells(quick: bool, cores: int = 32) -> List[ExperimentCell]:
+    n = 2048 if quick else 4096
+    return [
+        _Cell("fig12_concurrency", machine_preset="milan", strategy=scheme,
+              cores=cores, seed=SEED, kernel="gradient", n_samples=n,
+              n_features=1024, ds_seed=11, epochs=1, collect_timeline=True)
+        for scheme in ("charm", "charm-async")
+    ]
+
+
+def _fig12_merge(quick: bool, results: Dict, cores: int = 32):
     rows = []
-    for scheme in ("charm", "charm-async"):
-        res = run_sgd(_milan(), scheme, cores, ds, kernel="gradient", epochs=1,
-                      seed=SEED, collect_timeline=True)
+    for cell in _fig12_cells(quick, cores):
+        r = results[cell.cell_id]
         rows.append({
-            "scheme": scheme,
-            "threads_created": res.report.tasks_created,
-            "avg_concurrency": res.report.avg_concurrency(),
-            "throughput_gbs": res.throughput_gbs,
+            "scheme": cell.strategy,
+            "threads_created": r["threads_created"],
+            "avg_concurrency": r["avg_concurrency"],
+            "throughput_gbs": r["throughput_gbs"],
         })
     return rows, format_table(rows, ["scheme", "threads_created", "avg_concurrency",
                                      "throughput_gbs"],
                               f"Fig. 12: thread concurrency during SGD at {cores} cores")
 
 
+register("fig12_concurrency", _fig12_cells, _run_sgd_cell, _fig12_merge)
+
+
+def fig12_concurrency(quick: bool = True, cores: int = 32):
+    return run_serial("fig12_concurrency", quick, cores=cores)
+
+
 # -- Fig. 13: TPC-H --------------------------------------------------------------------
 
 
-def fig13_tpch(quick: bool = True, cores: int = 8):
-    data = tpch_generate(sf=4.0 if quick else 10.0, seed=42)
+def _fig13_cells(quick: bool, cores: int = 8) -> List[ExperimentCell]:
+    from repro.workloads.olap.queries import QUERIES
+
     queries = ["q1", "q3", "q6", "q9", "q10", "q18"] if quick else list(QUERIES)
-    rows = []
+    cells = []
     for q in queries:
-        rs = run_query(_milan(), VanillaStrategy(), cores, data, q, seed=SEED)
-        rc = run_query(_milan(), CharmStrategy(), cores, data, q, seed=SEED)
+        for strat in ("vanilla", "charm"):
+            cells.append(_Cell("fig13_tpch", machine_preset="milan", strategy=strat,
+                               cores=cores, seed=SEED, query=q,
+                               sf=4.0 if quick else 10.0, tpch_seed=42))
+    return cells
+
+
+def _fig13_merge(quick: bool, results: Dict, cores: int = 8):
+    from repro.workloads.olap.queries import QUERIES
+
+    cells = _fig13_cells(quick, cores)
+    rows = []
+    for i in range(0, len(cells), 2):
+        stock, charm = cells[i], cells[i + 1]
+        rs, rc = results[stock.cell_id], results[charm.cell_id]
+        q = stock.params["query"]
         rows.append({
             "query": q,
             "kind": QUERIES[q][1],
-            "stock_ms": rs.ms,
-            "charm_ms": rc.ms,
-            "speedup": rs.wall_ns / rc.wall_ns,
+            "stock_ms": rs["ms"],
+            "charm_ms": rc["ms"],
+            "speedup": rs["wall_ns"] / rc["wall_ns"],
         })
     return rows, format_table(rows, ["query", "kind", "stock_ms", "charm_ms", "speedup"],
                               f"Fig. 13: TPC-H queries, stock vs +CHARM at {cores} cores")
 
 
+register("fig13_tpch", _fig13_cells, _run_tpch_cell, _fig13_merge)
+
+
+def fig13_tpch(quick: bool = True, cores: int = 8):
+    return run_serial("fig13_tpch", quick, cores=cores)
+
+
 # -- Fig. 14: OLTP ----------------------------------------------------------------------
 
 
-def fig14_oltp(quick: bool = True):
+def _fig14_cells(quick: bool) -> List[ExperimentCell]:
     cores = [8, 32, 64] if quick else [8, 16, 32, 48, 64]
     txns = 60 if quick else 200
-    series: Dict[str, List[Tuple[int, float]]] = {}
+    cells = []
     for wl in ("ycsb", "tpcc"):
-        for pol_name in ("local", "distributed"):
-            pts = []
+        for pol in ("local", "distributed"):
             for c in cores:
-                machine = _milan()
-                strategy = (local_cache_strategy() if pol_name == "local"
-                            else distributed_cache_strategy(machine))
+                params = {"workload": wl, "txns_per_worker": txns,
+                          "table_bytes": 8 << 20}
                 if wl == "ycsb":
-                    res = run_oltp(machine, strategy, c, ycsb_workload, "ycsb",
-                                   load_ycsb(20000), 8 << 20, txns_per_worker=txns, seed=SEED)
+                    params["n_records"] = 20000
                 else:
-                    tables = load_tpcc(5)
-                    res = run_oltp(machine, strategy, c, tpcc_workload(tables), "tpcc",
-                                   tables.store, 8 << 20, txns_per_worker=txns, seed=SEED)
-                pts.append((c, res.commits_per_second / 1e3))
-            series[f"{wl}/{pol_name}"] = pts
+                    params["warehouses"] = 5
+                cells.append(_Cell("fig14_oltp", machine_preset="milan", strategy=pol,
+                                   cores=c, seed=SEED, **params))
+    return cells
+
+
+def _fig14_merge(quick: bool, results: Dict):
+    cells = _fig14_cells(quick)
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for cell in cells:
+        key = f"{cell.params['workload']}/{cell.strategy}"
+        series.setdefault(key, []).append(
+            (cell.cores, results[cell.cell_id]["commits_per_second"] / 1e3))
     return series, format_series(series, "cores",
                                  "Fig. 14: OLTP kilo-commits/s, LocalCache vs DistributedCache")
+
+
+register("fig14_oltp", _fig14_cells, _run_oltp_cell, _fig14_merge)
+
+
+def fig14_oltp(quick: bool = True):
+    return run_serial("fig14_oltp", quick)
 
 
 # -- Fig. 1: headline summary -----------------------------------------------------------
 
 
-def fig01_summary(quick: bool = True):
-    graph = _graph(True)
-    rows = []
-    r_c = run_graph_algorithm(_milan(), CharmStrategy(), "bfs", graph, 64, seed=SEED)
-    r_r = run_graph_algorithm(_milan(), RingStrategy(), "bfs", graph, 64, seed=SEED)
-    rows.append({"domain": "graph (BFS, 64c)", "speedup_vs_numa_aware": r_c.teps / r_r.teps})
-    ds = make_dataset(4096, 1024, seed=11)
-    s_c = run_sgd(_milan(), "charm", 64, ds, kernel="gradient", epochs=1, seed=SEED)
-    s_n = run_sgd(_milan(), "numa-node", 64, ds, kernel="gradient", epochs=1, seed=SEED)
-    rows.append({"domain": "statistical analytics (SGD, 64c)",
-                 "speedup_vs_numa_aware": s_c.throughput_gbs / s_n.throughput_gbs})
-    pts = _sc_points(True)
-    c_sc = run_streamcluster(_milan(), CharmStrategy(), 16, pts, n_centers=12,
-                             batch_points=pts.shape[0] // 2, seed=SEED)
-    s_sc = run_streamcluster(_milan(), ShoalStrategy(), 16, pts, n_centers=12,
-                             batch_points=pts.shape[0] // 2, seed=SEED)
-    rows.append({"domain": "parallel processing (streamcluster, 16c)",
-                 "speedup_vs_numa_aware": s_sc.wall_ns / c_sc.wall_ns})
-    data = tpch_generate(sf=4.0, seed=42)
-    q_s = run_query(_milan(), VanillaStrategy(), 8, data, "q3", seed=SEED)
-    q_c = run_query(_milan(), CharmStrategy(), 8, data, "q3", seed=SEED)
-    rows.append({"domain": "OLAP (TPC-H q3, 8c)",
-                 "speedup_vs_numa_aware": q_s.wall_ns / q_c.wall_ns})
+def _fig01_cells(quick: bool) -> List[ExperimentCell]:
+    n_sc = _sc_n_points(True)
+    graph_kw = dict(algo="bfs", graph_scale=14, edgefactor=16, graph_seed=2)
+    sgd_kw = dict(kernel="gradient", n_samples=4096, n_features=1024,
+                  ds_seed=11, epochs=1)
+    sc_kw = dict(n_points=n_sc, batch_points=n_sc // 2, n_centers=12)
+    tpch_kw = dict(query="q3", sf=4.0, tpch_seed=42)
+    mk = lambda strat, cores, **kw: _Cell(  # noqa: E731
+        "fig01_summary", machine_preset="milan", strategy=strat, cores=cores,
+        seed=SEED, **kw)
+    return [
+        mk("charm", 64, **graph_kw), mk("ring", 64, **graph_kw),
+        mk("charm", 64, **sgd_kw), mk("numa-node", 64, **sgd_kw),
+        mk("charm", 16, **sc_kw), mk("shoal", 16, **sc_kw),
+        mk("vanilla", 8, **tpch_kw), mk("charm", 8, **tpch_kw),
+    ]
+
+
+def _fig01_run(cell: ExperimentCell):
+    p = cell.params
+    if "algo" in p:
+        return _run_graph_cell(cell)
+    if "kernel" in p:
+        return _run_sgd_cell(cell)
+    if "n_points" in p:
+        return _run_streamcluster_cell(cell)
+    return _run_tpch_cell(cell)
+
+
+def _fig01_merge(quick: bool, results: Dict):
+    c = _fig01_cells(quick)
+    r = [results[cell.cell_id] for cell in c]
+    rows = [
+        {"domain": "graph (BFS, 64c)",
+         "speedup_vs_numa_aware": r[0]["teps"] / r[1]["teps"]},
+        {"domain": "statistical analytics (SGD, 64c)",
+         "speedup_vs_numa_aware": r[2]["throughput_gbs"] / r[3]["throughput_gbs"]},
+        {"domain": "parallel processing (streamcluster, 16c)",
+         "speedup_vs_numa_aware": r[5]["wall_ns"] / r[4]["wall_ns"]},
+        {"domain": "OLAP (TPC-H q3, 8c)",
+         "speedup_vs_numa_aware": r[6]["wall_ns"] / r[7]["wall_ns"]},
+    ]
     return rows, format_table(rows, ["domain", "speedup_vs_numa_aware"],
                               "Fig. 1: CHARM speedups vs NUMA-aware systems")
+
+
+register("fig01_summary", _fig01_cells, _fig01_run, _fig01_merge)
+
+
+def fig01_summary(quick: bool = True):
+    return run_serial("fig01_summary", quick)
 
 
 # -- Sensitivity + ablations --------------------------------------------------------------
 
 
-def sens_threshold(quick: bool = True):
-    """Section 4.6's threshold sensitivity sweep, on this machine."""
-    pts = _sc_points(True)
+def _sens_cells(quick: bool) -> List[ExperimentCell]:
+    n = _sc_n_points(True)
     thresholds = [4, 12, 24, 48, 96] if quick else [2, 4, 8, 16, 24, 32, 48, 96, 192]
+    return [
+        _Cell("sens_threshold", machine_preset="milan", strategy=f"charm-thr-{thr}",
+              cores=16, seed=SEED, n_points=n, batch_points=n // 2, n_centers=12)
+        for thr in thresholds
+    ]
+
+
+def _sens_merge(quick: bool, results: Dict):
     rows = []
-    for thr in thresholds:
-        strategy = CharmStrategy(CharmPolicyConfig(rmt_chip_access_rate=float(thr)))
-        res = run_streamcluster(_milan(), strategy, 16, pts, n_centers=12,
-                                batch_points=pts.shape[0] // 2, seed=SEED)
-        rows.append({"threshold": thr, "wall_ms": res.wall_ns / 1e6,
-                     "migrations": res.report.migrations})
+    for cell in _sens_cells(quick):
+        r = results[cell.cell_id]
+        thr = int(cell.strategy[len("charm-thr-"):])
+        rows.append({"threshold": thr, "wall_ms": r["wall_ns"] / 1e6,
+                     "migrations": r["migrations"]})
     return rows, format_table(rows, ["threshold", "wall_ms", "migrations"],
                               "Sensitivity: RMT_CHIP_ACCESS_RATE sweep (streamcluster, 16c)")
 
 
-def abl_stealing(quick: bool = True):
-    """Ablation: chiplet-first hierarchical stealing vs flat random."""
+register("sens_threshold", _sens_cells, _run_streamcluster_cell, _sens_merge)
 
-    class FlatCharm(CharmStrategy):
-        name = "charm-flat-steal"
-        hierarchical_stealing = False
 
-    graph = _graph(True)
-    rows = []
+def sens_threshold(quick: bool = True):
+    """Section 4.6's threshold sensitivity sweep, on this machine."""
+    return run_serial("sens_threshold", quick)
+
+
+def _abl_stealing_cells(quick: bool) -> List[ExperimentCell]:
+    cells = []
     for c in (32, 64):
-        r_h = run_graph_algorithm(_milan(), CharmStrategy(), "bfs", graph, c, seed=SEED)
-        r_f = run_graph_algorithm(_milan(), FlatCharm(), "bfs", graph, c, seed=SEED)
-        rows.append({"cores": c, "hierarchical_mteps": r_h.mteps, "flat_mteps": r_f.mteps,
-                     "gain": r_h.mteps / max(r_f.mteps, 1e-9)})
+        for strat in ("charm", "charm-flat"):
+            cells.append(_Cell("abl_stealing", machine_preset="milan", strategy=strat,
+                               cores=c, seed=SEED, algo="bfs", graph_scale=14,
+                               edgefactor=16, graph_seed=2))
+    return cells
+
+
+def _abl_stealing_merge(quick: bool, results: Dict):
+    cells = _abl_stealing_cells(quick)
+    rows = []
+    for i in range(0, len(cells), 2):
+        r_h = results[cells[i].cell_id]["metric"]
+        r_f = results[cells[i + 1].cell_id]["metric"]
+        rows.append({"cores": cells[i].cores, "hierarchical_mteps": r_h,
+                     "flat_mteps": r_f, "gain": r_h / max(r_f, 1e-9)})
     return rows, format_table(rows, ["cores", "hierarchical_mteps", "flat_mteps", "gain"],
                               "Ablation: hierarchical vs flat work stealing (BFS)")
 
 
-def abl_spread(quick: bool = True):
-    """Ablation: adaptive spread_rate vs every static spread."""
-    pts = _sc_points(True)
-    batch = pts.shape[0] // 2
+register("abl_stealing", _abl_stealing_cells, _run_graph_cell, _abl_stealing_merge)
+
+
+def abl_stealing(quick: bool = True):
+    """Ablation: chiplet-first hierarchical stealing vs flat random."""
+    return run_serial("abl_stealing", quick)
+
+
+def _abl_spread_cells(quick: bool) -> List[ExperimentCell]:
+    n = _sc_n_points(True)
+    kw = dict(n_points=n, batch_points=n // 2, n_centers=12)
+    return [
+        _Cell("abl_spread", machine_preset="milan", strategy=strat, cores=16,
+              seed=SEED, **kw)
+        for strat in ("charm", "static-2", "static-4", "static-8")
+    ]
+
+
+def _abl_spread_merge(quick: bool, results: Dict):
     rows = []
-    res = run_streamcluster(_milan(), CharmStrategy(), 16, pts, n_centers=12,
-                            batch_points=batch, seed=SEED)
-    rows.append({"policy": "adaptive", "wall_ms": res.wall_ns / 1e6})
-    for spread in (2, 4, 8):
-        res = run_streamcluster(_milan(), StaticSpreadStrategy(spread), 16, pts,
-                                n_centers=12, batch_points=batch, seed=SEED)
-        rows.append({"policy": f"static-{spread}", "wall_ms": res.wall_ns / 1e6})
+    for cell in _abl_spread_cells(quick):
+        label = "adaptive" if cell.strategy == "charm" else cell.strategy
+        rows.append({"policy": label,
+                     "wall_ms": results[cell.cell_id]["wall_ns"] / 1e6})
     return rows, format_table(rows, ["policy", "wall_ms"],
                               "Ablation: adaptive vs static spread (streamcluster, 16c)")
+
+
+register("abl_spread", _abl_spread_cells, _run_streamcluster_cell, _abl_spread_merge)
+
+
+def abl_spread(quick: bool = True):
+    """Ablation: adaptive spread_rate vs every static spread."""
+    return run_serial("abl_spread", quick)
+
+
+def _ext_genoa_cells(quick: bool) -> List[ExperimentCell]:
+    cores = [12, 48, 96] if quick else [12, 24, 48, 96, 144, 192]
+    cells = []
+    for c in cores:
+        for strat in ("charm", "ring"):
+            cells.append(_Cell("ext_genoa_whatif", machine_preset="genoa",
+                               strategy=strat, cores=c, seed=SEED, algo="bfs",
+                               graph_scale=14, edgefactor=16, graph_seed=2))
+    return cells
+
+
+def _ext_genoa_merge(quick: bool, results: Dict):
+    series: Dict[str, List[Tuple[int, float]]] = {"charm": [], "ring": []}
+    for cell in _ext_genoa_cells(quick):
+        series[cell.strategy].append((cell.cores, results[cell.cell_id]["metric"]))
+    return series, format_series(series, "cores",
+                                 "Extension: BFS scalability on EPYC Genoa (12 CCDs/socket)")
+
+
+register("ext_genoa_whatif", _ext_genoa_cells, _run_graph_cell, _ext_genoa_merge)
 
 
 def ext_genoa_whatif(quick: bool = True):
@@ -450,30 +948,23 @@ def ext_genoa_whatif(quick: bool = True):
     with chiplet count, as the paper's conclusions predict for future
     processors.
     """
-    from repro.hw.machine import genoa
-
-    graph = _graph(True)
-    cores = [12, 48, 96] if quick else [12, 24, 48, 96, 144, 192]
-    series: Dict[str, List[Tuple[int, float]]] = {"charm": [], "ring": []}
-    for c in cores:
-        for name, mk in (("charm", CharmStrategy), ("ring", RingStrategy)):
-            res = run_graph_algorithm(genoa(scale=MACHINE_SCALE), mk(), "bfs",
-                                      graph, c, seed=SEED)
-            series[name].append((c, res.mteps))
-    return series, format_series(series, "cores",
-                                 "Extension: BFS scalability on EPYC Genoa (12 CCDs/socket)")
+    return run_serial("ext_genoa_whatif", quick)
 
 
-def ext_colocation(quick: bool = True):
-    """Extension: multi-tenant co-location (the paper's future-work note).
+# -- Extension: multi-tenant co-location ------------------------------------------------
 
-    Section 4.6 cites evidence that chiplet-aware strategies also benefit
-    multi-tenant, shared-nothing deployments.  This experiment quantifies
-    the mechanism: a cache-resident tenant (A) shares the machine with a
-    DRAM-streaming antagonist (B) placed either on the same socket or on
-    the other socket.  Socket-isolated placement should shield tenant A
-    from B's bandwidth pressure.
-    """
+
+def _colocation_cells(quick: bool) -> List[ExperimentCell]:
+    repeats = 6 if quick else 12
+    return [
+        _Cell("ext_colocation", machine_preset="milan", strategy="explicit",
+              cores=0, seed=SEED, variant=variant, repeats=repeats)
+        for variant in ("isolated", "other-socket", "same-socket")
+    ]
+
+
+def _colocation_run(cell: ExperimentCell) -> Dict:
+    """One co-location variant: tenant A + antagonist B on chosen cores."""
     from repro.runtime.ops import AccessBatch, YieldPoint
     from repro.runtime.policy import SchedulingStrategy
     from repro.runtime.runtime import Runtime
@@ -488,58 +979,79 @@ def ext_colocation(quick: bool = True):
         def initial_core(self, worker_id, n_workers, machine):
             return self.cores[worker_id]
 
-    repeats = 6 if quick else 12
+    variant = cell.params["variant"]
+    repeats = cell.params["repeats"]
+    machine = _machine_for(cell.machine_preset)
+    topo = machine.topo
+    a_cores = list(range(32))                     # chiplets 0-3, socket 0
+    if variant == "same-socket":
+        b_cores = list(range(32, 64))             # chiplets 4-7, socket 0
+    elif variant == "other-socket":
+        b_cores = topo.cores_of_socket(1)[:32]    # socket 1
+    else:
+        b_cores = []
+    strategy = ExplicitCores(a_cores + b_cores)
+    rt = Runtime(machine, len(a_cores) + len(b_cores), strategy, seed=cell.seed)
+    # Tenant A: working set beyond its chiplet slices, so it streams
+    # node-0 DRAM continuously (the shared resource).
+    a_region = rt.alloc(16 << 20, node=0, name="tenant-a")
+    # Antagonist B: NUMA-local streaming region — on B's own socket,
+    # the way a sane multi-tenant allocator would place it.
+    b_node = topo.numa_of_core(b_cores[0]) if b_cores else 1
+    b_region = rt.alloc(16 << 20, node=b_node, name="tenant-b")
+    finish = {}
+
+    def a_task(wid):
+        n = a_region.n_blocks
+        per = n // 32
+        blocks = list(range(wid * per, (wid + 1) * per))
+        for _ in range(repeats * 8):
+            yield AccessBatch(a_region, blocks, compute_ns_per_block=20.0)
+            yield YieldPoint()
+        finish[wid] = rt.workers[wid].clock
+        return wid
+
+    def b_task(wid, offset):
+        n = b_region.n_blocks
+        for r in range(repeats * 4):
+            lo = (offset * 131 + r * 257) % max(n - 64, 1)
+            yield AccessBatch(b_region, list(range(lo, lo + 64)))
+            yield YieldPoint()
+        return wid
+
+    for w in range(len(a_cores)):
+        rt.spawn(a_task, w, pin_worker=w)
+    for i, w in enumerate(range(len(a_cores), len(a_cores) + len(b_cores))):
+        rt.spawn(b_task, w, i, pin_worker=w)
+    rt.run()
+    return {"tenant_a_ms": float(max(finish.values()) / 1e6)}
+
+
+def _colocation_merge(quick: bool, results: Dict):
     rows = []
-    for variant in ("isolated", "other-socket", "same-socket"):
-        machine = _milan()
-        topo = machine.topo
-        a_cores = list(range(32))                     # chiplets 0-3, socket 0
-        if variant == "same-socket":
-            b_cores = list(range(32, 64))             # chiplets 4-7, socket 0
-        elif variant == "other-socket":
-            b_cores = topo.cores_of_socket(1)[:32]    # socket 1
-        else:
-            b_cores = []
-        strategy = ExplicitCores(a_cores + b_cores)
-        rt = Runtime(machine, len(a_cores) + len(b_cores), strategy, seed=SEED)
-        # Tenant A: working set beyond its chiplet slices, so it streams
-        # node-0 DRAM continuously (the shared resource).
-        a_region = rt.alloc(16 << 20, node=0, name="tenant-a")
-        # Antagonist B: NUMA-local streaming region — on B's own socket,
-        # the way a sane multi-tenant allocator would place it.
-        b_node = topo.numa_of_core(b_cores[0]) if b_cores else 1
-        b_region = rt.alloc(16 << 20, node=b_node, name="tenant-b")
-        finish = {}
-
-        def a_task(wid):
-            n = a_region.n_blocks
-            per = n // 32
-            blocks = list(range(wid * per, (wid + 1) * per))
-            for _ in range(repeats * 8):
-                yield AccessBatch(a_region, blocks, compute_ns_per_block=20.0)
-                yield YieldPoint()
-            finish[wid] = rt.workers[wid].clock
-            return wid
-
-        def b_task(wid, offset):
-            n = b_region.n_blocks
-            for r in range(repeats * 4):
-                lo = (offset * 131 + r * 257) % max(n - 64, 1)
-                yield AccessBatch(b_region, list(range(lo, lo + 64)))
-                yield YieldPoint()
-            return wid
-
-        for w in range(len(a_cores)):
-            rt.spawn(a_task, w, pin_worker=w)
-        for i, w in enumerate(range(len(a_cores), len(a_cores) + len(b_cores))):
-            rt.spawn(b_task, w, i, pin_worker=w)
-        rt.run()
+    for cell in _colocation_cells(quick):
         rows.append({
-            "antagonist": variant,
-            "tenant_a_ms": max(finish.values()) / 1e6,
+            "antagonist": cell.params["variant"],
+            "tenant_a_ms": results[cell.cell_id]["tenant_a_ms"],
         })
     base = rows[0]["tenant_a_ms"]
     for r in rows:
         r["slowdown"] = r["tenant_a_ms"] / base
     return rows, format_table(rows, ["antagonist", "tenant_a_ms", "slowdown"],
                               "Extension: tenant-A latency under co-located antagonist")
+
+
+register("ext_colocation", _colocation_cells, _colocation_run, _colocation_merge)
+
+
+def ext_colocation(quick: bool = True):
+    """Extension: multi-tenant co-location (the paper's future-work note).
+
+    Section 4.6 cites evidence that chiplet-aware strategies also benefit
+    multi-tenant, shared-nothing deployments.  This experiment quantifies
+    the mechanism: a cache-resident tenant (A) shares the machine with a
+    DRAM-streaming antagonist (B) placed either on the same socket or on
+    the other socket.  Socket-isolated placement should shield tenant A
+    from B's bandwidth pressure.
+    """
+    return run_serial("ext_colocation", quick)

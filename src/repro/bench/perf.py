@@ -217,6 +217,15 @@ def write_report(results: Dict[str, Dict[str, float]], path: Path) -> Dict:
             for name in results
             if name in RECORDED_BASELINE and RECORDED_BASELINE[name] > 0
         }
+    # The sweep section is owned by `python -m repro.bench.sweep --bench`;
+    # carry it across rewrites of the simulator-throughput sections.
+    if path.exists():
+        try:
+            prev = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            prev = {}
+        if "sweep" in prev:
+            doc["sweep"] = prev["sweep"]
     path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
     return doc
 

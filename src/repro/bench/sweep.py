@@ -1,0 +1,363 @@
+"""Parallel sweep engine: shard experiment cells across processes.
+
+The experiment matrix of :mod:`repro.bench.experiments` is embarrassingly
+parallel once decomposed into cells (:mod:`repro.bench.cells`): every
+cell is a pure function of its own config, so the engine can
+
+- **shard** the deduplicated cell list across a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``--jobs N``;
+  ``0`` means auto: ``max(1, os.cpu_count() - 1)``), and
+- **cache** each finished cell's JSON result on disk under a
+  content-addressed name — ``sha256(cell config + code version)`` — so a
+  killed or repeated sweep skips completed cells entirely.
+
+Outputs are bit-identical to the serial path by construction: the same
+``run_cell`` executes (in a worker instead of inline), results are
+JSON-native so a cache round-trip preserves every bit, and each
+experiment's ``merge`` folds results in cell order, never completion
+order.  ``tests/test_sweep_equivalence.py`` pins this.
+
+The cache key includes a hash of every source file under ``src/repro``,
+so any code change invalidates all cached results at once; stale entries
+are simply never read again (delete the directory to reclaim space).
+
+Usage::
+
+    python -m repro run fig07_amd_scalability --jobs 4
+    python -m repro all --jobs 0            # auto-size the pool
+    python -m repro.bench.sweep --cache-stats
+    python -m repro.bench.sweep --bench --jobs 4   # time serial vs parallel
+"""
+
+import argparse
+import hashlib
+import json
+import multiprocessing
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.bench.cells import ExperimentCell, REGISTRY, execute_cell
+
+__all__ = [
+    "SweepStats",
+    "cache_dir",
+    "cache_key",
+    "code_version",
+    "run_cells",
+    "run_experiment",
+    "run_many",
+]
+
+#: default on-disk cache location (override with ``REPRO_SWEEP_CACHE``)
+DEFAULT_CACHE_DIR = Path("results") / ".sweep-cache"
+
+#: Wall-clock of `python -m repro all` (quick) measured at commit 2509359,
+#: before the cell decomposition and dataset memoization landed — the
+#: "before" of the sweep section in BENCH_simperf.json.  Host wall-clock
+#: is hardware-dependent: re-measure on the seed commit when moving to
+#: different hardware.
+RECORDED_SERIAL_BASELINE_S = 42.09
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file — the cache-invalidation token.
+
+    Computed once per process; any edit under ``src/repro`` changes the
+    token and therefore every cache key.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        pkg_root = Path(__file__).resolve().parents[1]  # src/repro
+        h = hashlib.sha256()
+        for py in sorted(pkg_root.rglob("*.py")):
+            h.update(str(py.relative_to(pkg_root)).encode())
+            h.update(b"\0")
+            h.update(py.read_bytes())
+            h.update(b"\0")
+        _CODE_VERSION = h.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_SWEEP_CACHE", str(DEFAULT_CACHE_DIR)))
+
+
+def cache_key(cell: ExperimentCell) -> str:
+    """Content address of one cell result: config + code version."""
+    payload = json.dumps(
+        {"config": cell.config(), "code_version": code_version()},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _cache_path(cell: ExperimentCell) -> Path:
+    return cache_dir() / f"{cache_key(cell)}.json"
+
+
+def load_cached(cell: ExperimentCell) -> Tuple[bool, Any]:
+    """Return ``(hit, result)``; corrupt/unreadable entries count as misses."""
+    path = _cache_path(cell)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False, None
+    return True, doc["result"]
+
+
+def store_cached(cell: ExperimentCell, result: Any) -> None:
+    """Atomically persist one cell result (rename over a temp file)."""
+    path = _cache_path(cell)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {"cell_id": cell.cell_id, "cell": cell.config(),
+           "code_version": code_version(), "result": result}
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(doc, sort_keys=True))
+    os.replace(tmp, path)
+
+
+@dataclass
+class SweepStats:
+    """What one sweep did: how many cells ran vs came from cache."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    jobs: int = 1
+    wall_s: float = 0.0
+    experiments: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"total": self.total, "executed": self.executed,
+                "cache_hits": self.cache_hits, "jobs": self.jobs,
+                "wall_s": round(self.wall_s, 3), "experiments": self.experiments}
+
+
+def resolve_jobs(jobs: int) -> int:
+    """``0`` → auto (``cpu_count - 1``, floor 1); negatives are an error."""
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return max(1, (os.cpu_count() or 2) - 1)
+    return jobs
+
+
+def _progress(msg: str) -> None:
+    print(f"[sweep] {msg}", file=sys.stderr, flush=True)
+
+
+def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True,
+              progress: Optional[Callable[[str], None]] = None,
+              ) -> Tuple[Dict[str, Any], SweepStats]:
+    """Execute ``cells``, returning ``({cell_id: result}, stats)``.
+
+    Duplicate cells (same ``cell_id``) run once.  With ``jobs > 1`` the
+    uncached cells are sharded across a process pool (fork start method
+    where available, so workers inherit warm imports and the builders of
+    :mod:`repro.bench.datasets` memoize per process); with ``jobs <= 1``
+    they run inline.  Either way results land in a dict keyed by cell_id
+    — merge order is the caller's cell order, not completion order.
+    """
+    jobs = resolve_jobs(jobs)
+    say = progress or (lambda msg: None)
+    t0 = time.perf_counter()
+    unique: Dict[str, ExperimentCell] = {}
+    for cell in cells:
+        unique.setdefault(cell.cell_id, cell)
+    stats = SweepStats(total=len(unique), jobs=jobs)
+
+    results: Dict[str, Any] = {}
+    todo: List[ExperimentCell] = []
+    for cell_id, cell in unique.items():
+        if use_cache:
+            hit, result = load_cached(cell)
+            if hit:
+                results[cell_id] = result
+                stats.cache_hits += 1
+                continue
+        todo.append(cell)
+    if stats.cache_hits:
+        say(f"{stats.cache_hits}/{stats.total} cells from cache")
+
+    done = 0
+    if jobs <= 1 or len(todo) <= 1:
+        for cell in todo:
+            results[cell.cell_id] = result = execute_cell(cell)
+            if use_cache:
+                store_cached(cell, result)
+            stats.executed += 1
+            done += 1
+            say(f"{done}/{len(todo)} cells done ({cell.cell_id})")
+    else:
+        # fork shares the parent's imported modules and dataset cache
+        # snapshot; spawn (the only option on some platforms) re-imports
+        # inside execute_cell instead.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        with ProcessPoolExecutor(max_workers=min(jobs, len(todo)),
+                                 mp_context=ctx) as pool:
+            pending = {pool.submit(execute_cell, cell): cell for cell in todo}
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    cell = pending.pop(fut)
+                    result = fut.result()  # propagate worker exceptions
+                    results[cell.cell_id] = result
+                    if use_cache:
+                        store_cached(cell, result)
+                    stats.executed += 1
+                    done += 1
+                    say(f"{done}/{len(todo)} cells done ({cell.cell_id})")
+
+    stats.wall_s = time.perf_counter() - t0
+    return results, stats
+
+
+def run_experiment(name: str, quick: bool = True, jobs: int = 1,
+                   use_cache: bool = True,
+                   progress: Optional[Callable[[str], None]] = None,
+                   **overrides) -> Tuple[Any, str, SweepStats]:
+    """One experiment through the sweep engine: ``(rows, text, stats)``."""
+    exp = REGISTRY[name]
+    cells = exp.cells(quick, **overrides)
+    results, stats = run_cells(cells, jobs=jobs, use_cache=use_cache,
+                               progress=progress)
+    stats.experiments = [name]
+    rows, text = exp.merge(quick, results, **overrides)
+    return rows, text, stats
+
+
+def run_many(names: List[str], quick: bool = True, jobs: int = 1,
+             use_cache: bool = True,
+             progress: Optional[Callable[[str], None]] = None,
+             ) -> Tuple[List[Tuple[str, Any, str]], SweepStats]:
+    """Run several experiments as ONE pooled sweep.
+
+    All cells are collected up front so the pool stays busy across
+    experiment boundaries; each experiment's merge then picks its own
+    cells' results out of the shared dict.
+    """
+    per_exp: List[Tuple[str, List[ExperimentCell]]] = []
+    all_cells: List[ExperimentCell] = []
+    for name in names:
+        cells = REGISTRY[name].cells(quick)
+        per_exp.append((name, cells))
+        all_cells.extend(cells)
+    results, stats = run_cells(all_cells, jobs=jobs, use_cache=use_cache,
+                               progress=progress)
+    stats.experiments = list(names)
+    out = []
+    for name, cells in per_exp:
+        rows, text = REGISTRY[name].merge(
+            quick, {c.cell_id: results[c.cell_id] for c in cells})
+        out.append((name, rows, text))
+    return out, stats
+
+
+# -- maintenance / measurement CLI ---------------------------------------------
+
+
+def cache_stats() -> Dict[str, Any]:
+    """Describe the on-disk cache (for humans and the CI artifact)."""
+    d = cache_dir()
+    entries = sorted(d.glob("*.json")) if d.is_dir() else []
+    by_experiment: Dict[str, int] = {}
+    stale = 0
+    version = code_version()
+    for path in entries:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            stale += 1
+            continue
+        if doc.get("code_version") != version:
+            stale += 1
+        exp = doc.get("cell", {}).get("experiment", "?")
+        by_experiment[exp] = by_experiment.get(exp, 0) + 1
+    return {
+        "dir": str(d),
+        "entries": len(entries),
+        "bytes": sum(p.stat().st_size for p in entries),
+        "stale_entries": stale,
+        "code_version": version,
+        "by_experiment": dict(sorted(by_experiment.items())),
+    }
+
+
+def _bench(jobs: int, out: Path) -> int:
+    """Time the quick suite serial vs parallel; record under ``sweep`` in
+    BENCH_simperf.json (the rest of the report is left untouched)."""
+    from repro.cli import EXPERIMENT_ORDER
+
+    def timed(label: str, n_jobs: int) -> Dict[str, Any]:
+        t0 = time.perf_counter()
+        _, stats = run_many(EXPERIMENT_ORDER, quick=True, jobs=n_jobs,
+                            use_cache=False, progress=None)
+        wall = time.perf_counter() - t0
+        print(f"{label:10s} jobs={stats.jobs:<3d} {wall:7.2f}s "
+              f"({stats.total} cells)")
+        return {"jobs": stats.jobs, "wall_s": round(wall, 2),
+                "cells": stats.total}
+
+    serial = timed("serial", 1)
+    parallel = timed("parallel", jobs)
+    section = {
+        "suite": "python -m repro all (quick)",
+        "host_cpus": os.cpu_count(),
+        "serial_before_refactor_s": RECORDED_SERIAL_BASELINE_S,
+        "serial": serial,
+        "parallel": parallel,
+        "speedup_vs_serial": round(serial["wall_s"] / parallel["wall_s"], 2),
+        "speedup_vs_before": round(
+            RECORDED_SERIAL_BASELINE_S / parallel["wall_s"], 2),
+    }
+    host_cpus = os.cpu_count() or 1
+    if host_cpus < parallel["jobs"]:
+        section["note"] = (
+            f"host has only {host_cpus} cpu(s); a {parallel['jobs']}-process "
+            f"pool cannot beat serial here — parallel speedup scales with "
+            f"available cores")
+    doc: Dict[str, Any] = {}
+    if out.exists():
+        try:
+            doc = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            pass
+    doc["sweep"] = section
+    out.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    print(f"updated {out} (sweep section); "
+          f"{section['speedup_vs_serial']}x vs serial, "
+          f"{section['speedup_vs_before']}x vs pre-refactor")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print JSON stats of the on-disk sweep cache")
+    parser.add_argument("--bench", action="store_true",
+                        help="time the quick suite serial vs --jobs, update "
+                             "the sweep section of BENCH_simperf.json")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes for --bench (0 = auto)")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_simperf.json"))
+    args = parser.parse_args(argv)
+
+    if args.cache_stats:
+        print(json.dumps(cache_stats(), indent=2))
+        return 0
+    if args.bench:
+        return _bench(args.jobs, args.out)
+    parser.error("choose one of --cache-stats / --bench")
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -10,6 +10,12 @@ Commands
 - ``machine [--preset X]``      — describe a machine preset and its
   latency hierarchy.
 
+``run`` and ``all`` accept ``--jobs N`` to shard the experiment cells
+across N worker processes (``0`` = auto-size to the host), backed by the
+on-disk result cache of :mod:`repro.bench.sweep`; ``--no-cache`` forces
+every cell to execute.  Without ``--jobs`` the experiment runs inline in
+this process, uncached.  Either way the output is bit-identical.
+
 Examples
 --------
 
@@ -17,7 +23,8 @@ Examples
 
     python -m repro list
     python -m repro run fig05_local_vs_distributed
-    python -m repro run fig07_amd_scalability --full
+    python -m repro run fig07_amd_scalability --full --jobs 4
+    python -m repro all --jobs 0
     python -m repro machine --preset sapphire-rapids
 """
 
@@ -57,12 +64,7 @@ def _experiments() -> Dict[str, object]:
     return {name: getattr(experiments, name) for name in EXPERIMENT_ORDER}
 
 
-def _run_one(name: str, full: bool) -> None:
-    fn = _experiments()[name]
-    kwargs = {}
-    if "quick" in inspect.signature(fn).parameters:
-        kwargs["quick"] = not full
-    rows, text = fn(**kwargs)
+def _render(name: str, rows, text: str) -> None:
     print(text)
     if isinstance(rows, dict):
         numeric = {
@@ -73,6 +75,30 @@ def _run_one(name: str, full: bool) -> None:
             print()
             print(ascii_plot(numeric, title=f"{name} (series view)", x_label="cores"))
     print()
+
+
+def _run_one(name: str, full: bool, jobs=None, use_cache: bool = True) -> None:
+    if jobs is not None:
+        from repro.bench import sweep
+
+        rows, text, stats = sweep.run_experiment(
+            name, quick=not full, jobs=jobs, use_cache=use_cache,
+            progress=sweep._progress)
+        _render(name, rows, text)
+        _print_sweep_stats(stats)
+        return
+    fn = _experiments()[name]
+    kwargs = {}
+    if "quick" in inspect.signature(fn).parameters:
+        kwargs["quick"] = not full
+    rows, text = fn(**kwargs)
+    _render(name, rows, text)
+
+
+def _print_sweep_stats(stats) -> None:
+    print(f"[sweep] {stats.total} cells: {stats.executed} executed, "
+          f"{stats.cache_hits} from cache, {stats.wall_s:.1f}s "
+          f"(jobs={stats.jobs})", file=sys.stderr)
 
 
 def cmd_list(_args) -> int:
@@ -89,11 +115,23 @@ def cmd_run(args) -> int:
         print(f"unknown experiment {args.experiment!r}; see `python -m repro list`",
               file=sys.stderr)
         return 2
-    _run_one(args.experiment, args.full)
+    _run_one(args.experiment, args.full, jobs=args.jobs,
+             use_cache=not args.no_cache)
     return 0
 
 
 def cmd_all(args) -> int:
+    if args.jobs is not None:
+        from repro.bench import sweep
+
+        sections, stats = sweep.run_many(
+            EXPERIMENT_ORDER, quick=not args.full, jobs=args.jobs,
+            use_cache=not args.no_cache, progress=sweep._progress)
+        for name, rows, text in sections:
+            print(f"### {name}")
+            _render(name, rows, text)
+        _print_sweep_stats(stats)
+        return 0
     for name in EXPERIMENT_ORDER:
         print(f"### {name}")
         _run_one(name, args.full)
@@ -127,6 +165,15 @@ def cmd_machine(args) -> int:
     return 0
 
 
+def _add_sweep_args(p) -> None:
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="shard cells across N worker processes with the "
+                        "on-disk result cache (0 = auto-size; omit to run "
+                        "inline, uncached)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="with --jobs: ignore and don't write the result cache")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="CHARM reproduction experiment runner")
@@ -137,10 +184,12 @@ def main(argv=None) -> int:
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment")
     run_p.add_argument("--full", action="store_true", help="full paper-shaped sweep")
+    _add_sweep_args(run_p)
     run_p.set_defaults(fn=cmd_run)
 
     all_p = sub.add_parser("all", help="run the whole evaluation")
     all_p.add_argument("--full", action="store_true")
+    _add_sweep_args(all_p)
     all_p.set_defaults(fn=cmd_all)
 
     m_p = sub.add_parser("machine", help="describe a machine preset")

@@ -47,6 +47,7 @@ class EventLoop:
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, Actor]] = []
+        self._actors: List[Actor] = []
         self._live = 0
         self.steps = 0
         self.max_steps: Optional[int] = None
@@ -55,6 +56,7 @@ class EventLoop:
     def add(self, actor: Actor) -> None:
         """Register a new actor, schedulable at its current clock."""
         self._live += 1
+        self._actors.append(actor)
         self._push(actor)
 
     def wake(self, actor: Actor, at_time: Optional[float] = None) -> None:
@@ -107,8 +109,13 @@ class EventLoop:
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"bad step outcome {outcome!r}")
         if self._live:
+            parked = [a.actor_id for a in self._actors if a.parked and not a.finished]
+            ids = ", ".join(map(str, parked[:16]))
+            if len(parked) > 16:
+                ids += f", ... ({len(parked) - 16} more)"
             raise SimulationError(
-                f"deadlock: {self._live} actor(s) parked with empty ready heap at {self.now:.0f} ns"
+                f"deadlock: {self._live} actor(s) parked with empty ready heap "
+                f"at {self.now:.0f} ns (parked actor ids: [{ids}])"
             )
         return self.now
 

@@ -17,6 +17,7 @@ Transactions really execute against the MVCC store; aborted transactions
 committed-transactions-per-second metric.
 """
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterable, List
 
@@ -57,7 +58,11 @@ class OltpResult:
 
 
 def _key_block(key, region) -> int:
-    h = hash(key) & 0x7FFFFFFF
+    # crc32 over repr, NOT built-in hash(): str hashing is randomised per
+    # process (PYTHONHASHSEED), which would make record placement — and
+    # therefore fig14 — differ between processes.  Cross-process
+    # determinism is required by the sweep engine's result cache.
+    h = zlib.crc32(repr(key).encode()) & 0x7FFFFFFF
     return (h * RECORD_BYTES) % region.size_bytes // region.block_bytes
 
 

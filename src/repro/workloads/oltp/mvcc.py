@@ -77,6 +77,26 @@ class MvccStore:
     def keys(self):
         return self._versions.keys()
 
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def clone(self) -> "MvccStore":
+        """Independent copy of the store's version history.
+
+        Version lists are copied; the stored values themselves are
+        shared, which is safe because every transaction path copies a
+        value before mutating it (``dict(txn.read(k))`` / ``{**row}``)
+        and installs a fresh object at commit.  A clone of a
+        freshly-loaded store is indistinguishable from re-loading.
+        """
+        new = MvccStore()
+        new._versions = {k: list(v) for k, v in self._versions.items()}
+        new._ts = itertools.count(self.last_commit_ts + 1)
+        new.last_commit_ts = self.last_commit_ts
+        new.commits = self.commits
+        new.aborts = self.aborts
+        return new
+
 
 class Transaction:
     """Convenience wrapper: snapshot reads + buffered writes."""

@@ -32,11 +32,7 @@ def ycsb_workload(store: MvccStore, txn: Transaction, worker_id: int,
     return [(key, False), (key, True)]
 
 
-_SIZE_CACHE = {}
-
-
 def store_size(store: MvccStore) -> int:
-    sid = id(store)
-    if sid not in _SIZE_CACHE:
-        _SIZE_CACHE[sid] = sum(1 for _ in store.keys())
-    return _SIZE_CACHE[sid]
+    # len() is O(1) on the version map; no id()-keyed cache (which could
+    # go stale when store objects are cloned or garbage-collected).
+    return len(store)

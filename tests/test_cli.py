@@ -14,7 +14,28 @@ def test_list(capsys):
 
 def test_run_known_experiment(capsys):
     assert main(["run", "fig04_channels"]) == 0
-    assert "memory channels" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "memory channels" in out
+    assert "cores_per_channel" in out  # the rendered table, not just a title
+
+
+def test_run_with_jobs_uses_sweep_cache(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "cache"))
+    assert main(["run", "fig04_channels", "--jobs", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "memory channels" in captured.out
+    assert "executed" in captured.err  # sweep stats line
+    # second run resolves entirely from the cache
+    assert main(["run", "fig04_channels", "--jobs", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "1 from cache" in captured.err
+
+
+def test_run_no_cache_leaves_no_cache_dir(tmp_path, monkeypatch, capsys):
+    cache = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", str(cache))
+    assert main(["run", "fig04_channels", "--jobs", "1", "--no-cache"]) == 0
+    assert not cache.exists()
 
 
 def test_run_unknown_experiment(capsys):

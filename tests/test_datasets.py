@@ -1,0 +1,60 @@
+"""Keyed dataset cache: memoization, mutable-store isolation."""
+
+import pytest
+
+from repro.bench import datasets
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    datasets.clear()
+    yield
+    datasets.clear()
+
+
+def test_immutable_datasets_are_memoized_by_key():
+    g1 = datasets.graph(10, 16, seed=2)
+    g2 = datasets.graph(10, 16, seed=2)
+    assert g1 is g2
+    assert datasets.stats() == {"entries": 1, "hits": 1, "builds": 1}
+    g3 = datasets.graph(10, 16, seed=3)  # different key -> new build
+    assert g3 is not g1
+    assert datasets.stats()["builds"] == 2
+
+
+def test_mutable_store_fetches_are_independent():
+    s1 = datasets.ycsb_store(100)
+    s2 = datasets.ycsb_store(100)
+    assert s1 is not s2
+    # mutating one fetch must not leak into the next
+    s1.commit(s1.begin_ts(), {("u", 0): 999})
+    s3 = datasets.ycsb_store(100)
+    assert s3.read_at(("u", 0), s3.begin_ts()) == 0
+    assert s3.commits == 0 and len(s3) == 100
+
+
+def test_cloned_store_matches_fresh_load():
+    from repro.workloads.oltp.ycsb import load_ycsb
+
+    fresh = load_ycsb(50)
+    clone = datasets.ycsb_store(50)
+    assert len(clone) == len(fresh)
+    assert clone.begin_ts() == fresh.begin_ts()
+    for k in range(50):
+        assert clone.read_at(("u", k), 0) == fresh.read_at(("u", k), 0)
+    # timestamps continue identically after the clone
+    assert clone.commit(clone.begin_ts(), {("u", 1): -1}) == \
+        fresh.commit(fresh.begin_ts(), {("u", 1): -1})
+
+
+def test_tpcc_fetch_clones_store_but_keeps_config():
+    t1 = datasets.tpcc_tables(1)
+    t2 = datasets.tpcc_tables(1)
+    assert t1.store is not t2.store
+    assert t1.n_warehouses == t2.n_warehouses == 1
+
+
+def test_clear_resets_everything():
+    datasets.graph(10, 16, seed=2)
+    datasets.clear()
+    assert datasets.stats() == {"entries": 0, "hits": 0, "builds": 0}

@@ -24,3 +24,27 @@ def test_registry_complete():
 
 def test_graph_algos_list():
     assert set(experiments.GRAPH_ALGOS) == {"bfs", "pagerank", "cc", "sssp", "graph500"}
+
+
+def test_cores_axis_pinned():
+    assert experiments._cores(True) == [8, 32, 64]
+    assert experiments._cores(False) == [8, 16, 32, 48, 64, 96, 128]
+
+
+def test_cores_caps_clamp_and_dedupe():
+    # entries above the cap clamp to it (the largest config is still
+    # swept) and the resulting duplicates collapse
+    assert experiments._cores(True, cap=48) == [8, 32, 48]
+    assert experiments._cores(False, cap=96) == [8, 16, 32, 48, 64, 96]
+    assert experiments._cores(False, cap=40) == [8, 16, 32, 40]
+    assert experiments._cores(True, cap=8) == [8]
+
+
+def test_every_experiment_is_registered_as_cells():
+    from repro.bench.cells import REGISTRY
+
+    for name in EXPERIMENT_ORDER:
+        assert name in REGISTRY
+        cells = REGISTRY[name].cells(True)
+        assert cells and all(c.experiment == name for c in cells)
+        assert len({c.cell_id for c in cells}) == len(cells)  # unique ids

@@ -60,6 +60,15 @@ def test_deadlock_detected():
         loop.run()
 
 
+def test_deadlock_error_names_parked_actors():
+    loop = EventLoop()
+    loop.add(Parker(3))
+    loop.add(Parker(11))
+    loop.add(Stepper(5, 10.0, 2, []))  # finishes fine; must not be listed
+    with pytest.raises(SimulationError, match=r"parked actor ids: \[3, 11\]"):
+        loop.run()
+
+
 def test_wake_advances_clock():
     class WakeOnce(Actor):
         def __init__(self):

@@ -1,0 +1,121 @@
+"""Sweep engine: cells, content-addressed cache, resume, sharding."""
+
+import json
+
+import pytest
+
+from repro.bench import sweep
+from repro.bench.cells import REGISTRY, ExperimentCell
+from repro.bench.experiments import fig04_channels  # noqa: F401 - registers
+
+
+@pytest.fixture()
+def cache(tmp_path, monkeypatch):
+    d = tmp_path / "sweep-cache"
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", str(d))
+    return d
+
+
+def _cell(**kw):
+    base = dict(experiment="fig04_channels", machine_preset="milan",
+                strategy="charm", cores=8, seed=7)
+    base.update(kw)
+    return ExperimentCell.make(**base)
+
+
+def test_cell_id_is_stable_and_param_order_free():
+    a = ExperimentCell.make("e", machine_preset="milan", strategy="charm",
+                            cores=8, seed=7, algo="bfs", scale=14)
+    b = ExperimentCell.make("e", machine_preset="milan", strategy="charm",
+                            cores=8, seed=7, scale=14, algo="bfs")
+    assert a == b
+    assert a.cell_id == b.cell_id == "e/milan/charm/c8/algo=bfs,scale=14/s7"
+
+
+def test_cell_id_distinguishes_every_field():
+    base = _cell()
+    assert base.cell_id != _cell(cores=16).cell_id
+    assert base.cell_id != _cell(strategy="ring").cell_id
+    assert base.cell_id != _cell(seed=8).cell_id
+    assert base.cell_id != _cell(machine_preset="genoa").cell_id
+
+
+def test_cache_key_depends_on_config_and_code_version(monkeypatch):
+    k1 = sweep.cache_key(_cell())
+    assert k1 == sweep.cache_key(_cell())        # deterministic
+    assert k1 != sweep.cache_key(_cell(cores=16))
+    monkeypatch.setattr(sweep, "_CODE_VERSION", "different")
+    assert sweep.cache_key(_cell()) != k1        # code change invalidates
+
+
+def test_cache_round_trip_preserves_result_exactly(cache):
+    cell = _cell()
+    result = {"metric": 0.1 + 0.2, "counters": {"dram": 12345}, "xs": [1, 2.5]}
+    sweep.store_cached(cell, result)
+    hit, loaded = sweep.load_cached(cell)
+    assert hit and loaded == result
+    assert isinstance(loaded["metric"], float) and loaded["metric"] == 0.30000000000000004
+
+
+def test_corrupt_cache_entry_is_a_miss(cache):
+    cell = _cell()
+    sweep.store_cached(cell, {"v": 1})
+    next(cache.glob("*.json")).write_text("{not json")
+    hit, _ = sweep.load_cached(cell)
+    assert not hit
+
+
+def test_run_cells_executes_caches_and_resumes(cache):
+    cells = REGISTRY["fig04_channels"].cells(True)
+    results, stats = sweep.run_cells(cells, jobs=1)
+    assert stats.executed == len(cells) and stats.cache_hits == 0
+    # a second (resumed) sweep takes everything from cache
+    results2, stats2 = sweep.run_cells(cells, jobs=1)
+    assert stats2.executed == 0 and stats2.cache_hits == len(cells)
+    assert results2 == results
+
+
+def test_run_cells_partial_resume(cache):
+    cells = REGISTRY["fig05_local_vs_distributed"].cells(True)
+    half = cells[: len(cells) // 2]
+    _, s1 = sweep.run_cells(half, jobs=1)
+    assert s1.executed == len(half)
+    # interrupted sweep: the rest executes, the first half is reused
+    _, s2 = sweep.run_cells(cells, jobs=1)
+    assert s2.cache_hits == len(half)
+    assert s2.executed == len(cells) - len(half)
+
+
+def test_run_cells_dedupes_by_cell_id(cache):
+    cells = REGISTRY["fig04_channels"].cells(True)
+    _, stats = sweep.run_cells(cells * 3, jobs=1, use_cache=False)
+    assert stats.total == len(cells) == stats.executed
+
+
+def test_no_cache_mode_writes_nothing(cache):
+    cells = REGISTRY["fig04_channels"].cells(True)
+    sweep.run_cells(cells, jobs=1, use_cache=False)
+    assert not cache.exists() or not list(cache.glob("*.json"))
+
+
+def test_resolve_jobs():
+    assert sweep.resolve_jobs(3) == 3
+    assert sweep.resolve_jobs(0) >= 1
+    with pytest.raises(ValueError):
+        sweep.resolve_jobs(-1)
+
+
+def test_run_many_pools_cells_across_experiments(cache):
+    out, stats = sweep.run_many(["fig04_channels", "fig03_latency_cdf"], jobs=1)
+    assert [name for name, _, _ in out] == ["fig04_channels", "fig03_latency_cdf"]
+    assert stats.total == stats.executed == 2
+    assert stats.experiments == ["fig04_channels", "fig03_latency_cdf"]
+
+
+def test_cache_stats_reports_entries(cache, capsys):
+    sweep.run_cells(REGISTRY["fig04_channels"].cells(True), jobs=1)
+    info = sweep.cache_stats()
+    assert info["entries"] == 1 and info["stale_entries"] == 0
+    assert info["by_experiment"] == {"fig04_channels": 1}
+    assert sweep.main(["--cache-stats"]) == 0
+    assert json.loads(capsys.readouterr().out)["entries"] == 1

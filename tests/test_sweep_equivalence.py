@@ -1,0 +1,49 @@
+"""Parallel sweeps must be bit-identical to serial runs.
+
+The contract (see MODELING.md): a cell's result is a pure function of the
+cell, cell results are JSON-native so the disk cache preserves every bit,
+and merges fold in cell order.  These tests run real experiments both
+ways — inline serial vs a 4-process pool with a fresh disk cache — and
+require exact equality of rows, series, fill counters, and rendered text.
+
+Covers both machine presets and all three result shapes: a table of
+floats (fig05, milan), a series dict (fig08, sapphire_rapids), and
+integer access counters (tab2, milan).
+"""
+
+import pytest
+
+from repro.bench import sweep
+from repro.bench.cells import run_serial
+from repro.bench import experiments  # noqa: F401 - populates the registry
+
+EXPERIMENTS = [
+    pytest.param("fig05_local_vs_distributed", id="fig05-milan-table"),
+    pytest.param("fig08_intel_scalability", id="fig08-spr-series"),
+    pytest.param("tab2_streamcluster_accesses", id="tab2-milan-counters"),
+]
+
+
+@pytest.fixture()
+def cache(tmp_path, monkeypatch):
+    d = tmp_path / "sweep-cache"
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", str(d))
+    return d
+
+
+@pytest.mark.parametrize("name", EXPERIMENTS)
+def test_parallel_is_bit_identical_to_serial(name, cache):
+    rows_serial, text_serial = run_serial(name, quick=True)
+    rows_par, text_par, stats = sweep.run_experiment(name, quick=True, jobs=4)
+    assert stats.executed == stats.total and stats.cache_hits == 0
+    assert rows_par == rows_serial
+    assert text_par == text_serial
+
+
+@pytest.mark.parametrize("name", EXPERIMENTS)
+def test_cached_rerun_is_bit_identical(name, cache):
+    rows_first, text_first, _ = sweep.run_experiment(name, quick=True, jobs=4)
+    rows_again, text_again, stats = sweep.run_experiment(name, quick=True, jobs=4)
+    assert stats.executed == 0 and stats.cache_hits == stats.total
+    assert rows_again == rows_first
+    assert text_again == text_first

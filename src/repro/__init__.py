@@ -24,6 +24,7 @@ from repro.hw import (
 from repro.runtime import (
     Access,
     AccessBatch,
+    AccessRun,
     AdaptiveController,
     Approach,
     Barrier,
@@ -56,6 +57,7 @@ __all__ = [
     "small_test_machine",
     "Access",
     "AccessBatch",
+    "AccessRun",
     "AdaptiveController",
     "Approach",
     "Barrier",

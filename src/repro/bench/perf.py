@@ -7,13 +7,19 @@ throughput — not the modelled workloads — is the wall-clock bottleneck
 that caps how large a machine/dataset the paper artifacts can sweep, so
 its trajectory is tracked in ``BENCH_simperf.json`` at the repo root.
 
-Three scenarios stress the three distinct service paths of
-:meth:`repro.hw.machine.Machine.access_batch`:
+Five scenarios stress the distinct service paths of
+:meth:`repro.hw.machine.Machine.access_batch` / ``access_run``:
 
 - ``gups``        — GUPS-style random writes to a table far larger than
   the aggregate L3: DRAM fills, channel queueing, write invalidations;
+- ``gups_run``    — the same update streams emitted as sorted-unique
+  ndarray batches (the real gups workload shape): the vectorized
+  miss-kernel path of :mod:`repro.hw.vector`;
 - ``stream``      — disjoint sequential read streams: DRAM fills with
   full MLP overlap, no sharing;
+- ``stream_run``  — the same streams emitted as run-compressed
+  :class:`~repro.runtime.ops.AccessRun` ops: no per-block list ever
+  materializes, pure array-kernel servicing;
 - ``shared_read`` — every worker re-reads one cache-resident region:
   local hits and directory-served peer fills.
 
@@ -25,6 +31,7 @@ Usage::
 
     python -m repro.bench.perf            # full run, writes BENCH_simperf.json
     python -m repro.bench.perf --check    # <60 s smoke + determinism gate
+    python -m repro.bench.perf --gate     # CI regression gate vs recorded acc/s
 """
 
 import argparse
@@ -37,7 +44,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.hw.machine import Machine, milan
-from repro.runtime.ops import AccessBatch, YieldPoint
+from repro.runtime.ops import AccessBatch, AccessRun, YieldPoint
 from repro.runtime.policy import CharmStrategy
 from repro.runtime.runtime import Runtime
 from repro.sim.rng import derive_seed
@@ -57,6 +64,10 @@ RECORDED_BASELINE: Dict[str, float] = {
     "gups": 130_250.0,
     "stream": 131_812.0,
     "shared_read": 255_351.0,
+    # The *_run scenarios replay the same block streams as their namesakes,
+    # so they are anchored to the same pre-batching per-access figures.
+    "gups_run": 130_250.0,
+    "stream_run": 131_812.0,
 }
 
 
@@ -91,6 +102,7 @@ def _run_scenario(build) -> Dict[str, float]:
     stats = getattr(runtime.machine.caches, "stats", None)
     if stats is not None:
         out["cache"] = stats()["total"]
+    out["bandwidth"] = runtime.machine.bandwidth_stats()
     return out
 
 
@@ -162,20 +174,82 @@ def scenario_shared_read(rounds: int) -> Dict[str, float]:
     return _run_scenario(build)
 
 
+def _run_task(region, runs: List, write: bool, nbytes: Optional[int]):
+    for start, count in runs:
+        yield AccessRun(region, start, count, write=write, nbytes=nbytes)
+        yield YieldPoint()
+    return len(runs)
+
+
+def scenario_stream_run(blocks_per_worker: int) -> Dict[str, float]:
+    """The ``stream`` layout as run-compressed ``AccessRun`` ops."""
+
+    def build() -> Runtime:
+        machine = _machine()
+        runtime = Runtime(machine, N_WORKERS, CharmStrategy(), seed=SEED)
+        region = runtime.alloc_shared(
+            N_WORKERS * blocks_per_worker * machine.block_bytes, name="perf-stream"
+        )
+        for wid in range(N_WORKERS):
+            base = wid * blocks_per_worker
+            runs = [
+                (base + s, min(BATCH_BLOCKS, blocks_per_worker - s))
+                for s in range(0, blocks_per_worker, BATCH_BLOCKS)
+            ]
+            runtime.spawn(_run_task, region, runs, False, None,
+                          pin_worker=wid, name=f"perf-{wid}")
+        return runtime
+
+    return _run_scenario(build)
+
+
+def scenario_gups_run(updates_per_worker: int) -> Dict[str, float]:
+    """The ``gups`` update streams as sorted-unique ndarray batches.
+
+    This is the exact emission shape of the real gups workload
+    (``np.unique`` per update batch), exercising the ndarray entry into
+    the vectorized miss kernels including write servicing.
+    """
+
+    def build() -> Runtime:
+        machine = _machine()
+        runtime = Runtime(machine, N_WORKERS, CharmStrategy(), seed=SEED)
+        agg_l3 = machine.l3_bytes_per_chiplet * machine.topo.total_chiplets
+        region = runtime.alloc_shared(4 * agg_l3, name="perf-gups")
+        per_worker = []
+        for wid in range(N_WORKERS):
+            rng = np.random.default_rng(derive_seed(SEED, "perf-gups", wid))
+            idx = rng.integers(0, region.n_blocks, size=updates_per_worker, dtype=np.int64)
+            per_worker.append([
+                np.unique(idx[s : s + BATCH_BLOCKS])
+                for s in range(0, updates_per_worker, BATCH_BLOCKS)
+            ])
+        _spawn_batches(runtime, region, per_worker, write=True, nbytes=64)
+        return runtime
+
+    return _run_scenario(build)
+
+
 SCENARIOS = {
     "gups": scenario_gups,
+    "gups_run": scenario_gups_run,
     "stream": scenario_stream,
+    "stream_run": scenario_stream_run,
     "shared_read": scenario_shared_read,
 }
 
-FULL_SIZES = {"gups": 65536, "stream": 65536, "shared_read": 512}
-CHECK_SIZES = {"gups": 4096, "stream": 4096, "shared_read": 4}
+FULL_SIZES = {"gups": 65536, "gups_run": 65536, "stream": 65536,
+              "stream_run": 65536, "shared_read": 512}
+CHECK_SIZES = {"gups": 4096, "gups_run": 4096, "stream": 4096,
+               "stream_run": 4096, "shared_read": 4}
 
 
 def run_suite(sizes: Dict[str, int], verbose: bool = True) -> Dict[str, Dict[str, float]]:
-    """Run every scenario twice (determinism gate) and return metrics."""
+    """Run each scenario named in ``sizes`` twice (determinism gate)."""
     results: Dict[str, Dict[str, float]] = {}
     for name, fn in SCENARIOS.items():
+        if name not in sizes:
+            continue
         first = fn(sizes[name])
         second = fn(sizes[name])
         for field in ("sim_wall_ns", "accesses", "fill_counts"):
@@ -230,15 +304,58 @@ def write_report(results: Dict[str, Dict[str, float]], path: Path) -> Dict:
     return doc
 
 
+def run_gate(record_path: Path, factor: float) -> int:
+    """CI perf-regression gate: reduced sizes vs recorded throughput.
+
+    Runs every scenario at ``CHECK_SIZES`` and fails if any falls below
+    ``factor`` x the accesses/sec recorded in ``BENCH_simperf.json`` —
+    so future PRs cannot silently regress the fast paths.  The reduced
+    sizes understate steady-state throughput (fixed per-run overheads
+    weigh more), which the 0.5x default factor absorbs.
+    """
+    if not record_path.exists():
+        print(f"FAIL: no recorded report at {record_path}", file=sys.stderr)
+        return 1
+    recorded = json.loads(record_path.read_text()).get("scenarios", {})
+    results = run_suite(CHECK_SIZES)
+    failures = []
+    for name, res in results.items():
+        rec = recorded.get(name, {}).get("accesses_per_sec")
+        if not rec:
+            print(f"{name:12s} (no recorded figure — skipped)")
+            continue
+        floor = factor * rec
+        ratio = res["accesses_per_sec"] / rec
+        status = "ok" if res["accesses_per_sec"] >= floor else "FAIL"
+        print(f"{name:12s} {res['accesses_per_sec']:>12,.0f} acc/s  "
+              f"recorded {rec:>12,.0f}  ratio {ratio:.2f}  {status}")
+        if status == "FAIL":
+            failures.append(name)
+    if failures:
+        print(f"FAIL: scenarios below {factor:.2f}x recorded throughput: "
+              f"{failures}", file=sys.stderr)
+        return 1
+    print(f"perf gate OK (all scenarios >= {factor:.2f}x recorded acc/s)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true",
                         help="fast smoke mode (<60 s): tiny sizes, no report file")
+    parser.add_argument("--gate", action="store_true",
+                        help="CI regression gate: reduced sizes, fail below "
+                             "--gate-factor x the recorded accesses/sec")
+    parser.add_argument("--gate-factor", type=float, default=0.5,
+                        help="gate threshold as a fraction of recorded acc/s")
     parser.add_argument("--min-aps", type=float, default=20_000.0,
                         help="fail if any scenario falls below this accesses/sec floor")
     parser.add_argument("--out", type=Path, default=Path("BENCH_simperf.json"),
-                        help="report path (full mode only)")
+                        help="report path (full mode only); gate mode reads it")
     args = parser.parse_args(argv)
+
+    if args.gate:
+        return run_gate(args.out, args.gate_factor)
 
     if not args.check:
         out_dir = args.out.resolve().parent

@@ -13,8 +13,11 @@ remote sharers — the two effects that give chiplet-aware placement its
 performance edge in the paper.
 """
 
-from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Set
+from collections import deque
+from itertools import islice, repeat
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
 
 from repro.hw.topology import Topology
 
@@ -22,7 +25,8 @@ from repro.hw.topology import Topology
 class ChipletCache:
     """One chiplet's L3 slice: a byte-budgeted LRU of block keys."""
 
-    __slots__ = ("chiplet", "capacity_bytes", "used_bytes", "_lru", "hits", "misses", "evictions")
+    __slots__ = ("chiplet", "capacity_bytes", "used_bytes", "_lru", "hits",
+                 "misses", "evictions", "_uniform_nb")
 
     def __init__(self, chiplet: int, capacity_bytes: int):
         if capacity_bytes < 64:
@@ -30,7 +34,16 @@ class ChipletCache:
         self.chiplet = chiplet
         self.capacity_bytes = capacity_bytes
         self.used_bytes = 0
-        self._lru: "OrderedDict[int, int]" = OrderedDict()  # block -> resident bytes
+        # block -> resident bytes; insertion-ordered (least recent first).
+        # A plain dict gives the same LRU order as an OrderedDict —
+        # recency refresh is a C-level pop + reinsert — but with much
+        # cheaper bulk update()/clear(), which the batch kernels lean on.
+        self._lru: Dict[int, int] = {}
+        # Resident-entry size summary: 0 = empty slice, an int = every
+        # entry is that many bytes, None = mixed sizes.  Lets fill_run
+        # compute eviction prefixes with integer arithmetic instead of a
+        # cumulative sum over the whole slice.
+        self._uniform_nb: Optional[int] = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -43,8 +56,9 @@ class ChipletCache:
 
     def touch(self, block: int) -> bool:
         """Look up ``block``; on hit, refresh its LRU position."""
-        if block in self._lru:
-            self._lru.move_to_end(block)
+        nbytes = self._lru.pop(block, None)
+        if nbytes is not None:
+            self._lru[block] = nbytes
             self.hits += 1
             return True
         self.misses += 1
@@ -54,17 +68,24 @@ class ChipletCache:
         """Insert ``block`` (``nbytes`` resident); return evicted block keys."""
         if nbytes <= 0:
             raise ValueError(f"cannot insert block with nbytes={nbytes}; must be positive")
-        if block in self._lru:
-            self._lru.move_to_end(block)
+        resident = self._lru.pop(block, None)
+        if resident is not None:
+            self._lru[block] = resident  # refresh recency
             return []
         evicted: List[int] = []
         nbytes = min(nbytes, self.capacity_bytes)
-        while self.used_bytes + nbytes > self.capacity_bytes and self._lru:
-            victim, vbytes = self._lru.popitem(last=False)
+        lru = self._lru
+        while self.used_bytes + nbytes > self.capacity_bytes and lru:
+            victim = next(iter(lru))
+            vbytes = lru.pop(victim)
             self.used_bytes -= vbytes
             self.evictions += 1
             evicted.append(victim)
-        self._lru[block] = nbytes
+        if not lru:
+            self._uniform_nb = nbytes
+        elif self._uniform_nb != nbytes:
+            self._uniform_nb = None
+        lru[block] = nbytes
         self.used_bytes += nbytes
         return evicted
 
@@ -74,6 +95,8 @@ class ChipletCache:
         if nbytes is None:
             return False
         self.used_bytes -= nbytes
+        if not self._lru:
+            self._uniform_nb = 0
         return True
 
     def blocks(self) -> Iterable[int]:
@@ -82,6 +105,7 @@ class ChipletCache:
     def clear(self) -> None:
         self._lru.clear()
         self.used_bytes = 0
+        self._uniform_nb = 0
 
 
 class CacheSystem:
@@ -142,6 +166,110 @@ class CacheSystem:
             self._dir_remove(victim, chiplet)
         self.directory.setdefault(block, set()).add(chiplet)
         return evicted
+
+    def fill_run(self, chiplet: int, blocks: Sequence[int], nbytes: int) -> int:
+        """Bulk-install ``blocks`` into ``chiplet``'s slice; return evictions.
+
+        Exact equivalent of calling :meth:`fill` once per block *in order*,
+        under the preconditions the vectorized batch kernel guarantees:
+        the blocks are distinct, uniformly ``nbytes`` large, and resident
+        in **no** slice (so no LRU refreshes and no peer-directory effects).
+
+        Because every insert is the same size and evictions pop from the
+        LRU front, the victim set is a *prefix* of the current LRU order —
+        possibly followed by a prefix of ``blocks`` itself when the run
+        overflows the slice capacity.  When the slice's resident entries
+        are uniformly sized (the streaming steady state, tracked by
+        ``_uniform_nb``) the prefix is pure integer arithmetic; mixed
+        slices pay one integer cumulative sum.
+        """
+        cache = self.caches[chiplet]
+        cap = cache.capacity_bytes
+        if nbytes <= 0:
+            raise ValueError(f"cannot insert block with nbytes={nbytes}; must be positive")
+        nb = min(nbytes, cap)
+        k = len(blocks)
+        lru = cache._lru
+        len0 = len(lru)
+        used0 = cache.used_bytes
+        overflow = used0 + k * nb - cap
+        n_evicted = 0
+        first_kept = 0  # blocks[:first_kept] are self-evicted by later inserts
+        if overflow > 0:
+            uni = cache._uniform_nb
+            if uni is not None and len0 * (uni or 0) == used0:
+                # Every resident entry is `uni` bytes (used0 == len0*uni
+                # re-checks the bookkeeping): prefix math is integer-only.
+                if len0 and overflow <= used0:
+                    n_evicted = -(-overflow // uni)
+                    evicted_bytes = n_evicted * uni
+                else:
+                    n_evicted = len0
+                    evicted_bytes = used0
+                    first_kept = -(-(overflow - evicted_bytes) // nb)
+            else:
+                sizes = np.fromiter(lru.values(), dtype=np.int64, count=len0)
+                cum = np.cumsum(sizes)
+                if sizes.size and overflow <= int(cum[-1]):
+                    # A prefix of the existing entries covers the overflow.
+                    n_evicted = int(np.searchsorted(cum, overflow, side="left")) + 1
+                    evicted_bytes = int(cum[n_evicted - 1])
+                else:
+                    # Everything resident goes, plus a prefix of this run.
+                    n_evicted = sizes.size
+                    evicted_bytes = int(cum[-1]) if sizes.size else 0
+                    first_kept = -(-(overflow - evicted_bytes) // nb)
+            directory = self.directory
+            if n_evicted == len0:
+                # Whole-slice turnover: one C-level clear instead of a
+                # per-victim delete loop.
+                victims = list(lru)
+                lru.clear()
+            else:
+                victims = list(islice(lru, n_evicted))
+                deque(map(lru.__delitem__, victims), maxlen=0)
+            # Inlined _dir_remove: eviction is the per-block hot path.
+            # Optimistically pop every victim's holder set in one C pass —
+            # residency guarantees each victim has an entry.  When all of
+            # them are singletons (no peer holds any victim — the steady
+            # state), each popped set is exactly ``{chiplet}`` and is
+            # recycled below for the inserted blocks, so no sets are
+            # allocated at all.  Otherwise reinsert the shared ones.
+            popped = list(map(directory.pop, victims))
+            if sum(map(len, popped)) == len(popped):
+                recycled = popped
+            else:
+                recycled = []
+                rec_append = recycled.append
+                for v, holders in zip(victims, popped):
+                    if len(holders) == 1:  # invariant: chiplet is a holder
+                        rec_append(holders)
+                    else:
+                        holders.discard(chiplet)
+                        directory[v] = holders
+            cache.used_bytes = used0 - evicted_bytes
+        else:
+            recycled = []
+        cache.evictions += n_evicted + first_kept
+        if n_evicted == len0 or cache._uniform_nb == 0:
+            cache._uniform_nb = nb
+        elif cache._uniform_nb != nb:
+            cache._uniform_nb = None
+        cache.used_bytes += (k - first_kept) * nb
+        survivors = blocks[first_kept:] if first_kept else blocks
+        # Precondition (blocks resident in no slice) + the directory
+        # invariant (membership == residency in some slice) guarantee none
+        # of the inserted blocks has a directory entry yet, so both inserts
+        # are plain C-level dict updates in batch order.
+        lru.update(zip(survivors, repeat(nb)))
+        n_rec = len(recycled)
+        if n_rec:
+            self.directory.update(zip(survivors, recycled))
+        if n_rec < len(survivors):
+            self.directory.update(
+                (b, {chiplet}) for b in (survivors[n_rec:] if n_rec else survivors)
+            )
+        return n_evicted + first_kept
 
     def invalidate_others(self, chiplet: int, block: int) -> int:
         """Drop every copy of ``block`` except ``chiplet``'s; return count."""

@@ -23,6 +23,9 @@ by source — the signal consumed by CHARM's Alg. 1.
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.hw import vector
 from repro.hw.cache import CacheSystem
 from repro.hw.counters import (
     IDX_DRAM_LOCAL,
@@ -53,6 +56,13 @@ KIB = 1024
 MIB = 1024 * KIB
 GIB = 1024 * MIB
 
+#: Minimum batch length — and minimum contiguous vector-eligible span —
+#: for the numpy kernels to engage; shorter shapes use the scalar loop.
+#: The array kernels carry a fixed per-segment setup cost (a handful of
+#: numpy allocations per touched server), so short segments are cheaper
+#: to interpret scalarly.
+VECTOR_MIN = 32
+
 
 @dataclass(frozen=True)
 class AccessResult:
@@ -60,9 +70,9 @@ class AccessResult:
 
     ``ns`` is the total delay including queueing backpressure on channels
     and links; ``latency_ns`` excludes queue waits (fixed latencies plus
-    transfer service times).  Batched accesses overlap ``latency_ns``
-    across memory-level parallelism while queue waits extend the batch's
-    completion — see ``Worker._do_batch``.
+    transfer service times, accumulated in server-visit order).  Batched
+    accesses overlap ``latency_ns`` across memory-level parallelism while
+    queue waits extend the batch's completion — see ``Worker._do_batch``.
     """
 
     ns: float
@@ -175,9 +185,19 @@ class Machine:
         )
 
     def free_region(self, region: Region) -> None:
-        """Free a region and flush its blocks from every L3 slice."""
-        for b in range(region.n_blocks):
-            self.caches.drop_everywhere(region.block_key(b))
+        """Free a region and flush its resident blocks from every L3 slice.
+
+        Walks the directory entries belonging to the region — O(resident
+        blocks) — instead of iterating every possible block key: freeing a
+        1 GiB region of 512 B blocks is 2M keys, of which only the few
+        actually cached need flushing.
+        """
+        shift = Region._KEY_SHIFT
+        rid = region.region_id
+        resident = [k for k in self.caches.directory if k >> shift == rid]
+        drop = self.caches.drop_everywhere
+        for key in resident:
+            drop(key)
         self.regions.free(region)
 
     # -- Access servicing ------------------------------------------------------
@@ -223,25 +243,27 @@ class Machine:
     ) -> AccessResult:
         socket_of = self._socket_of_chiplet
         same_socket = socket_of[chiplet] == socket_of[holder]
-        ns = self.latency.fill_same_socket if same_socket else self.latency.fill_cross_socket
-        wait = 0.0
-        d, w = self.links.service(holder, nbytes, now)
+        base = self.latency.fill_same_socket if same_socket else self.latency.fill_cross_socket
+        s_link = nbytes / self.links.bytes_per_ns
+        lat = (base + s_link) + s_link
+        if not same_socket:
+            lat = lat + nbytes / self.xlinks.bytes_per_ns
+        ns = base
+        d, _ = self.links.service(holder, nbytes, now)
         ns += d
-        wait += w
-        d, w = self.links.service(chiplet, nbytes, now)
+        d, _ = self.links.service(chiplet, nbytes, now)
         ns += d
-        wait += w
-        d, w = self.xlinks.service(socket_of[chiplet], socket_of[holder], nbytes, now)
+        d, _ = self.xlinks.service(socket_of[chiplet], socket_of[holder], nbytes, now)
         ns += d
-        wait += w
         self.caches.fill(chiplet, key, resident_bytes)
         inval = 0
         if write:
             inval = self.caches.invalidate_others(chiplet, key)
             ns += inval * self.latency.invalidate
+            lat = lat + inval * self.latency.invalidate
         source = FillSource.REMOTE_CHIPLET if same_socket else FillSource.REMOTE_NUMA_CHIPLET
         self.counters.record(core, source)
-        return AccessResult(ns, source, inval, ns - wait)
+        return AccessResult(ns, source, inval, lat)
 
     def _fill_from_dram(
         self,
@@ -257,22 +279,22 @@ class Machine:
         my_node = self._numa_of_core[core]
         home = region.node_of_block(block_index, requester_node=my_node)
         local = home == my_node
-        ns = self.latency.dram_local if local else self.latency.dram_remote
-        wait = 0.0
-        d, w = self.channels.service(home, key, nbytes, now)
-        ns += d
-        wait += w
-        d, w = self.links.service(chiplet, nbytes, now)
-        ns += d
-        wait += w
+        base = self.latency.dram_local if local else self.latency.dram_remote
+        lat = (base + nbytes / self.channels.bytes_per_ns) + nbytes / self.links.bytes_per_ns
         if not local:
-            d, w = self.xlinks.service(my_node, home, nbytes, now)
+            lat = lat + nbytes / self.xlinks.bytes_per_ns
+        ns = base
+        d, _ = self.channels.service(home, key, nbytes, now)
+        ns += d
+        d, _ = self.links.service(chiplet, nbytes, now)
+        ns += d
+        if not local:
+            d, _ = self.xlinks.service(my_node, home, nbytes, now)
             ns += d
-            wait += w
         self.caches.fill(chiplet, key, region.block_bytes)
         source = FillSource.DRAM_LOCAL if local else FillSource.DRAM_REMOTE
         self.counters.record(core, source)
-        return AccessResult(ns, source, 0, ns - wait)
+        return AccessResult(ns, source, 0, lat)
 
     # -- Batched access servicing (fast path) ----------------------------------
 
@@ -293,17 +315,228 @@ class Machine:
         :meth:`access` in order with the memory-level-parallelism rule of
         ``Worker._do_batch`` — each access is serviced at the batch's
         rolling issue time ``t``, pure latency overlaps across ``mlp``
-        outstanding misses while queue waits push out the completion max —
-        but with all per-access invariants hoisted out of the loop:
-        topology lookups, the region's block-key base, latency constants,
-        cache/directory bindings, and counter updates (accumulated into one
-        vector and committed once).  The virtual-time results are
-        bit-identical to the per-access path; only the Python work per
-        access shrinks.
+        outstanding misses while queue waits push out the completion max.
+        Duplicate-free batches over BIND/INTERLEAVE regions additionally
+        route their miss runs through the numpy kernels of
+        :mod:`repro.hw.vector`; every other shape takes the scalar loop.
+        Both paths are bit-identical to the per-access servicing
+        (``blocks`` may be a Python sequence or an int ndarray).
+        """
+        arr = None
+        seq = None
+        if isinstance(blocks, np.ndarray):
+            arr = blocks if blocks.dtype == np.int64 else blocks.astype(np.int64)
+            n = int(arr.shape[0])
+        else:
+            seq = blocks
+            n = len(seq)
+        return self._service_blocks(
+            core, region, seq, arr, n, now, nbytes, write, per_issue_ns, mlp,
+            distinct=False, validated=False,
+        )
+
+    def access_run(
+        self,
+        core: int,
+        region: Region,
+        start: int,
+        count: int,
+        now: float,
+        stride: int = 1,
+        nbytes: Optional[int] = None,
+        write: bool = False,
+        per_issue_ns: float = 0.0,
+        mlp: float = 1.0,
+    ) -> BatchResult:
+        """Service a run-compressed batch: blocks ``start + i*stride``.
+
+        The run never materializes a per-block Python list: bounds are
+        validated in O(1), the block vector is a numpy ``arange``, and the
+        run is guaranteed duplicate-free by construction — the shape the
+        streaming workloads (sequential scans, strided column walks) emit
+        through :class:`repro.runtime.ops.AccessRun`.  Results are
+        bit-identical to ``access_batch(core, region, list(...))``.
+        """
+        if count < 0:
+            raise ValueError("run count must be non-negative")
+        if stride < 1:
+            raise ValueError("run stride must be >= 1")
+        if count:
+            n_blocks = region.n_blocks
+            last = start + (count - 1) * stride
+            if not 0 <= start < n_blocks or last >= n_blocks:
+                bad = start if not 0 <= start < n_blocks else last
+                raise ValueError(
+                    f"block {bad} outside region '{region.name}' ({n_blocks} blocks)"
+                )
+        arr = start + stride * np.arange(count, dtype=np.int64)
+        return self._service_blocks(
+            core, region, None, arr, count, now, nbytes, write, per_issue_ns, mlp,
+            distinct=True, validated=True,
+        )
+
+    def _service_blocks(
+        self,
+        core: int,
+        region: Region,
+        seq: Optional[Sequence[int]],
+        arr: Optional[np.ndarray],
+        n: int,
+        now: float,
+        nbytes: Optional[int],
+        write: bool,
+        per_issue_ns: float,
+        mlp: float,
+        distinct: bool,
+        validated: bool,
+    ) -> BatchResult:
+        """Shared batch/run servicing: segment, vectorize, fall back.
+
+        The batch is split into maximal contiguous *vectorizable segments*
+        (blocks resident in no slice — pure DRAM fills) serviced by
+        :func:`repro.hw.vector.dram_fill_segment`, interleaved with scalar
+        spans for everything else (hits, peer fills, REPLICATED regions,
+        batches with intra-batch reuse).  Segment boundaries are chosen
+        conservatively: classification happens up front and is only sound
+        because a duplicate-free batch cannot re-touch a block it already
+        serviced, so any batch with duplicates goes entirely scalar.
+        """
+        self.total_accesses += n
+        if n == 0:
+            return BatchResult(0.0, now, [0] * N_SOURCES, 0, 0)
+        req_bytes = nbytes or region.block_bytes
+        counts = [0] * N_SOURCES
+        # Mutable span state: [t, finish, inval_total, hits, misses].
+        state = [now, now, 0, 0, 0]
+
+        vec = n >= VECTOR_MIN and region.policy is not MemPolicy.REPLICATED
+        if vec and arr is None:
+            try:
+                arr = np.asarray(seq, dtype=np.int64)
+            except (TypeError, ValueError):
+                vec = False
+        if vec and not validated:
+            # Sorted batches (np.unique output, scans) prove distinctness
+            # in O(n) and expose their bounds at the endpoints; anything
+            # else pays min/max reductions and one sort.
+            sorted_inc = bool(np.all(arr[1:] > arr[:-1]))
+            if sorted_inc:
+                lo = int(arr[0])
+                hi = int(arr[-1])
+            else:
+                lo = int(arr.min())
+                hi = int(arr.max())
+            if lo < 0 or hi >= region.n_blocks:
+                raise ValueError(
+                    f"block {lo if lo < 0 else hi} outside region "
+                    f"'{region.name}' ({region.n_blocks} blocks)"
+                )
+            if not distinct:
+                distinct = sorted_inc or np.unique(arr).size == n
+            vec = distinct
+        keys_list = None
+        elig = None
+        keys = None
+        if vec:
+            keys = arr + np.int64(region.region_id << Region._KEY_SHIFT)
+            keys_list = keys.tolist()
+            directory = self.caches.directory
+            # Streaming steady state: none of the batch is resident, so one
+            # C-level disjointness check replaces the per-key membership
+            # scan; ``elig is None`` then means "whole batch eligible".
+            if directory and not directory.keys().isdisjoint(keys_list):
+                elig = np.fromiter(
+                    (k not in directory for k in keys_list), dtype=np.bool_, count=n
+                )
+                vec = bool(elig.any())
+
+        chiplet = self._chiplet_of_core[core]
+        if not vec:
+            if seq is None:
+                seq = arr.tolist()
+            self._scalar_span(core, region, seq, 0, n, req_bytes, write,
+                              per_issue_ns, mlp, counts, state)
+        else:
+            my_node = self._numa_of_core[core]
+            s_chan = req_bytes / self.channels.bytes_per_ns
+            s_link = req_bytes / self.links.bytes_per_ns
+            s_xlink = req_bytes / self.xlinks.bytes_per_ns
+            lat = self.latency
+            lat_dram_local = (lat.dram_local + s_chan) + s_link
+            lat_dram_remote = ((lat.dram_remote + s_chan) + s_link) + s_xlink
+            # Vector segments are the maximal eligible runs of length
+            # >= VECTOR_MIN; everything between consecutive vector
+            # segments — short eligible islands included — is merged into
+            # a single scalar span so the scalar prologue runs once per
+            # gap, not once per eligibility flip.
+            if elig is None:
+                bounds = (0, n)
+            else:
+                flips = np.flatnonzero(elig[1:] != elig[:-1]) + 1
+                bounds = [0, *flips.tolist(), n]
+            pos = 0
+            for si in range(len(bounds) - 1):
+                i0 = bounds[si]
+                i1 = bounds[si + 1]
+                if elig is not None and (not elig[i0] or i1 - i0 < VECTOR_MIN):
+                    continue
+                if pos < i0:
+                    if seq is None:
+                        seq = arr.tolist()
+                    self._scalar_span(core, region, seq, pos, i0, req_bytes,
+                                      write, per_issue_ns, mlp, counts, state)
+                whole = i0 == 0 and i1 == n
+                t_end, fin, n_local, n_remote = vector.dram_fill_segment(
+                    self, region, chiplet, my_node,
+                    arr if whole else arr[i0:i1],
+                    keys if whole else keys[i0:i1],
+                    keys_list if whole else keys_list[i0:i1],
+                    state[0], req_bytes, per_issue_ns, mlp,
+                    lat_dram_local, lat_dram_remote,
+                )
+                state[0] = t_end
+                if fin > state[1]:
+                    state[1] = fin
+                state[4] += i1 - i0
+                counts[IDX_DRAM_LOCAL] += n_local
+                counts[IDX_DRAM_REMOTE] += n_remote
+                pos = i1
+            if pos < n:
+                if seq is None:
+                    seq = arr.tolist()
+                self._scalar_span(core, region, seq, pos, n, req_bytes,
+                                  write, per_issue_ns, mlp, counts, state)
+
+        cache = self.caches.caches[chiplet]
+        cache.hits += state[3]
+        cache.misses += state[4]
+        self.counters.record_batch(core, counts)
+        t, finish = state[0], state[1]
+        end = t if t > finish else finish
+        return BatchResult(end - now, finish, counts, state[2], n)
+
+    def _scalar_span(
+        self,
+        core: int,
+        region: Region,
+        blocks: Sequence[int],
+        i0: int,
+        i1: int,
+        req_bytes: int,
+        write: bool,
+        per_issue_ns: float,
+        mlp: float,
+        counts: List[int],
+        state: list,
+    ) -> None:
+        """Scalar servicing of ``blocks[i0:i1]`` with hoisted invariants.
+
+        The per-block loop of the original fast path: handles every access
+        shape (hits, peer fills, invalidations, REPLICATED homes).  Reads
+        and writes the shared span ``state`` so vector segments and scalar
+        spans interleave on one virtual-time line.
         """
         n_blocks = region.n_blocks
-        self.total_accesses += len(blocks)
-        req_bytes = nbytes or region.block_bytes
         resident_bytes = region.block_bytes
         key_base = region.region_id << Region._KEY_SHIFT
 
@@ -319,11 +552,20 @@ class Machine:
         fill_cross_ns = lat.fill_cross_socket
         dram_local_ns = lat.dram_local
         dram_remote_ns = lat.dram_remote
+        # Pure-latency constants (base + service times, in server-visit
+        # order) — the same expressions the vector kernel broadcasts.
+        s_chan = req_bytes / self.channels.bytes_per_ns
+        s_link = req_bytes / self.links.bytes_per_ns
+        s_xlink = req_bytes / self.xlinks.bytes_per_ns
+        lat_dram_local = (dram_local_ns + s_chan) + s_link
+        lat_dram_remote = ((dram_remote_ns + s_chan) + s_link) + s_xlink
+        lat_peer_same = (fill_same_ns + s_link) + s_link
+        lat_peer_cross = ((fill_cross_ns + s_link) + s_link) + s_xlink
 
         caches = self.caches
         cache = caches.caches[chiplet]
         lru = cache._lru
-        move_to_end = lru.move_to_end
+        lru_pop = lru.pop
         dir_get = caches.directory.get
         cache_fill = caches.fill
         invalidate_others = caches.invalidate_others
@@ -334,22 +576,19 @@ class Machine:
         bind_home = region.home_node if region.policy is MemPolicy.BIND else None
         node_of_block = region.node_of_block
 
-        counts = [0] * N_SOURCES
-        inval_total = 0
-        hits = 0
-        misses = 0
-        t = now
-        finish = now
-        for block in blocks:
+        t, finish, inval_total, hits, misses = state
+        span = blocks if i0 == 0 and i1 == len(blocks) else blocks[i0:i1]
+        for block in span:
             if not 0 <= block < n_blocks:
                 raise ValueError(
                     f"block {block} outside region '{region.name}' ({n_blocks} blocks)"
                 )
             key = key_base | block
 
-            if key in lru:
-                # Local L3 hit.
-                move_to_end(key)
+            res_bytes = lru_pop(key, None)
+            if res_bytes is not None:
+                # Local L3 hit; re-inserting refreshes recency.
+                lru[key] = res_bytes
                 hits += 1
                 if write:
                     inval = invalidate_others(chiplet, key)
@@ -388,21 +627,19 @@ class Machine:
                 holder_socket = socket_of[holder]
                 same_socket = holder_socket == my_socket
                 ns = fill_same_ns if same_socket else fill_cross_ns
-                wait = 0.0
-                d, w = links_service(holder, req_bytes, t)
+                latency = lat_peer_same if same_socket else lat_peer_cross
+                d, _ = links_service(holder, req_bytes, t)
                 ns += d
-                wait += w
-                d, w = links_service(chiplet, req_bytes, t)
+                d, _ = links_service(chiplet, req_bytes, t)
                 ns += d
-                wait += w
-                d, w = xlinks_service(my_socket, holder_socket, req_bytes, t)
+                d, _ = xlinks_service(my_socket, holder_socket, req_bytes, t)
                 ns += d
-                wait += w
                 cache_fill(chiplet, key, resident_bytes)
                 if write:
                     inval = invalidate_others(chiplet, key)
                     inval_total += inval
                     ns += inval * invalidate_ns
+                    latency = latency + inval * invalidate_ns
                 counts[IDX_REMOTE_CHIPLET if same_socket else IDX_REMOTE_NUMA_CHIPLET] += 1
             else:
                 # Fill from DRAM on the block's home node.
@@ -410,31 +647,28 @@ class Machine:
                     node_of_block(block, requester_node=my_node)
                 local = home == my_node
                 ns = dram_local_ns if local else dram_remote_ns
-                wait = 0.0
-                d, w = channels_service(home, key, req_bytes, t)
+                latency = lat_dram_local if local else lat_dram_remote
+                d, _ = channels_service(home, key, req_bytes, t)
                 ns += d
-                wait += w
-                d, w = links_service(chiplet, req_bytes, t)
+                d, _ = links_service(chiplet, req_bytes, t)
                 ns += d
-                wait += w
                 if not local:
-                    d, w = xlinks_service(my_node, home, req_bytes, t)
+                    d, _ = xlinks_service(my_node, home, req_bytes, t)
                     ns += d
-                    wait += w
                 cache_fill(chiplet, key, resident_bytes)
                 counts[IDX_DRAM_LOCAL if local else IDX_DRAM_REMOTE] += 1
 
             completion = t + ns
             if completion > finish:
                 finish = completion
-            step = (ns - wait) / mlp  # overlap pure latency, not queue waits
+            step = latency / mlp  # overlap pure latency, not queue waits
             t += step if step > per_issue_ns else per_issue_ns
 
-        cache.hits += hits
-        cache.misses += misses
-        self.counters.record_batch(core, counts)
-        end = t if t > finish else finish
-        return BatchResult(end - now, finish, counts, inval_total, len(blocks))
+        state[0] = t
+        state[1] = finish
+        state[2] = inval_total
+        state[3] = hits
+        state[4] = misses
 
     # -- Synchronisation latency ---------------------------------------------
 
@@ -470,6 +704,37 @@ class Machine:
         self._span_cache.clear()
 
     # -- Introspection ---------------------------------------------------------
+
+    def bandwidth_stats(self) -> Dict:
+        """Utilization of every modelled bandwidth resource.
+
+        Per-server ``busy_ns`` / ``wait_ns`` / ``requests`` rows for the
+        memory channels (aggregated per socket), the per-chiplet fabric
+        links, and the cross-socket links, plus machine-wide totals.
+        Recorded into the ``repro.bench.perf`` JSON so saturation
+        experiments (fig04/fig07) can be debugged from data instead of
+        rerun with print statements.
+        """
+        channels = self.channels.stats()
+        links = self.links.stats()
+        xlinks = self.xlinks.stats()
+
+        def _tot(rows):
+            return {
+                "busy_ns": sum(r["busy_ns"] for r in rows),
+                "wait_ns": sum(r["wait_ns"] for r in rows),
+                "requests": sum(r["requests"] for r in rows),
+            }
+
+        return {
+            "channels": {
+                "per_socket": channels,
+                "peak_bytes_per_ns_per_socket": self.channels.peak_bandwidth(),
+                "total": _tot(channels),
+            },
+            "links": {"per_chiplet": links, "total": _tot(links)},
+            "xlinks": {"per_pair": xlinks, "total": _tot(xlinks)},
+        }
 
     def describe(self) -> str:
         t = self.topo

@@ -123,7 +123,23 @@ class RegionTable:
         return region
 
     def free(self, region: Region) -> None:
-        self._regions.pop(region.region_id, None)
+        """Release a region, returning its bytes to the per-node accounting.
+
+        Freeing is idempotent: only the first call for a live region
+        decrements ``allocated_bytes_per_node`` (mirroring the increments
+        made by :meth:`alloc` for each placement policy).
+        """
+        if self._regions.pop(region.region_id, None) is None:
+            return
+        if region.policy is MemPolicy.REPLICATED:
+            for n in range(self.numa_nodes):
+                self.allocated_bytes_per_node[n] -= region.size_bytes
+        elif region.policy is MemPolicy.INTERLEAVE:
+            share = region.size_bytes // self.numa_nodes
+            for n in range(self.numa_nodes):
+                self.allocated_bytes_per_node[n] -= share
+        else:
+            self.allocated_bytes_per_node[region.home_node] -= region.size_bytes
 
     def get(self, region_id: int) -> Region:
         return self._regions[region_id]
@@ -133,13 +149,20 @@ class RegionTable:
 
 
 class _Server:
-    """Deterministic single-server queue in virtual time."""
+    """Deterministic single-server queue in virtual time.
 
-    __slots__ = ("free_at", "busy_ns", "requests")
+    The recurrence is max-plus: ``free = max(free, now) + service``.  The
+    vectorized kernels in :mod:`repro.hw.vector` reproduce this recurrence
+    bit-exactly for a whole batch of arrivals (see ``serve_constant``);
+    any change to the arithmetic here must be mirrored there.
+    """
+
+    __slots__ = ("free_at", "busy_ns", "wait_ns", "requests")
 
     def __init__(self) -> None:
         self.free_at = 0.0
         self.busy_ns = 0.0
+        self.wait_ns = 0.0
         self.requests = 0
 
     def service(self, now: float, service_ns: float) -> "Tuple[float, float]":
@@ -153,8 +176,16 @@ class _Server:
         start = self.free_at if self.free_at > now else now
         self.free_at = start + service_ns
         self.busy_ns += service_ns
+        self.wait_ns += start - now
         self.requests += 1
         return self.free_at - now, start - now
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "busy_ns": self.busy_ns,
+            "wait_ns": self.wait_ns,
+            "requests": self.requests,
+        }
 
 
 class ChannelBank:
@@ -181,6 +212,22 @@ class ChannelBank:
     def peak_bandwidth(self) -> float:
         """Bytes/ns a single socket can sustain."""
         return self.channels_per_socket * self.bytes_per_ns
+
+    def server(self, socket: int, channel: int) -> _Server:
+        """Direct server handle (used by the vectorized batch kernels)."""
+        return self._servers[socket][channel]
+
+    def stats(self) -> List[Dict[str, float]]:
+        """Per-socket utilization, aggregated over the socket's channels."""
+        out = []
+        for socket, servers in enumerate(self._servers):
+            out.append({
+                "socket": socket,
+                "busy_ns": sum(s.busy_ns for s in servers),
+                "wait_ns": sum(s.wait_ns for s in servers),
+                "requests": sum(s.requests for s in servers),
+            })
+        return out
 
 
 class CrossSocketLinks:
@@ -211,6 +258,20 @@ class CrossSocketLinks:
         pair = (min(socket_a, socket_b), max(socket_a, socket_b))
         return self._servers[pair].busy_ns
 
+    def server(self, socket_a: int, socket_b: int) -> Optional[_Server]:
+        """Direct server handle, or ``None`` for a same-socket pair."""
+        if socket_a == socket_b:
+            return None
+        return self._servers[(min(socket_a, socket_b), max(socket_a, socket_b))]
+
+    def stats(self) -> List[Dict[str, float]]:
+        out = []
+        for (a, b), s in self._servers.items():
+            row = {"sockets": [a, b]}
+            row.update(s.stats())
+            out.append(row)
+        return out
+
 
 class LinkBank:
     """Per-chiplet fabric links (chiplet <-> IO die)."""
@@ -228,3 +289,15 @@ class LinkBank:
 
     def requests(self, chiplet: int) -> int:
         return self._servers[chiplet].requests
+
+    def server(self, chiplet: int) -> _Server:
+        """Direct server handle (used by the vectorized batch kernels)."""
+        return self._servers[chiplet]
+
+    def stats(self) -> List[Dict[str, float]]:
+        out = []
+        for chiplet, s in enumerate(self._servers):
+            row = {"chiplet": chiplet}
+            row.update(s.stats())
+            out.append(row)
+        return out

@@ -1,0 +1,397 @@
+"""Vectorized access kernels: batch servicing in O(channels + links) array ops.
+
+Miss-heavy batches — the DRAM-bound streams behind the paper's Fig. 5/7
+bandwidth-saturation results — used to crawl through a per-block Python
+loop.  This module services an entire *vectorizable segment* of a batch
+with numpy array operations instead:
+
+- arrival times are one exact cumulative sum (issue steps depend only on
+  pure latency, never on queue backpressure, so they are known up front);
+- each memory channel / fabric link / cross-socket link replays its
+  max-plus queue recurrence ``free = max(free, t_i) + s`` over the batch's
+  arrivals grouped by server (:func:`serve_constant`);
+- LRU insert/evict and directory updates are bulk operations
+  (:meth:`repro.hw.cache.CacheSystem.fill_run`).
+
+Everything here is **bit-identical** to the scalar path.  Floating-point
+addition is not associative, so the kernels never substitute closed-form
+products for the scalar path's sequential accumulation: every float chain
+the scalar loop builds one ``+=`` at a time is rebuilt here with a seeded
+``np.cumsum`` (numpy accumulates left-to-right in IEEE double, exactly
+like the interpreter), and every comparison runs on those exact values.
+The equivalence contract is enforced by the hypothesis property suite in
+``tests/test_vector_kernels.py`` and ``tests/test_access_batch_equivalence.py``.
+
+A segment is vectorizable when (see ``Machine._service_blocks``):
+
+- the request size is uniform (one ``nbytes`` for the whole batch);
+- the region is BIND or INTERLEAVE (REPLICATED falls back);
+- every block in the segment is resident in **no** L3 slice (pure DRAM
+  fills: no hits, no peer holders, and — because writes only invalidate
+  when sharers exist — reads and writes service identically);
+- the whole batch is duplicate-free, so servicing cannot change the
+  classification of a later access in the same batch.
+
+Everything else falls back to the scalar loop, with segment boundaries
+chosen conservatively.
+
+The hot shape — a BIND-region arithmetic run (sequential or strided
+scan) arriving at an idle machine — additionally takes a *joint* fast
+path: when no server queues anywhere in the segment, every delay equals
+its pure service expression, so the per-server grouping collapses into a
+handful of whole-segment array ops plus O(channels) scalar accounting.
+"""
+
+from math import gcd
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.hw.memory import MemPolicy
+
+# Above this many repeats, replaying a constant ``+= s`` chain with a
+# seeded cumsum beats the interpreter loop; below it, the numpy call
+# overhead dominates.
+_CHAIN_LOOP_MAX = 48
+
+
+def _accumulate_busy(server, m: int, s: float) -> None:
+    """Replay ``m`` sequential ``busy_ns += s`` updates, bit-exactly."""
+    b = server.busy_ns
+    if m <= _CHAIN_LOOP_MAX:
+        for _ in range(m):
+            b += s
+    else:
+        acc = np.empty(m + 1)
+        acc[0] = b
+        acc[1:] = s
+        b = float(np.cumsum(acc)[-1])
+    server.busy_ns = b
+
+
+def _per_row(mat, first: int, m: int, rem: int) -> list:
+    """Per-channel chain endpoints from a seeded cumsum matrix.
+
+    Row ``r`` of ``mat`` holds channel ``r``'s chain; channels ``r < rem``
+    absorbed ``m`` arrivals (endpoint at column ``m``), the rest ``m - 1``.
+    Two slices + ``tolist`` replace ``first`` scalar ``float(mat[r, k])``
+    extractions.
+    """
+    out = mat[:rem, m].tolist()
+    if rem < first:
+        out += mat[rem:first, m - 1].tolist()
+    return out
+
+
+def serve_constant(server, t: np.ndarray, s: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Serve ``m`` arrivals at nondecreasing times ``t`` with constant service ``s``.
+
+    Bit-exact replay of ``m`` sequential ``_Server.service(t[i], s)`` calls,
+    including the server's ``free_at`` / ``busy_ns`` / ``wait_ns`` /
+    ``requests`` updates.  Returns ``(total_delay, queue_wait)`` arrays.
+
+    Within one busy period the scalar recurrence degenerates to repeated
+    addition of ``s`` — reproduced exactly by a seeded ``np.cumsum`` — so
+    the only sequential work left is locating busy-period boundaries:
+    one numpy comparison per period (and a single vectorized check when
+    the server never queues at all).
+    """
+    m = t.shape[0]
+    if m == 0:
+        return np.empty(0), np.empty(0)
+    free = server.free_at
+    # Fast path: no queueing anywhere in the batch (idle server at every
+    # arrival).  ``t[i] >= t[i-1] + s`` uses the exact finish values the
+    # scalar loop would compare against.
+    if free <= t[0] and (m == 1 or bool(np.all(t[1:] >= t[:-1] + s))):
+        f = t + s
+        server.free_at = float(f[-1])
+        server.requests += m
+        _accumulate_busy(server, m, s)
+        # Every wait is ``t[i] - t[i] == +0.0`` and the scalar chain
+        # ``wait_ns += 0.0`` leaves a non-negative accumulator bit-unchanged.
+        return f - t, np.zeros(m)
+    f = np.empty(m)
+    start = np.empty(m)
+    i = 0
+    while i < m:
+        s0 = free if free > t[i] else t[i]
+        seg = np.empty(m - i + 1)
+        seg[0] = s0
+        seg[1:] = s
+        fc = np.cumsum(seg)[1:]  # candidate finishes for i .. m-1
+        if i + 1 < m:
+            # The busy period ends at the first arrival that finds the
+            # server idle (strictly later than the previous finish;
+            # equality keeps the same values either way).
+            idle = t[i + 1:] > fc[:-1]
+            j = i + 1 + int(np.argmax(idle)) if idle.any() else m
+        else:
+            j = m
+        f[i:j] = fc[: j - i]
+        start[i] = s0
+        if j - i > 1:
+            start[i + 1 : j] = fc[: j - i - 1]
+        free = float(f[j - 1])
+        i = j
+    server.free_at = float(f[-1])
+    server.requests += m
+    _accumulate_busy(server, m, s)
+    # wait_ns accumulates one += w per request; a seeded cumsum replays
+    # that chain in order, bit-exactly.
+    wait = start - t
+    acc = np.empty(m + 1)
+    acc[0] = server.wait_ns
+    acc[1:] = wait
+    server.wait_ns = float(np.cumsum(acc)[-1])
+    return f - t, wait
+
+
+def dram_fill_segment(
+    machine,
+    region,
+    chiplet: int,
+    my_node: int,
+    blocks: np.ndarray,
+    keys: np.ndarray,
+    keys_list: List[int],
+    t0: float,
+    req_bytes: int,
+    per_issue_ns: float,
+    mlp: float,
+    lat_local: float,
+    lat_remote: float,
+) -> Tuple[float, float, int, int]:
+    """Service a vectorizable segment of pure DRAM fills.
+
+    Preconditions (established by the caller): ``blocks`` are distinct,
+    in range, resident in no slice, and the region is BIND or INTERLEAVE.
+    Mutates channel/link/xlink servers, the requester's LRU slice, the
+    directory, and the slice's eviction counter — all bit-identically to
+    the scalar loop.
+
+    Returns ``(t_end, finish, n_local, n_remote)`` where ``t_end`` is the
+    issue clock after the segment and ``finish`` the segment's slowest
+    completion.
+    """
+    n = blocks.shape[0]
+    lat = machine.latency
+    channels = machine.channels
+    cps = channels.channels_per_socket
+    s_chan = req_bytes / channels.bytes_per_ns
+    s_link = req_bytes / machine.links.bytes_per_ns
+    s_xlink = req_bytes / machine.xlinks.bytes_per_ns
+    link = machine.links.server(chiplet)
+
+    if region.policy is MemPolicy.BIND:
+        home = region.home_node
+        local = home == my_node
+        base = lat.dram_local if local else lat.dram_remote
+        # One scalar step for the whole segment: the issue clock is a
+        # seeded cumsum of a constant.
+        step = (lat_local if local else lat_remote) / mlp
+        if per_issue_ns > 0.0 and step < per_issue_ns:
+            step = per_issue_ns
+        tf = np.empty(n + 1)
+        tf[0] = t0
+        tf[1:] = step
+        tf = np.cumsum(tf)
+        t = tf[:-1]
+        t_end = float(tf[-1])
+
+        res = _bind_arith_segment(
+            machine, blocks, keys_list, t, base, home, local,
+            my_node, cps, s_chan, s_link, s_xlink, link,
+        )
+        if res is not None:
+            finish = res
+            machine.caches.fill_run(chiplet, keys_list, region.block_bytes)
+            return t_end, finish, n if local else 0, 0 if local else n
+
+        homes = None
+        remote_mask = None
+    else:  # INTERLEAVE
+        homes = blocks % region.numa_nodes
+        local_mask = homes == my_node
+        remote_mask = ~local_mask
+        base = np.where(local_mask, lat.dram_local, lat.dram_remote)
+        lat_arr = np.where(local_mask, lat_local, lat_remote)
+
+        # Issue clock: steps depend only on pure latency, so every arrival
+        # time is known before any queue is consulted.  Seeded cumsum ==
+        # the scalar loop's sequential ``t += step``.
+        step = lat_arr / mlp
+        if per_issue_ns > 0.0:
+            step = np.where(step > per_issue_ns, step, per_issue_ns)
+        tf = np.empty(n + 1)
+        tf[0] = t0
+        tf[1:] = step
+        tf = np.cumsum(tf)
+        t = tf[:-1]
+        t_end = float(tf[-1])
+
+    # Per-channel max-plus recurrence, grouped by owning channel.
+    d_chan = np.empty(n)
+    chan_of = keys % cps
+    if homes is None:
+        sort_key = chan_of
+    else:
+        sort_key = homes * cps + chan_of
+    order = np.argsort(sort_key, kind="stable")
+    sorted_key = sort_key[order]
+    group_bounds = [0, *(np.flatnonzero(sorted_key[1:] != sorted_key[:-1]) + 1).tolist(), n]
+    for gi in range(len(group_bounds) - 1):
+        b0 = group_bounds[gi]
+        b1 = group_bounds[gi + 1]
+        idx = order[b0:b1]
+        sk = int(sorted_key[b0])
+        socket = home if homes is None else sk // cps
+        server = channels.server(socket, sk % cps)
+        d, _ = serve_constant(server, t[idx], s_chan)
+        d_chan[idx] = d
+
+    # The requester's fabric link sees every access, in batch order.
+    d_link, _ = serve_constant(link, t, s_link)
+
+    ns = (base + d_chan) + d_link
+    if homes is None:
+        if not local:
+            server = machine.xlinks.server(my_node, home)
+            d_x, _ = serve_constant(server, t, s_xlink)
+            ns = ns + d_x
+        n_local = n if local else 0
+    else:
+        for h in np.unique(homes[remote_mask]) if remote_mask.any() else ():
+            idx = np.flatnonzero(homes == h)
+            server = machine.xlinks.server(my_node, int(h))
+            d_x, _ = serve_constant(server, t[idx], s_xlink)
+            ns[idx] = ns[idx] + d_x
+        n_local = int(np.count_nonzero(local_mask))
+
+    finish = float((t + ns).max())
+    machine.caches.fill_run(chiplet, keys_list, region.block_bytes)
+    return t_end, finish, n_local, n - n_local
+
+
+def _bind_arith_segment(
+    machine, blocks, keys_list, t, base, home, local,
+    my_node, cps, s_chan, s_link, s_xlink, link,
+):
+    """Joint channel servicing for a BIND arithmetic run.
+
+    When the segment's blocks form an arithmetic progression with stride
+    ``q``, its arrivals hit the home socket's channels cyclically with
+    period ``p = cps / gcd(|q|, cps)``: arrival ``i`` is the ``i // p``-th
+    visit to channel ``(c0 + (i % p) * q) % cps``.  That structure
+    collapses the per-channel grouping (argsort + fancy indexing) into
+    strided views, and lets the two steady-state regimes be serviced for
+    *all* channels jointly:
+
+    - **idle** (no channel ever queues): every delay is its pure service
+      expression ``(t + s) - t``, one whole-segment comparison proves
+      idleness for every channel at once, and ``wait_ns`` accumulators
+      are bit-unchanged (each wait is ``+0.0``);
+    - **backlogged** (every channel busy at every arrival — the saturated
+      stream the paper's bandwidth plots are built on): each channel's
+      finish times are a pure ``free += s`` chain independent of the
+      arrivals, so one 2-D seeded ``np.cumsum`` (row per channel, axis=1
+      accumulates left-to-right like the interpreter) replays every
+      chain, and one interleave/compare validates the regime.
+
+    Anything in between falls back to per-channel
+    :func:`serve_constant` over strided views.  The requester link (and
+    cross-socket link when remote) always goes through
+    :func:`serve_constant` — they are single servers, not banks.
+
+    Returns the segment's ``finish`` time, or ``None`` when the blocks
+    are not an arithmetic progression (caller uses the grouped path).
+    """
+    n = blocks.shape[0]
+    if n < 2:
+        return None
+    q = int(blocks[1]) - int(blocks[0])
+    if q == 0 or not bool((blocks[2:] - blocks[1:-1] == q).all()):
+        return None
+    p = cps // gcd(abs(q), cps)
+    first = p if p < n else n  # number of distinct channels visited
+    channels = machine.channels
+    c0 = keys_list[0] % cps
+    servers = [channels.server(home, (c0 + r * q) % cps) for r in range(first)]
+
+    # Arrivals per channel: the first ``rem`` residues see ``m`` arrivals,
+    # the rest ``m - 1`` (m_r == (n - 1 - r) // p + 1).
+    m = (n + p - 1) // p
+    rem = n - (m - 1) * p
+
+    d_chan = None
+    idle = True
+    for r in range(first):
+        if servers[r].free_at > t[r]:
+            idle = False
+            break
+    if idle and n > p:
+        idle = bool((t[p:] >= t[:-p] + s_chan).all())
+    if idle:
+        # Delays replay the scalar loop's ``(now + s) - now`` per access;
+        # waits are identically +0.0, leaving wait_ns bit-unchanged.
+        d_chan = (t + s_chan) - t
+        # One seeded 2-D cumsum replays every channel's busy_ns chain.
+        busy = np.empty((first, m + 1))
+        busy[:, 0] = [srv.busy_ns for srv in servers]
+        busy[:, 1:] = s_chan
+        busy = np.cumsum(busy, axis=1)
+        new_busy = _per_row(busy, first, m, rem)
+        last = t.take([r + (((m if r < rem else m - 1)) - 1) * p
+                       for r in range(first)]).tolist()
+        for r in range(first):
+            srv = servers[r]
+            srv.requests += m if r < rem else m - 1
+            srv.busy_ns = new_busy[r]
+            srv.free_at = last[r] + s_chan
+    else:
+        # Candidate backlogged regime: chain every channel's finishes.
+        # free_at and busy_ns advance by the same constant, so one 2-D
+        # seeded cumsum replays both chains for every channel.
+        mat = np.empty((2 * first, m + 1))
+        mat[:first, 0] = [srv.free_at for srv in servers]
+        mat[first:, 0] = [srv.busy_ns for srv in servers]
+        mat[:, 1:] = s_chan
+        mat = np.cumsum(mat, axis=1)
+        chain = mat[:first]
+        # chain[r, k] = channel r's free time before its k-th arrival;
+        # interleave rows back into arrival order (i -> row i % p).
+        free_before = chain[:, :-1].T.ravel()[:n]
+        if bool((free_before >= t).all()):
+            d_chan = chain[:, 1:].T.ravel()[:n] - t
+            waits = free_before - t
+            acc = np.empty((first, m + 1))
+            acc[:, 0] = [srv.wait_ns for srv in servers]
+            padded = np.zeros(first * m)
+            padded[:n] = waits
+            acc[:, 1:] = padded.reshape(m, first).T
+            acc = np.cumsum(acc, axis=1)
+            new_free = _per_row(chain, first, m, rem)
+            new_busy = _per_row(mat[first:], first, m, rem)
+            new_wait = _per_row(acc, first, m, rem)
+            for r in range(first):
+                srv = servers[r]
+                srv.requests += m if r < rem else m - 1
+                srv.free_at = new_free[r]
+                srv.busy_ns = new_busy[r]
+                srv.wait_ns = new_wait[r]
+    if d_chan is None:
+        # Mixed regime (e.g. the segment where a stream first saturates):
+        # per-channel recurrence over strided views, no argsort needed.
+        d_chan = np.empty(n)
+        for r in range(first):
+            sl = slice(r, None, p)
+            d, _ = serve_constant(servers[r], t[sl], s_chan)
+            d_chan[sl] = d
+
+    d_link, _ = serve_constant(link, t, s_link)
+    ns = (base + d_chan) + d_link
+    if not local:
+        xsrv = machine.xlinks.server(my_node, home)
+        d_x, _ = serve_constant(xsrv, t, s_xlink)
+        ns = ns + d_x
+    return float((t + ns).max())

@@ -19,7 +19,7 @@ chiplet machine (:mod:`repro.hw`).  The package provides:
   (:mod:`repro.runtime.runtime`, :mod:`repro.runtime.api`).
 """
 
-from repro.runtime.ops import Access, AccessBatch, Compute, SpawnOp, WaitBarrier, WaitFuture, YieldPoint
+from repro.runtime.ops import Access, AccessBatch, AccessRun, Compute, SpawnOp, WaitBarrier, WaitFuture, YieldPoint
 from repro.runtime.task import Task, TaskState
 from repro.runtime.sync import Barrier, Future
 from repro.runtime.policy import (
@@ -36,6 +36,7 @@ from repro.runtime.api import Charm
 __all__ = [
     "Access",
     "AccessBatch",
+    "AccessRun",
     "Compute",
     "SpawnOp",
     "WaitBarrier",

@@ -68,6 +68,29 @@ class AccessBatch:
 
 
 @dataclass(frozen=True)
+class AccessRun:
+    """A run-compressed batch: blocks ``start + i*stride`` for ``i < count``.
+
+    The streaming shape (sequential scans, strided column walks) that
+    used to materialize million-entry block lists.  A run is
+    duplicate-free by construction, so the machine can route it straight
+    to the vectorized kernels (:mod:`repro.hw.vector`) without a
+    distinctness check — and never builds a per-block Python list at all.
+    Semantics are identical to ``AccessBatch(region, list(range(...)))``.
+    """
+
+    region: Region
+    start: int
+    count: int
+    stride: int = 1
+    write: bool = False
+    nbytes: Optional[int] = None
+    compute_ns_per_block: float = 0.0
+    #: True for dependent chains: each access pays full latency, no MLP.
+    dependent: bool = False
+
+
+@dataclass(frozen=True)
 class YieldPoint:
     """Cooperative suspension point; the profiler hook runs here."""
 

@@ -20,6 +20,7 @@ from repro.hw.counters import FillCounters
 from repro.runtime.ops import (
     Access,
     AccessBatch,
+    AccessRun,
     Compute,
     CriticalSection,
     SpawnOp,
@@ -147,7 +148,7 @@ class Worker(Actor):
         # op, and module-global lookups are measurable at that frequency.
         compute_op, access_op, batch_op = Compute, Access, AccessBatch
         critical_op, yield_op, spawn_op = CriticalSection, YieldPoint, SpawnOp
-        barrier_op, future_op = WaitBarrier, WaitFuture
+        barrier_op, future_op, run_op = WaitBarrier, WaitFuture, AccessRun
         while True:
             try:
                 op = send(task.send_value)
@@ -164,6 +165,8 @@ class Worker(Actor):
             kind = type(op)
             if kind is batch_op:
                 self._do_batch(op, task)
+            elif kind is run_op:
+                self._do_run(op, task)
             elif kind is compute_op:
                 self._charge(op.ns)
             elif kind is access_op:
@@ -275,6 +278,30 @@ class Worker(Actor):
             op.region,
             op.blocks,
             now=self.clock,
+            nbytes=op.nbytes,
+            write=op.write,
+            per_issue_ns=self.BATCH_ISSUE_NS + op.compute_ns_per_block,
+            mlp=1.0 if op.dependent else self.MLP,
+        )
+        self._charge(res.ns)
+        self.fills.record_counts(res.fill_counts)
+        task.fills.record_counts(res.fill_counts)
+
+    def _do_run(self, op: AccessRun, task: Task) -> None:
+        """Pipelined access to a run-compressed batch.
+
+        Same MLP rule as :meth:`_do_batch`, but the block list never
+        exists as a Python sequence — the machine services the arithmetic
+        run directly (:meth:`~repro.hw.machine.Machine.access_run`), with
+        bit-identical virtual-time results.
+        """
+        res = self.runtime.machine.access_run(
+            self.core,
+            op.region,
+            op.start,
+            op.count,
+            now=self.clock,
+            stride=op.stride,
             nbytes=op.nbytes,
             write=op.write,
             per_issue_ns=self.BATCH_ISSUE_NS + op.compute_ns_per_block,

@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.hw.machine import Machine
-from repro.runtime.ops import AccessBatch, Compute, SpawnOp, WaitFuture, YieldPoint
+from repro.runtime.ops import AccessBatch, AccessRun, Compute, SpawnOp, WaitFuture, YieldPoint
 from repro.runtime.policy import SchedulingStrategy
 from repro.runtime.runtime import Runtime, RunReport
 from repro.workloads.olap.data import TpchData
@@ -61,13 +61,14 @@ class QueryEngine:
 
     # -- Internals -------------------------------------------------------------
 
-    def _col_blocks(self, table: str, cname: str, lo: int, hi: int) -> Tuple[object, List[int]]:
+    def _col_run(self, table: str, cname: str, lo: int, hi: int) -> Tuple[object, int, int]:
+        """Region plus the run-compressed ``(start, count)`` block range."""
         region = self._col_regions[(table, cname)]
         itemsize = self.data.col(table, cname).itemsize
         bb = region.block_bytes
         b0 = lo * itemsize // bb
         b1 = max(b0 + 1, -(-hi * itemsize // bb))
-        return region, list(range(b0, b1))
+        return region, b0, b1 - b0
 
     def _morsels(self, n_rows: int) -> List[Tuple[int, int]]:
         step = self.morsel_rows
@@ -105,8 +106,8 @@ class QueryEngine:
         def morsel_task(i, bounds):
             lo, hi = bounds
             for c in pred_cols:
-                region, blocks = self._col_blocks(table, c, lo, hi)
-                yield AccessBatch(region, blocks, compute_ns_per_block=scan_ns)
+                region, start, count = self._col_run(table, c, lo, hi)
+                yield AccessRun(region, start, count, compute_ns_per_block=scan_ns)
             cols = {c: data.col(table, c)[lo:hi] for c in pred_cols}
             mask = predicate(cols)
             yield Compute((hi - lo) * len(pred_cols) * ROW_NS)
@@ -129,7 +130,7 @@ class QueryEngine:
             lo, hi = bounds
             chunk = rows[lo:hi]
             if chunk.size:
-                blocks = np.unique(chunk * itemsize // region.block_bytes).tolist()
+                blocks = np.unique(chunk * itemsize // region.block_bytes)
                 yield AccessBatch(region, blocks, nbytes=64)
                 yield Compute(chunk.size * ROW_NS)
             yield YieldPoint()
@@ -164,10 +165,10 @@ class QueryEngine:
 
         def build_task(i, bounds):
             lo, hi = bounds
-            blocks = np.unique(
-                np.arange(lo, hi, dtype=np.int64) * HASH_ENTRY_BYTES // hash_region.block_bytes
-            ).tolist()
-            yield AccessBatch(hash_region, blocks, write=True)
+            bb = hash_region.block_bytes
+            b0 = lo * HASH_ENTRY_BYTES // bb
+            b1 = max(b0 + 1, -(-hi * HASH_ENTRY_BYTES // bb))
+            yield AccessRun(hash_region, b0, b1 - b0, write=True)
             yield Compute((hi - lo) * HASH_ROW_NS)
             yield YieldPoint()
             return hi - lo
@@ -178,7 +179,7 @@ class QueryEngine:
             # Probes hit pseudo-random buckets across the whole table.
             pos = np.searchsorted(sorted_keys, keys)
             buckets = (keys.astype(np.int64) * 2654435761 % max(build_keys.size, 1))
-            blocks = np.unique(buckets * HASH_ENTRY_BYTES // hash_region.block_bytes).tolist()
+            blocks = np.unique(buckets * HASH_ENTRY_BYTES // hash_region.block_bytes)
             yield AccessBatch(hash_region, blocks, nbytes=64)
             yield Compute((hi - lo) * HASH_ROW_NS)
             yield YieldPoint()

@@ -33,7 +33,7 @@ from repro.baselines.ring import RingStrategy
 from repro.baselines.vanilla import VanillaStrategy
 from repro.hw.machine import Machine
 from repro.hw.memory import MemPolicy
-from repro.runtime.ops import AccessBatch, Compute, YieldPoint
+from repro.runtime.ops import AccessRun, Compute, YieldPoint
 from repro.runtime.policy import CharmStrategy, SchedulingStrategy
 from repro.runtime.runtime import Runtime, RunReport
 from repro.sim.rng import stream_np_rng
@@ -231,13 +231,13 @@ def run_sgd(
         """One DimmWitted work chunk: stream rows, touch replica, compute."""
         b0 = (c0 - base_row) * row_bytes // data_block
         b1 = max(b0 + 1, -(-(c1 - base_row) * row_bytes // data_block))
-        yield AccessBatch(region, list(range(b0, b1)), compute_ns_per_block=scan_ns)
+        yield AccessRun(region, b0, b1 - b0, compute_ns_per_block=scan_ns)
         g = group(wid)
         mb0 = g * blocks_per_replica
         # Gradient updates are atomic RMW chains on the replica:
         # dependent accesses, no MLP overlap (coherence-bound).
-        yield AccessBatch(model_region, list(range(mb0, mb0 + blocks_per_replica)),
-                          write=write_model, dependent=write_model)
+        yield AccessRun(model_region, mb0, blocks_per_replica,
+                        write=write_model, dependent=write_model)
         if write_model:
             replicas[g] = _chunk_gradient(X[c0:c1], y[c0:c1], replicas[g], lr)
         else:

@@ -23,12 +23,12 @@ paper observes beyond ~40 cores.
 """
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.hw.machine import Machine
-from repro.runtime.ops import AccessBatch, Compute, CriticalSection, SimLock, YieldPoint
+from repro.runtime.ops import AccessRun, Compute, CriticalSection, SimLock, YieldPoint
 from repro.runtime.policy import SchedulingStrategy
 from repro.runtime.runtime import Runtime, RunReport
 from repro.sim.rng import stream_np_rng
@@ -74,15 +74,15 @@ class _SCState:
 
 def _chunk_task(pts_region, ctr_region, state: _SCState, points: np.ndarray,
                 centers: np.ndarray, lo: int, hi: int, lock: SimLock,
-                pts_block: int, ctr_blocks: List[int], scan_ns: float,
+                pts_block: int, n_ctr_blocks: int, scan_ns: float,
                 record: bool = True):
     chunk = points[lo:hi]
     # Stream my point rows; centers are hot shared reads.
     row_bytes = chunk.shape[1] * 4
     b0 = lo * row_bytes // pts_block
     b1 = max(b0 + 1, -(-hi * row_bytes // pts_block))
-    yield AccessBatch(pts_region, list(range(b0, b1)), compute_ns_per_block=scan_ns)
-    yield AccessBatch(ctr_region, ctr_blocks)
+    yield AccessRun(pts_region, b0, b1 - b0, compute_ns_per_block=scan_ns)
+    yield AccessRun(ctr_region, 0, n_ctr_blocks)
     d2 = ((chunk[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
     state.assignment[lo:hi] = d2.argmin(axis=1)
     part_cost = float(d2.min(axis=1).sum())
@@ -124,7 +124,6 @@ def run_streamcluster(
     ctr_region = runtime.alloc_shared(
         max(n_centers * dims * 4, 512), read_only=False, name="sc-centers", block_bytes=512
     )
-    ctr_blocks = list(range(ctr_region.n_blocks))
     centers = points[:n_centers].copy()
     state = _SCState(n_points)
     lock = SimLock("sc-open")
@@ -147,8 +146,8 @@ def run_streamcluster(
                     t = yield SpawnOp(
                         _chunk_task,
                         (pts_region, ctr_region, state, points, centers,
-                         int(lo), int(hi), lock, pts_region.block_bytes, ctr_blocks,
-                         scan_ns, record),
+                         int(lo), int(hi), lock, pts_region.block_bytes,
+                         ctr_region.n_blocks, scan_ns, record),
                         name=f"sc-{lo}",
                     )
                     tasks.append(t)

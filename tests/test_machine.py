@@ -111,3 +111,41 @@ def test_invalid_machine_params():
         Machine(Topology(1, 1, 1), MILAN_LATENCY, l3_bytes_per_chiplet=32, block_bytes=64)
     with pytest.raises(ValueError):
         Machine(Topology(1, 1, 1), MILAN_LATENCY, l3_bytes_per_chiplet=4096, block_bytes=32)
+
+
+def test_free_region_iterates_directory_not_block_space(tiny):
+    """free_region is O(resident blocks): touching 3 blocks of a huge region
+    then freeing it must only drop those 3 keys and leave other regions'
+    residency alone."""
+    big = tiny.alloc_region(10**6 * tiny.block_bytes, node=0, name="big")
+    other = tiny.alloc_region(1024, node=0, name="other")
+    tiny.access_batch(0, big, [0, 17, 99], now=0.0)
+    tiny.access(0, other, 0, now=0.0)
+    assert len(tiny.caches.directory) == 4
+    tiny.free_region(big)
+    assert len(tiny.caches.directory) == 1
+    assert other.block_key(0) in tiny.caches.directory
+    assert tiny.caches.check_directory_consistent()
+    # Accounting returned too (satellite: RegionTable.free leak fix).
+    assert tiny.regions.allocated_bytes_per_node[0] == other.size_bytes
+
+
+def test_bandwidth_stats_accounts_traffic(tiny):
+    r = tiny.alloc_region(64 * tiny.block_bytes, node=0)
+    stats0 = tiny.bandwidth_stats()
+    assert stats0["channels"]["total"]["requests"] == 0
+    res = tiny.access_batch(0, r, list(range(32)), now=0.0, mlp=10.0,
+                            per_issue_ns=4.0)
+    assert res.accesses == 32
+    stats = tiny.bandwidth_stats()
+    # Every miss crossed a channel and the requester's fabric link.
+    assert stats["channels"]["total"]["requests"] == 32
+    assert stats["links"]["total"]["requests"] == 32
+    assert stats["channels"]["total"]["busy_ns"] > 0.0
+    assert stats["links"]["per_chiplet"][0]["requests"] == 32
+    assert stats["channels"]["peak_bytes_per_ns_per_socket"] == \
+        tiny.channels.peak_bandwidth()
+    # Remote-node traffic shows up on the cross-socket links.
+    r2 = tiny.alloc_region(64 * tiny.block_bytes, node=1)
+    tiny.access_batch(0, r2, list(range(16)), now=res.ns)
+    assert tiny.bandwidth_stats()["xlinks"]["total"]["requests"] == 16

@@ -104,3 +104,68 @@ def test_cross_socket_links():
     assert (d, w) == (100.0, 0.0)
     d, w = x.service(1, 0, 100, now=0.0)  # same unordered pair queues
     assert (d, w) == (200.0, 100.0)
+
+
+def test_free_returns_bytes_to_node_accounting():
+    """Regression: free must undo alloc's per-node accounting (was a leak)."""
+    t = _table()
+    r_bind = t.alloc(10_000, node=1, policy=MemPolicy.BIND)
+    r_il = t.alloc(8_000, policy=MemPolicy.INTERLEAVE)
+    r_rep = t.alloc(6_000, policy=MemPolicy.REPLICATED)
+    assert t.allocated_bytes_per_node == [4_000 + 6_000, 10_000 + 4_000 + 6_000]
+    t.free(r_bind)
+    assert t.allocated_bytes_per_node == [4_000 + 6_000, 4_000 + 6_000]
+    t.free(r_il)
+    assert t.allocated_bytes_per_node == [6_000, 6_000]
+    t.free(r_rep)
+    assert t.allocated_bytes_per_node == [0, 0]
+
+
+def test_free_is_idempotent():
+    t = _table()
+    r = t.alloc(10_000, node=0)
+    t.free(r)
+    t.free(r)  # double-free must not decrement twice
+    assert t.allocated_bytes_per_node == [0, 0]
+
+
+def test_node_of_block_replicated_without_requester_falls_back_to_home():
+    t = _table()
+    r = t.alloc(10_000, node=1, policy=MemPolicy.REPLICATED)
+    assert r.node_of_block(0, requester_node=0) == 0
+    assert r.node_of_block(0, requester_node=None) == 1  # home node fallback
+    assert r.node_of_block(0) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrivals=st.lists(
+        st.tuples(st.floats(0.0, 1000.0, allow_nan=False),
+                  st.floats(0.0, 100.0, allow_nan=False)),
+        min_size=1, max_size=50,
+    )
+)
+def test_server_queue_recurrence_properties(arrivals):
+    """The recurrence the vector kernels must reproduce: ``free = max(free, t) + s``.
+
+    free_at is monotone non-decreasing, busy_ns is the exact (ordered) sum
+    of service times, waits are non-negative, and total delay = wait + s.
+    """
+    from repro.hw.memory import _Server
+
+    srv = _Server()
+    busy_ref = 0.0
+    prev_free = srv.free_at
+    for now, s in arrivals:
+        d, w = srv.service(now, s)
+        busy_ref += s
+        assert srv.free_at >= prev_free        # monotone
+        assert w >= 0.0
+        assert d == pytest.approx(w + s)       # delay decomposition
+        assert srv.free_at == pytest.approx(now + d)  # finish consistency
+        prev_free = srv.free_at
+    assert srv.busy_ns == busy_ref             # ordered float sum, bit-equal
+    assert srv.requests == len(arrivals)
+    stats = srv.stats()
+    assert stats["busy_ns"] == busy_ref
+    assert stats["requests"] == len(arrivals)

@@ -21,7 +21,12 @@ Five scenarios stress the distinct service paths of
   :class:`~repro.runtime.ops.AccessRun` ops: no per-block list ever
   materializes, pure array-kernel servicing;
 - ``shared_read`` — every worker re-reads one cache-resident region:
-  local hits and directory-served peer fills.
+  local hits and directory-served peer fills;
+- ``shared_read_hot`` — run-compressed re-reads of a half-slice region:
+  the pure local-hit steady state, serviced by the hit-path kernel;
+- ``pagerank_micro`` — PageRank via the real graph task generators on a
+  cache-resident Kronecker graph: the hit/peer-fill mix the Fig. 7/8
+  sweep cells spend their host time in.
 
 Each scenario drives a full :class:`~repro.runtime.runtime.Runtime`
 (the artifact path), and is run twice with the same seed as a loud
@@ -48,6 +53,8 @@ from repro.runtime.ops import AccessBatch, AccessRun, YieldPoint
 from repro.runtime.policy import CharmStrategy
 from repro.runtime.runtime import Runtime
 from repro.sim.rng import derive_seed
+from repro.workloads.graph.generator import kronecker
+from repro.workloads.graph.tasks import GraphState, GraphWorkspace, pagerank_coordinator
 
 SEED = 7
 N_WORKERS = 16
@@ -68,6 +75,11 @@ RECORDED_BASELINE: Dict[str, float] = {
     # so they are anchored to the same pre-batching per-access figures.
     "gups_run": 130_250.0,
     "stream_run": 131_812.0,
+    # Pre-hit-path-kernel figures, measured at commit 24b780a (scalar
+    # per-block hit and peer-fill servicing) against these exact scenario
+    # definitions.
+    "shared_read_hot": 1_851_997.0,
+    "pagerank_micro": 114_115.7,
 }
 
 
@@ -230,18 +242,68 @@ def scenario_gups_run(updates_per_worker: int) -> Dict[str, float]:
     return _run_scenario(build)
 
 
+def scenario_shared_read_hot(rounds: int) -> Dict[str, float]:
+    """Run-compressed re-reads of a region that never leaves any L3 slice.
+
+    The region is half of one slice, so after each worker's first pass
+    every access is a local hit serviced by the hit-path kernel — the
+    steady state of the paper's cache-resident graph kernels, with none
+    of ``shared_read``'s capacity churn.
+    """
+
+    def build() -> Runtime:
+        machine = _machine()
+        runtime = Runtime(machine, N_WORKERS, CharmStrategy(), seed=SEED)
+        region = runtime.alloc_shared(machine.l3_bytes_per_chiplet // 2,
+                                      read_only=True, name="perf-hot")
+        runs = [(0, region.n_blocks)] * rounds
+        for wid in range(N_WORKERS):
+            runtime.spawn(_run_task, region, runs, False, None,
+                          pin_worker=wid, name=f"perf-{wid}")
+        return runtime
+
+    return _run_scenario(build)
+
+
+def scenario_pagerank_micro(iterations: int) -> Dict[str, float]:
+    """PageRank on a Kronecker graph via the real graph task generators.
+
+    Exercises the exact emission shape of ``repro.workloads.graph.tasks``
+    (run-compressed adjacency scans, deduped vertex-state reads,
+    owner-exclusive write-backs) on a ``milan(scale=8)`` machine whose
+    two packed chiplets hold the whole CSR — the hit/peer-fill-heavy
+    regime where the Fig. 7/8 sweep cells spend their host time.
+    """
+
+    def build() -> Runtime:
+        machine = milan(scale=8)
+        runtime = Runtime(machine, N_WORKERS, CharmStrategy(), seed=SEED)
+        graph = kronecker(14, edgefactor=16, seed=SEED)
+        ws = GraphWorkspace(runtime, graph)
+        state = GraphState()
+        runtime.spawn(pagerank_coordinator, runtime, ws, state,
+                      0, iterations, name="pagerank")
+        return runtime
+
+    return _run_scenario(build)
+
+
 SCENARIOS = {
     "gups": scenario_gups,
     "gups_run": scenario_gups_run,
     "stream": scenario_stream,
     "stream_run": scenario_stream_run,
     "shared_read": scenario_shared_read,
+    "shared_read_hot": scenario_shared_read_hot,
+    "pagerank_micro": scenario_pagerank_micro,
 }
 
 FULL_SIZES = {"gups": 65536, "gups_run": 65536, "stream": 65536,
-              "stream_run": 65536, "shared_read": 512}
+              "stream_run": 65536, "shared_read": 512,
+              "shared_read_hot": 512, "pagerank_micro": 24}
 CHECK_SIZES = {"gups": 4096, "gups_run": 4096, "stream": 4096,
-               "stream_run": 4096, "shared_read": 4}
+               "stream_run": 4096, "shared_read": 4,
+               "shared_read_hot": 8, "pagerank_micro": 2}
 
 
 def run_suite(sizes: Dict[str, int], verbose: bool = True) -> Dict[str, Dict[str, float]]:

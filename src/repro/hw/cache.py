@@ -167,13 +167,59 @@ class CacheSystem:
         self.directory.setdefault(block, set()).add(chiplet)
         return evicted
 
-    def fill_run(self, chiplet: int, blocks: Sequence[int], nbytes: int) -> int:
+    def touch_run(self, chiplet: int, blocks: Sequence[int]) -> None:
+        """Bulk LRU touch: refresh the recency of ``blocks`` in batch order.
+
+        Exact equivalent of calling ``caches[chiplet].touch(b)`` once per
+        block in order — including the hit counter — under the local-hit
+        kernel's precondition that every block is resident.  A touched
+        block moves to the back of the LRU ordered by its *last*
+        occurrence, so the scalar pop/reinsert loop collapses into one
+        bulk delete plus one bulk re-insert.  If any block turns out
+        non-resident the whole run falls back to the scalar touch loop
+        (counting its misses exactly), so callers may probe with it.
+        """
+        cache = self.caches[chiplet]
+        lru = cache._lru
+        n = len(blocks)
+        # Steady-state fast path: when the slice's most-recent entries are
+        # exactly ``blocks`` in run order (the cache-resident re-read loop,
+        # where every pass replays the same run), re-touching them is an
+        # order no-op — each block already sits where its touch would move
+        # it.  One C-level list compare proves it, and only the hit counter
+        # needs updating.  A key sequence equal to distinct dict keys is
+        # itself distinct, so duplicates can never take this path.
+        if len(lru) >= n and list(lru)[len(lru) - n:] == blocks:
+            cache.hits += n
+            return
+        try:
+            sizes = [lru[b] for b in blocks]
+        except KeyError:
+            touch = cache.touch
+            for b in blocks:
+                touch(b)
+            return
+        # Last-occurrence wins: the dict dedupe over the reversed run keeps
+        # each block's final occurrence, and reversing the items again
+        # restores ascending last-occurrence order for the re-insert.
+        uniq = dict(zip(reversed(blocks), reversed(sizes)))
+        deque(map(lru.__delitem__, uniq), maxlen=0)
+        lru.update(reversed(uniq.items()))
+        cache.hits += len(blocks)
+
+    def fill_run(self, chiplet: int, blocks: Sequence[int], nbytes: int,
+                 shared: bool = False) -> int:
         """Bulk-install ``blocks`` into ``chiplet``'s slice; return evictions.
 
         Exact equivalent of calling :meth:`fill` once per block *in order*,
-        under the preconditions the vectorized batch kernel guarantees:
-        the blocks are distinct, uniformly ``nbytes`` large, and resident
-        in **no** slice (so no LRU refreshes and no peer-directory effects).
+        under the preconditions the vectorized batch kernels guarantee:
+        the blocks are distinct, uniformly ``nbytes`` large, and absent
+        from ``chiplet``'s slice (so no LRU refreshes).  With
+        ``shared=False`` (the DRAM-fill kernel) the blocks are resident in
+        **no** slice, so inserts create fresh singleton directory entries.
+        With ``shared=True`` (the peer-fill kernel) each block is already
+        held by at least one other chiplet: inserts *join* the existing
+        holder set instead, and no holder sets are recycled.
 
         Because every insert is the same size and evictions pop from the
         LRU front, the victim set is a *prefix* of the current LRU order —
@@ -236,7 +282,16 @@ class CacheSystem:
             # recycled below for the inserted blocks, so no sets are
             # allocated at all.  Otherwise reinsert the shared ones.
             popped = list(map(directory.pop, victims))
-            if sum(map(len, popped)) == len(popped):
+            if shared:
+                # Peer-fill mode: the inserted blocks already have holder
+                # sets, so victims' singleton sets cannot be recycled.
+                # Shared victims lose this chiplet but keep their entry.
+                recycled = []
+                for v, holders in zip(victims, popped):
+                    if len(holders) > 1:
+                        holders.discard(chiplet)
+                        directory[v] = holders
+            elif sum(map(len, popped)) == len(popped):
                 recycled = popped
             else:
                 recycled = []
@@ -257,11 +312,22 @@ class CacheSystem:
             cache._uniform_nb = None
         cache.used_bytes += (k - first_kept) * nb
         survivors = blocks[first_kept:] if first_kept else blocks
+        lru.update(zip(survivors, repeat(nb)))
+        if shared:
+            # Peer-fill mode: every inserted block is held by the serving
+            # peer, so the requester *joins* the existing holder set.  A
+            # self-evicted prefix (blocks[:first_kept]) is a net directory
+            # no-op — scalar fill adds this chiplet then eviction removes
+            # it while the peer's copy keeps the entry alive — so only the
+            # survivors are touched, matching the scalar end state.
+            directory = self.directory
+            for b in survivors:
+                directory[b].add(chiplet)
+            return n_evicted + first_kept
         # Precondition (blocks resident in no slice) + the directory
         # invariant (membership == residency in some slice) guarantee none
         # of the inserted blocks has a directory entry yet, so both inserts
         # are plain C-level dict updates in batch order.
-        lru.update(zip(survivors, repeat(nb)))
         n_rec = len(recycled)
         if n_rec:
             self.directory.update(zip(survivors, recycled))

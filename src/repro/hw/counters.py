@@ -140,6 +140,19 @@ class CounterBoard:
             snap.dram += v[IDX_DRAM_LOCAL] + v[IDX_DRAM_REMOTE]
         return snap
 
+    def totals(self) -> List[int]:
+        """Machine-wide per-source fill totals (dense ``SOURCE_INDEX`` order).
+
+        Pairs with ``Machine._fill_lat`` to form the per-source
+        fill-latency histogram in :meth:`Machine.bandwidth_stats`.
+        """
+        out = [0] * N_SOURCES
+        for c in self.per_core:
+            v = c.v
+            for i in range(N_SOURCES):
+                out[i] += v[i]
+        return out
+
     def reset(self) -> None:
         for c in self.per_core:
             c.reset()

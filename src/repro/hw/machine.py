@@ -34,6 +34,7 @@ from repro.hw.counters import (
     IDX_REMOTE_CHIPLET,
     IDX_REMOTE_NUMA_CHIPLET,
     N_SOURCES,
+    SOURCE_INDEX,
     CounterBoard,
     FillSource,
 )
@@ -62,6 +63,12 @@ GIB = 1024 * MIB
 #: numpy allocations per touched server), so short segments are cheaper
 #: to interpret scalarly.
 VECTOR_MIN = 32
+
+#: Segment-classification labels (``Machine._classify_runs``): peer fills
+#: carry the holder's chiplet id (>= 0), the rest are these sentinels.
+_HIT = -1
+_MISS = -2
+_SCALAR = -3
 
 
 @dataclass(frozen=True)
@@ -154,6 +161,11 @@ class Machine:
         self.counters = CounterBoard(topo.total_cores)
         self.regions = RegionTable(topo.numa_nodes, block_bytes)
         self.total_accesses = 0
+        # Machine-wide pure fill latency (no queue waits) accumulated per
+        # source, dense SOURCE_INDEX order — the per-source histogram in
+        # bandwidth_stats().  Part of the vector kernels' bit-identity
+        # contract: scalar and vector paths accumulate the same chains.
+        self._fill_lat = [0.0] * N_SOURCES
         # Flat topology tables, bound once: the access paths index these
         # instead of re-deriving ids arithmetically per access.
         self._chiplet_of_core = topo.chiplet_of_core_table
@@ -221,6 +233,7 @@ class Machine:
             inval = self.caches.invalidate_others(chiplet, key) if write else 0
             ns = self.latency.l3_hit + inval * self.latency.invalidate
             self.counters.record(core, FillSource.LOCAL_CHIPLET)
+            self._fill_lat[IDX_LOCAL_CHIPLET] += ns
             return AccessResult(ns, FillSource.LOCAL_CHIPLET, inval, ns)
 
         holder = self.caches.find_holder(chiplet, key)
@@ -263,6 +276,7 @@ class Machine:
             lat = lat + inval * self.latency.invalidate
         source = FillSource.REMOTE_CHIPLET if same_socket else FillSource.REMOTE_NUMA_CHIPLET
         self.counters.record(core, source)
+        self._fill_lat[IDX_REMOTE_CHIPLET if same_socket else IDX_REMOTE_NUMA_CHIPLET] += lat
         return AccessResult(ns, source, inval, lat)
 
     def _fill_from_dram(
@@ -294,6 +308,7 @@ class Machine:
         self.caches.fill(chiplet, key, region.block_bytes)
         source = FillSource.DRAM_LOCAL if local else FillSource.DRAM_REMOTE
         self.counters.record(core, source)
+        self._fill_lat[IDX_DRAM_LOCAL if local else IDX_DRAM_REMOTE] += lat
         return AccessResult(ns, source, 0, lat)
 
     # -- Batched access servicing (fast path) ----------------------------------
@@ -316,9 +331,11 @@ class Machine:
         ``Worker._do_batch`` — each access is serviced at the batch's
         rolling issue time ``t``, pure latency overlaps across ``mlp``
         outstanding misses while queue waits push out the completion max.
-        Duplicate-free batches over BIND/INTERLEAVE regions additionally
-        route their miss runs through the numpy kernels of
-        :mod:`repro.hw.vector`; every other shape takes the scalar loop.
+        Batches over BIND/INTERLEAVE regions additionally route their
+        long miss / local-hit / one-peer-fill runs through the numpy
+        kernels of :mod:`repro.hw.vector` (duplicates cut segment
+        boundaries rather than forcing the batch scalar); every other
+        shape takes the scalar loop.
         Both paths are bit-identical to the per-access servicing
         (``blocks`` may be a Python sequence or an int ndarray).
         """
@@ -369,6 +386,39 @@ class Machine:
                 raise ValueError(
                     f"block {bad} outside region '{region.name}' ({n_blocks} blocks)"
                 )
+        # Hot re-read replay: a stride-1 read run whose keys are exactly
+        # the most-recent entries of the requester's slice (the
+        # cache-resident re-read steady state) is all-HIT with a no-op
+        # LRU touch, so the whole run collapses to clock arithmetic —
+        # no block vector, no segmentation, no classification.  The O(1)
+        # last-recency-key probe keeps the miss paths at two dict looks.
+        if (stride == 1 and not write and count >= VECTOR_MIN
+                and region.policy is not MemPolicy.REPLICATED):
+            chiplet = self._chiplet_of_core[core]
+            cache = self.caches.caches[chiplet]
+            lru = cache._lru
+            k0 = (region.region_id << Region._KEY_SHIFT) + start
+            if (len(lru) >= count
+                    and next(reversed(lru)) == k0 + count - 1
+                    and list(lru)[len(lru) - count:]
+                        == list(range(k0, k0 + count))):
+                self.total_accesses += count
+                ns = self.latency.l3_hit
+                step = ns / mlp  # hits have no queue wait: latency == ns
+                if per_issue_ns > step:
+                    step = per_issue_ns
+                t_last = vector._chain(now, count - 1, step)
+                t = t_last + step
+                finish = t_last + ns
+                cache.hits += count
+                fl = self._fill_lat
+                fl[IDX_LOCAL_CHIPLET] = vector._chain(
+                    fl[IDX_LOCAL_CHIPLET], count, ns)
+                counts = [0] * N_SOURCES
+                counts[IDX_LOCAL_CHIPLET] = count
+                self.counters.record_batch(core, counts)
+                end = t if t > finish else finish
+                return BatchResult(end - now, finish, counts, 0, count)
         arr = start + stride * np.arange(count, dtype=np.int64)
         return self._service_blocks(
             core, region, None, arr, count, now, nbytes, write, per_issue_ns, mlp,
@@ -390,16 +440,21 @@ class Machine:
         distinct: bool,
         validated: bool,
     ) -> BatchResult:
-        """Shared batch/run servicing: segment, vectorize, fall back.
+        """Shared batch/run servicing: segment, classify, vectorize, fall back.
 
-        The batch is split into maximal contiguous *vectorizable segments*
-        (blocks resident in no slice — pure DRAM fills) serviced by
-        :func:`repro.hw.vector.dram_fill_segment`, interleaved with scalar
-        spans for everything else (hits, peer fills, REPLICATED regions,
-        batches with intra-batch reuse).  Segment boundaries are chosen
-        conservatively: classification happens up front and is only sound
-        because a duplicate-free batch cannot re-touch a block it already
-        serviced, so any batch with duplicates goes entirely scalar.
+        The batch is first split into maximal *duplicate-free segments* by
+        an O(n) seen-set splitter (a repeated block cuts a segment boundary
+        instead of forcing the whole batch scalar); each segment is then
+        classified into runs of equal service class — all-hit /
+        all-one-peer / all-miss / scalar — and the long runs are serviced
+        by the numpy kernels of :mod:`repro.hw.vector`
+        (:meth:`_service_segment`), interleaved with scalar spans for
+        everything else.  Classification up front is sound because a
+        duplicate-free segment cannot re-touch a block it already serviced
+        — see MODELING.md ("Hit-path and peer-fill kernels") for the
+        per-class stability argument; the one mutable hazard (fills
+        evicting a later hit run from the requester's slice) is guarded by
+        an eviction-counter check at dispatch time.
         """
         self.total_accesses += n
         if n == 0:
@@ -415,10 +470,12 @@ class Machine:
                 arr = np.asarray(seq, dtype=np.int64)
             except (TypeError, ValueError):
                 vec = False
+        cuts: Sequence[int] = ()
         if vec and not validated:
             # Sorted batches (np.unique output, scans) prove distinctness
             # in O(n) and expose their bounds at the endpoints; anything
-            # else pays min/max reductions and one sort.
+            # else pays min/max reductions plus one seen-set pass that
+            # records where duplicates force segment boundaries.
             sorted_inc = bool(np.all(arr[1:] > arr[:-1]))
             if sorted_inc:
                 lo = int(arr[0])
@@ -431,24 +488,25 @@ class Machine:
                     f"block {lo if lo < 0 else hi} outside region "
                     f"'{region.name}' ({region.n_blocks} blocks)"
                 )
-            if not distinct:
-                distinct = sorted_inc or np.unique(arr).size == n
-            vec = distinct
+            if not distinct and not sorted_inc:
+                if seq is None:
+                    seq = arr.tolist()
+                seen = set()
+                seen_add = seen.add
+                seg_cuts = []
+                for i, b in enumerate(seq):
+                    if b in seen:
+                        seg_cuts.append(i)
+                        seen.clear()
+                    seen_add(b)
+                cuts = seg_cuts
         keys_list = None
-        elig = None
         keys = None
         if vec:
             keys = arr + np.int64(region.region_id << Region._KEY_SHIFT)
             keys_list = keys.tolist()
-            directory = self.caches.directory
-            # Streaming steady state: none of the batch is resident, so one
-            # C-level disjointness check replaces the per-key membership
-            # scan; ``elig is None`` then means "whole batch eligible".
-            if directory and not directory.keys().isdisjoint(keys_list):
-                elig = np.fromiter(
-                    (k not in directory for k in keys_list), dtype=np.bool_, count=n
-                )
-                vec = bool(elig.any())
+            if seq is None:
+                seq = arr.tolist()
 
         chiplet = self._chiplet_of_core[core]
         if not vec:
@@ -462,48 +520,38 @@ class Machine:
             s_link = req_bytes / self.links.bytes_per_ns
             s_xlink = req_bytes / self.xlinks.bytes_per_ns
             lat = self.latency
-            lat_dram_local = (lat.dram_local + s_chan) + s_link
-            lat_dram_remote = ((lat.dram_remote + s_chan) + s_link) + s_xlink
-            # Vector segments are the maximal eligible runs of length
-            # >= VECTOR_MIN; everything between consecutive vector
-            # segments — short eligible islands included — is merged into
-            # a single scalar span so the scalar prologue runs once per
-            # gap, not once per eligibility flip.
-            if elig is None:
-                bounds = (0, n)
-            else:
-                flips = np.flatnonzero(elig[1:] != elig[:-1]) + 1
-                bounds = [0, *flips.tolist(), n]
+            # Pure-latency constants in server-visit order — the same
+            # expressions _scalar_span builds, shared by every kernel.
+            lats = (
+                (lat.dram_local + s_chan) + s_link,
+                ((lat.dram_remote + s_chan) + s_link) + s_xlink,
+                (lat.fill_same_socket + s_link) + s_link,
+                ((lat.fill_cross_socket + s_link) + s_link) + s_xlink,
+            )
+            # ``pos`` tracks the pending (not yet serviced) scalar prefix:
+            # short segments and scalar-classified runs merge into one
+            # span per gap, so an all-duplicates batch costs exactly one
+            # scalar prologue, not one per single-block segment.
             pos = 0
+            bounds = (0, *cuts, n)
             for si in range(len(bounds) - 1):
                 i0 = bounds[si]
                 i1 = bounds[si + 1]
-                if elig is not None and (not elig[i0] or i1 - i0 < VECTOR_MIN):
+                if i1 - i0 < VECTOR_MIN:
                     continue
                 if pos < i0:
-                    if seq is None:
-                        seq = arr.tolist()
+                    # Flush the pending span *before* classifying: scalar
+                    # servicing mutates cache and directory state the
+                    # classification must observe.
                     self._scalar_span(core, region, seq, pos, i0, req_bytes,
                                       write, per_issue_ns, mlp, counts, state)
-                whole = i0 == 0 and i1 == n
-                t_end, fin, n_local, n_remote = vector.dram_fill_segment(
-                    self, region, chiplet, my_node,
-                    arr if whole else arr[i0:i1],
-                    keys if whole else keys[i0:i1],
-                    keys_list if whole else keys_list[i0:i1],
-                    state[0], req_bytes, per_issue_ns, mlp,
-                    lat_dram_local, lat_dram_remote,
+                    pos = i0
+                pos = self._service_segment(
+                    core, region, chiplet, my_node, seq, arr, keys, keys_list,
+                    i0, i1, pos, req_bytes, write, per_issue_ns, mlp, lats,
+                    counts, state,
                 )
-                state[0] = t_end
-                if fin > state[1]:
-                    state[1] = fin
-                state[4] += i1 - i0
-                counts[IDX_DRAM_LOCAL] += n_local
-                counts[IDX_DRAM_REMOTE] += n_remote
-                pos = i1
             if pos < n:
-                if seq is None:
-                    seq = arr.tolist()
                 self._scalar_span(core, region, seq, pos, n, req_bytes,
                                   write, per_issue_ns, mlp, counts, state)
 
@@ -514,6 +562,171 @@ class Machine:
         t, finish = state[0], state[1]
         end = t if t > finish else finish
         return BatchResult(end - now, finish, counts, state[2], n)
+
+    def _service_segment(
+        self,
+        core: int,
+        region: Region,
+        chiplet: int,
+        my_node: int,
+        seq: Sequence[int],
+        arr: np.ndarray,
+        keys: np.ndarray,
+        keys_list: List[int],
+        i0: int,
+        i1: int,
+        pos: int,
+        req_bytes: int,
+        write: bool,
+        per_issue_ns: float,
+        mlp: float,
+        lats: Tuple[float, float, float, float],
+        counts: List[int],
+        state: list,
+    ) -> int:
+        """Classify and dispatch one duplicate-free segment ``[i0, i1)``.
+
+        Splits the segment into maximal runs of equal service class and
+        routes each long run to its kernel — miss runs to
+        :func:`repro.hw.vector.dram_fill_segment`, hit runs to
+        :func:`~repro.hw.vector.local_hit_segment`, one-peer read runs to
+        :func:`~repro.hw.vector.peer_fill_segment` — leaving short and
+        scalar-classified runs pending for the caller's merged scalar
+        spans.  Returns the new ``pos`` (start of the pending scalar
+        region).
+
+        Classifying the whole segment up front is sound because the
+        segment is duplicate-free: servicing one block cannot change a
+        *different* block's miss label (fills only add the requester as a
+        holder of its own blocks) or peer label (the requester's fills and
+        evictions never touch a peer's slice, and write batches classify
+        every sharer-invalidating shape as scalar).  The single hazard is
+        a fill *evicting* a later hit run's block from the requester's own
+        slice — guarded below by re-checking the slice's eviction counter
+        at dispatch time and demoting the run to scalar if it moved.
+        """
+        caches = self.caches
+        directory = caches.directory
+        cache = caches.caches[chiplet]
+        whole_seg = i0 == 0 and i1 == len(keys_list)
+        seg_keys = keys_list if whole_seg else keys_list[i0:i1]
+        lru = cache._lru
+        n_seg = i1 - i0
+        # Hot re-read steady state: the slice's most-recent entries are
+        # exactly this segment in batch order, so it is all-HIT *and* the
+        # bulk touch would reorder nothing.  Probed O(1) via the last
+        # recency key before paying the O(len(lru)) tail compare.
+        if (not write and len(lru) >= n_seg
+                and next(reversed(lru)) == seg_keys[-1]
+                and list(lru)[len(lru) - n_seg:] == seg_keys):
+            runs: Sequence[Tuple[int, int, int]] = ((_HIT, i0, i1),)
+            touch_noop = True
+        else:
+            touch_noop = False
+            # Fast paths for the two other homogeneous steady states: a
+            # streaming segment resident nowhere (one C-level disjointness
+            # check) and a hot read segment fully resident in the
+            # requester's slice (one C-level superset check).
+            if not directory or directory.keys().isdisjoint(seg_keys):
+                runs = ((_MISS, i0, i1),)
+            elif not write and lru.keys() >= set(seg_keys):
+                runs = ((_HIT, i0, i1),)
+            else:
+                runs = self._classify_runs(chiplet, seg_keys, i0, write)
+        ev0 = cache.evictions
+        for lab, r0, r1 in runs:
+            n_run = r1 - r0
+            if (n_run < VECTOR_MIN or lab == _SCALAR
+                    or (lab == _HIT and cache.evictions != ev0)):
+                continue
+            if pos < r0:
+                self._scalar_span(core, region, seq, pos, r0, req_bytes,
+                                  write, per_issue_ns, mlp, counts, state)
+            whole = r0 == 0 and r1 == len(keys_list)
+            kl = keys_list if whole else keys_list[r0:r1]
+            if lab == _MISS:
+                t_end, fin, n_local, n_remote = vector.dram_fill_segment(
+                    self, region, chiplet, my_node,
+                    arr if whole else arr[r0:r1],
+                    keys if whole else keys[r0:r1],
+                    kl, state[0], req_bytes, per_issue_ns, mlp,
+                    lats[0], lats[1],
+                )
+                counts[IDX_DRAM_LOCAL] += n_local
+                counts[IDX_DRAM_REMOTE] += n_remote
+                state[4] += n_run
+            elif lab == _HIT:
+                t_end, fin = vector.local_hit_segment(
+                    self, chiplet, kl, state[0], per_issue_ns, mlp,
+                    touch_noop=touch_noop,
+                )
+                # touch_run counted the hits on the slice directly; the
+                # span state must not double-count them in the finale.
+                counts[IDX_LOCAL_CHIPLET] += n_run
+            else:
+                t_end, fin, same = vector.peer_fill_segment(
+                    self, region, chiplet, lab, kl, state[0], req_bytes,
+                    per_issue_ns, mlp, lats[2], lats[3],
+                )
+                counts[IDX_REMOTE_CHIPLET if same
+                       else IDX_REMOTE_NUMA_CHIPLET] += n_run
+                state[4] += n_run
+            state[0] = t_end
+            if fin > state[1]:
+                state[1] = fin
+            pos = r1
+        return pos
+
+    def _classify_runs(
+        self, chiplet: int, seg_keys: List[int], base: int, write: bool,
+    ) -> List[Tuple[int, int, int]]:
+        """Classify a duplicate-free segment into maximal same-class runs.
+
+        Returns ``(label, start, end)`` tuples in batch order — ``_HIT``
+        (resident in the requester's slice; for writes only when the
+        requester is the sole holder, so invalidation is a no-op),
+        ``_MISS`` (resident nowhere), a peer chiplet id >= 0 (read fill
+        whose deterministic min-id holder is that chiplet), or
+        ``_SCALAR`` (everything the kernels don't model: writes that
+        invalidate sharers, peer-fill writes).  One directory lookup per
+        key; the holder choice repeats ``CacheSystem.find_holder``'s
+        min-id-per-distance-class rule exactly.
+        """
+        dir_get = self.caches.directory.get
+        socket_of = self._socket_of_chiplet
+        my_socket = socket_of[chiplet]
+        runs: List[Tuple[int, int, int]] = []
+        cur = _SCALAR - 1  # sentinel unequal to every real label
+        r0 = base
+        i = base
+        for k in seg_keys:
+            holders = dir_get(k)
+            if holders is None:
+                lab = _MISS
+            elif chiplet in holders:
+                lab = _HIT if not write or len(holders) == 1 else _SCALAR
+            elif write or not holders:
+                lab = _SCALAR
+            else:
+                best_same = None
+                best_remote = None
+                for h in holders:
+                    if h == chiplet:
+                        continue
+                    if socket_of[h] == my_socket:
+                        if best_same is None or h < best_same:
+                            best_same = h
+                    elif best_remote is None or h < best_remote:
+                        best_remote = h
+                lab = best_same if best_same is not None else best_remote
+            if lab != cur:
+                if i > base:
+                    runs.append((cur, r0, i))
+                cur = lab
+                r0 = i
+            i += 1
+        runs.append((cur, r0, i))
+        return runs
 
     def _scalar_span(
         self,
@@ -566,6 +779,7 @@ class Machine:
         cache = caches.caches[chiplet]
         lru = cache._lru
         lru_pop = lru.pop
+        fill_lat = self._fill_lat
         dir_get = caches.directory.get
         cache_fill = caches.fill
         invalidate_others = caches.invalidate_others
@@ -597,6 +811,7 @@ class Machine:
                 else:
                     ns = l3_hit_ns
                 counts[IDX_LOCAL_CHIPLET] += 1
+                fill_lat[IDX_LOCAL_CHIPLET] += ns
                 completion = t + ns
                 if completion > finish:
                     finish = completion
@@ -641,6 +856,8 @@ class Machine:
                     ns += inval * invalidate_ns
                     latency = latency + inval * invalidate_ns
                 counts[IDX_REMOTE_CHIPLET if same_socket else IDX_REMOTE_NUMA_CHIPLET] += 1
+                fill_lat[IDX_REMOTE_CHIPLET if same_socket
+                         else IDX_REMOTE_NUMA_CHIPLET] += latency
             else:
                 # Fill from DRAM on the block's home node.
                 home = bind_home if bind_home is not None else \
@@ -657,6 +874,7 @@ class Machine:
                     ns += d
                 cache_fill(chiplet, key, resident_bytes)
                 counts[IDX_DRAM_LOCAL if local else IDX_DRAM_REMOTE] += 1
+                fill_lat[IDX_DRAM_LOCAL if local else IDX_DRAM_REMOTE] += latency
 
             completion = t + ns
             if completion > finish:
@@ -711,13 +929,26 @@ class Machine:
         Per-server ``busy_ns`` / ``wait_ns`` / ``requests`` rows for the
         memory channels (aggregated per socket), the per-chiplet fabric
         links, and the cross-socket links, plus machine-wide totals.
-        Recorded into the ``repro.bench.perf`` JSON so saturation
-        experiments (fig04/fig07) can be debugged from data instead of
-        rerun with print statements.
+        ``fill_latency`` adds a per-source histogram — fill count, summed
+        pure latency (no queue waits), and the average — so scenarios can
+        assert *where* accesses were served against Fig. 3's local /
+        remote-chiplet / remote-NUMA / DRAM hierarchy.  Recorded into the
+        ``repro.bench.perf`` JSON so saturation experiments (fig04/fig07)
+        can be debugged from data instead of rerun with print statements.
         """
         channels = self.channels.stats()
         links = self.links.stats()
         xlinks = self.xlinks.stats()
+        fills = self.counters.totals()
+        flat = self._fill_lat
+        fill_latency = {
+            src.value: {
+                "fills": fills[i],
+                "latency_ns": flat[i],
+                "avg_ns": flat[i] / fills[i] if fills[i] else 0.0,
+            }
+            for src, i in SOURCE_INDEX.items()
+        }
 
         def _tot(rows):
             return {
@@ -734,6 +965,7 @@ class Machine:
             },
             "links": {"per_chiplet": links, "total": _tot(links)},
             "xlinks": {"per_pair": xlinks, "total": _tot(xlinks)},
+            "fill_latency": {"per_source": fill_latency},
         }
 
     def describe(self) -> str:

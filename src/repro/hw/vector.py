@@ -22,18 +22,20 @@ like the interpreter), and every comparison runs on those exact values.
 The equivalence contract is enforced by the hypothesis property suite in
 ``tests/test_vector_kernels.py`` and ``tests/test_access_batch_equivalence.py``.
 
-A segment is vectorizable when (see ``Machine._service_blocks``):
+A segment is a maximal duplicate-free span of the batch (repeated blocks
+cut segment boundaries), classified per *run* of equal service class by
+``Machine._service_segment`` (see MODELING.md for the full table):
 
-- the request size is uniform (one ``nbytes`` for the whole batch);
-- the region is BIND or INTERLEAVE (REPLICATED falls back);
-- every block in the segment is resident in **no** L3 slice (pure DRAM
-  fills: no hits, no peer holders, and — because writes only invalidate
-  when sharers exist — reads and writes service identically);
-- the whole batch is duplicate-free, so servicing cannot change the
-  classification of a later access in the same batch.
-
-Everything else falls back to the scalar loop, with segment boundaries
-chosen conservatively.
+- **miss** runs — blocks resident in no L3 slice — go to
+  :func:`dram_fill_segment` (pure DRAM fills; writes service like reads
+  because there are no sharers to invalidate);
+- **hit** runs — blocks resident in the requester's own slice — go to
+  :func:`local_hit_segment` (one bulk LRU touch, no servers);
+- **one-peer** runs — read fills whose deterministic min-id holder is
+  the same remote slice — go to :func:`peer_fill_segment`;
+- everything else (REPLICATED regions, non-uniform sizes, writes that
+  invalidate sharers, mixed-holder spans, short runs) falls back to the
+  scalar loop, with boundaries chosen conservatively.
 
 The hot shape — a BIND-region arithmetic run (sequential or strided
 scan) arriving at an idle machine — additionally takes a *joint* fast
@@ -47,6 +49,13 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.hw.counters import (
+    IDX_DRAM_LOCAL,
+    IDX_DRAM_REMOTE,
+    IDX_LOCAL_CHIPLET,
+    IDX_REMOTE_CHIPLET,
+    IDX_REMOTE_NUMA_CHIPLET,
+)
 from repro.hw.memory import MemPolicy
 
 # Above this many repeats, replaying a constant ``+= s`` chain with a
@@ -55,18 +64,26 @@ from repro.hw.memory import MemPolicy
 _CHAIN_LOOP_MAX = 48
 
 
-def _accumulate_busy(server, m: int, s: float) -> None:
-    """Replay ``m`` sequential ``busy_ns += s`` updates, bit-exactly."""
-    b = server.busy_ns
+def _chain(x0: float, m: int, s: float) -> float:
+    """Endpoint of ``m`` sequential ``x0 += s`` updates, bit-exactly.
+
+    Floating-point addition is not associative, so ``x0 + m * s`` would
+    diverge from the scalar loop; a seeded ``np.cumsum`` accumulates
+    left-to-right in IEEE double exactly like the interpreter.
+    """
     if m <= _CHAIN_LOOP_MAX:
         for _ in range(m):
-            b += s
-    else:
-        acc = np.empty(m + 1)
-        acc[0] = b
-        acc[1:] = s
-        b = float(np.cumsum(acc)[-1])
-    server.busy_ns = b
+            x0 += s
+        return x0
+    acc = np.empty(m + 1)
+    acc[0] = x0
+    acc[1:] = s
+    return float(acc.cumsum()[-1])
+
+
+def _accumulate_busy(server, m: int, s: float) -> None:
+    """Replay ``m`` sequential ``busy_ns += s`` updates, bit-exactly."""
+    server.busy_ns = _chain(server.busy_ns, m, s)
 
 
 def _per_row(mat, first: int, m: int, rem: int) -> list:
@@ -206,6 +223,9 @@ def dram_fill_segment(
         if res is not None:
             finish = res
             machine.caches.fill_run(chiplet, keys_list, region.block_bytes)
+            fl = machine._fill_lat
+            src = IDX_DRAM_LOCAL if local else IDX_DRAM_REMOTE
+            fl[src] = _chain(fl[src], n, lat_local if local else lat_remote)
             return t_end, finish, n if local else 0, 0 if local else n
 
         homes = None
@@ -270,6 +290,15 @@ def dram_fill_segment(
 
     finish = float((t + ns).max())
     machine.caches.fill_run(chiplet, keys_list, region.block_bytes)
+    # Per-source fill-latency histogram: within this segment each source's
+    # accumulator receives its own pure-latency constant once per access,
+    # so the scalar ``+=`` chain is order-independent across the interleave
+    # and replays as one chain per source.
+    fl = machine._fill_lat
+    if n_local:
+        fl[IDX_DRAM_LOCAL] = _chain(fl[IDX_DRAM_LOCAL], n_local, lat_local)
+    if n - n_local:
+        fl[IDX_DRAM_REMOTE] = _chain(fl[IDX_DRAM_REMOTE], n - n_local, lat_remote)
     return t_end, finish, n_local, n - n_local
 
 
@@ -395,3 +424,117 @@ def _bind_arith_segment(
         d_x, _ = serve_constant(xsrv, t, s_xlink)
         ns = ns + d_x
     return float((t + ns).max())
+
+
+def local_hit_segment(
+    machine,
+    chiplet: int,
+    keys_list: List[int],
+    t0: float,
+    per_issue_ns: float,
+    mlp: float,
+    touch_noop: bool = False,
+) -> Tuple[float, float]:
+    """Service a run of local L3 hits: one bulk LRU touch + a clock replay.
+
+    ``touch_noop=True`` asserts the caller already proved the slice's
+    recency tail equals ``keys_list`` (the hot re-read steady state), so
+    the bulk touch would reorder nothing and only the hit counter moves.
+
+    Preconditions (established by the caller's classification): every key
+    is resident in ``chiplet``'s slice, and for write batches this chiplet
+    is each block's *only* holder — so the scalar path's
+    ``invalidate_others`` is a no-op and reads and writes service
+    identically at the bare ``l3_hit`` latency.
+
+    Hits touch no servers and carry no queue waits, so the whole run
+    collapses to scalar arithmetic: the issue clock advances by one
+    constant step (replayed bit-exactly with :func:`_chain`), the slowest
+    completion is the last arrival plus the hit latency, and the LRU
+    recency/hit-counter effects are one :meth:`CacheSystem.touch_run`.
+
+    Returns ``(t_end, finish)``.
+    """
+    n = len(keys_list)
+    ns = machine.latency.l3_hit
+    step = ns / mlp  # hits have no queue wait: latency == ns
+    if per_issue_ns > step:
+        step = per_issue_ns
+    t_last = _chain(t0, n - 1, step)
+    if touch_noop:
+        machine.caches.caches[chiplet].hits += n
+    else:
+        machine.caches.touch_run(chiplet, keys_list)
+    fl = machine._fill_lat
+    fl[IDX_LOCAL_CHIPLET] = _chain(fl[IDX_LOCAL_CHIPLET], n, ns)
+    return t_last + step, t_last + ns
+
+
+def peer_fill_segment(
+    machine,
+    region,
+    chiplet: int,
+    holder: int,
+    keys_list: List[int],
+    t0: float,
+    req_bytes: int,
+    per_issue_ns: float,
+    mlp: float,
+    lat_same: float,
+    lat_cross: float,
+) -> Tuple[float, float, bool]:
+    """Service a run of read fills all served by one peer chiplet's L3.
+
+    Preconditions (established by the caller's classification): the run is
+    duplicate-free, no key is resident in the requester's slice, every key
+    is held by ``holder``, and ``holder`` is the deterministic min-id
+    choice (same socket preferred) for every key — i.e. the exact peer the
+    scalar loop would pick per access.
+
+    The issue clock is a seeded cumsum of one constant step (pure fill
+    latency is uniform across the run), then each fabric link replays its
+    max-plus recurrence over the run's arrivals with
+    :func:`serve_constant` — the holder's link, the requester's link, and
+    the cross-socket link when the peer is on the other socket (the scalar
+    path's same-socket cross-link call adds ``+0.0`` without touching any
+    server, so skipping it is bit-identical).  The requesting side's bulk
+    insert/evict and directory transfer is one shared-mode
+    :meth:`CacheSystem.fill_run`.
+
+    Returns ``(t_end, finish, same_socket)``.
+    """
+    n = len(keys_list)
+    socket_of = machine.topo.socket_of_chiplet_table
+    my_socket = socket_of[chiplet]
+    holder_socket = socket_of[holder]
+    same = holder_socket == my_socket
+    lat = machine.latency
+    base = lat.fill_same_socket if same else lat.fill_cross_socket
+    latency = lat_same if same else lat_cross
+    step = latency / mlp  # overlap pure latency, not queue waits
+    if per_issue_ns > step:
+        step = per_issue_ns
+    tf = np.empty(n + 1)
+    tf[0] = t0
+    tf[1:] = step
+    tf = np.cumsum(tf)
+    t = tf[:-1]
+    t_end = float(tf[-1])
+
+    links = machine.links
+    s_link = req_bytes / links.bytes_per_ns
+    d_holder, _ = serve_constant(links.server(holder), t, s_link)
+    d_req, _ = serve_constant(links.server(chiplet), t, s_link)
+    ns = (base + d_holder) + d_req
+    if not same:
+        s_xlink = req_bytes / machine.xlinks.bytes_per_ns
+        xsrv = machine.xlinks.server(my_socket, holder_socket)
+        d_x, _ = serve_constant(xsrv, t, s_xlink)
+        ns = ns + d_x
+
+    finish = float((t + ns).max())
+    machine.caches.fill_run(chiplet, keys_list, region.block_bytes, shared=True)
+    src = IDX_REMOTE_CHIPLET if same else IDX_REMOTE_NUMA_CHIPLET
+    fl = machine._fill_lat
+    fl[src] = _chain(fl[src], n, latency)
+    return t_end, finish, same

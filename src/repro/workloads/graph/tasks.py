@@ -31,7 +31,7 @@ from typing import Generator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.runtime.ops import AccessBatch, Compute, SpawnOp, WaitFuture, YieldPoint
+from repro.runtime.ops import AccessBatch, AccessRun, Compute, SpawnOp, WaitFuture, YieldPoint
 from repro.runtime.runtime import Runtime
 from repro.workloads.graph.generator import Graph
 
@@ -155,38 +155,94 @@ class GraphWorkspace:
 
     # -- Block arithmetic ------------------------------------------------------
 
-    def adj_blocks_for(self, vertices: np.ndarray) -> List[int]:
+    def adj_blocks_for(self, vertices: np.ndarray) -> np.ndarray:
+        """Sorted-unique adjacency blocks for a vertex frontier (ndarray).
+
+        The sorted int64 array feeds ``Machine.access_batch`` directly:
+        no per-block Python list, and the machine's sortedness probe
+        proves distinctness for free.
+        """
         starts = (self.graph.indptr[vertices] * IDX_BYTES).astype(np.int64)
         ends = (self.graph.indptr[vertices + 1] * IDX_BYTES).astype(np.int64)
-        return _ranges_to_blocks(starts, ends, self.ADJ_BLOCK_BYTES).tolist()
+        return _ranges_to_blocks(starts, ends, self.ADJ_BLOCK_BYTES)
 
-    def adj_blocks_range(self, v0: int, v1: int) -> List[int]:
+    def adj_run(self, v0: int, v1: int) -> Tuple[int, int]:
+        """Adjacency scan of the vertex range ``[v0, v1)`` as ``(start, count)``.
+
+        CSR adjacency for a contiguous vertex range is one contiguous byte
+        range, so the scan run-compresses exactly — the shape
+        :class:`~repro.runtime.ops.AccessRun` carries without ever
+        materializing block indices.
+        """
         start = int(self.graph.indptr[v0]) * IDX_BYTES
         end = int(self.graph.indptr[v1]) * IDX_BYTES
         if end <= start:
-            return []
+            return 0, 0
         bb = self.ADJ_BLOCK_BYTES
-        return list(range(start // bb, (end - 1) // bb + 1))
+        b0 = start // bb
+        return b0, (end - 1) // bb + 1 - b0
 
-    def vtx_blocks_for(self, vertices: np.ndarray) -> List[int]:
+    def adj_blocks_range(self, v0: int, v1: int) -> List[int]:
+        b0, count = self.adj_run(v0, v1)
+        return list(range(b0, b0 + count))
+
+    def vtx_blocks_for(self, vertices: np.ndarray) -> np.ndarray:
+        """Sorted-unique vertex-state blocks touched by ``vertices``.
+
+        Dedupe via an O(n) block bitmap instead of ``np.unique`` — the
+        hash/sort inside unique was the top host-time cost of the
+        PageRank rounds — and hand the sorted ndarray straight to the
+        machine (callers need not pre-unique their vertex arrays).
+        """
         if vertices.size == 0:
-            return []
-        return np.unique(vertices.astype(np.int64) * VTX_BYTES // self.VTX_BLOCK_BYTES).tolist()
+            return np.empty(0, dtype=np.int64)
+        blocks = vertices.astype(np.int64) * VTX_BYTES // self.VTX_BLOCK_BYTES
+        mask = np.zeros(int(blocks.max()) + 1, dtype=bool)
+        mask[blocks] = True
+        return np.flatnonzero(mask)
+
+    def vtx_run(self, v0: int, v1: int) -> Tuple[int, int]:
+        """Vertex-state blocks of the owned range ``[v0, v1)`` as ``(start, count)``."""
+        if v1 <= v0:
+            return 0, 0
+        b0 = (v0 * VTX_BYTES) // self.VTX_BLOCK_BYTES
+        return b0, ((v1 - 1) * VTX_BYTES) // self.VTX_BLOCK_BYTES - b0 + 1
+
+    def inbox_run(self, owner: int, n_messages: int) -> Tuple[int, int]:
+        """Buffer-block run of ``owner``'s inbox as ``(start, count)``."""
+        if n_messages <= 0:
+            return 0, 0
+        n_blocks = min(self.inbox_stride, -(-(n_messages * MSG_BYTES) // self.MSG_BLOCK_BYTES))
+        return owner * self.inbox_stride, n_blocks
 
     def inbox_blocks(self, owner: int, n_messages: int) -> List[int]:
         """Buffer blocks of ``owner``'s inbox holding ``n_messages`` visits."""
-        if n_messages <= 0:
-            return []
-        n_blocks = min(self.inbox_stride, -(-(n_messages * MSG_BYTES) // self.MSG_BLOCK_BYTES))
-        base = owner * self.inbox_stride
+        base, n_blocks = self.inbox_run(owner, n_messages)
         return list(range(base, base + n_blocks))
+
+    def outbox_block_array(self, dest_counts: np.ndarray) -> np.ndarray:
+        """All inbox blocks a sender must write, as one sorted int64 array.
+
+        Concatenating the per-destination runs in destination order keeps
+        the array strictly increasing (inboxes are disjoint strided
+        windows), so it must stay a *single* access op — splitting it into
+        per-destination ops would change the batch's virtual-time
+        accounting — and the machine again gets distinctness for free.
+        """
+        runs = [
+            np.arange(base, base + count, dtype=np.int64)
+            for base, count in (
+                self.inbox_run(int(dest), int(dest_counts[dest]))
+                for dest in np.flatnonzero(dest_counts)
+            )
+        ]
+        if not runs:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(runs)
 
     def outbox_blocks(self, dest_counts: np.ndarray) -> List[int]:
         """All inbox blocks a sender must write, given per-dest counts."""
-        blocks: List[int] = []
-        for dest in np.flatnonzero(dest_counts):
-            blocks.extend(self.inbox_blocks(int(dest), int(dest_counts[dest])))
-        return blocks
+        return self.outbox_block_array(dest_counts).tolist()
 
     def edge_chunks(self, vertices: np.ndarray, target_chunks: int) -> List[np.ndarray]:
         """Split vertices into chunks of roughly equal *edge* counts.
@@ -240,7 +296,8 @@ def _owner_round_task(ws: GraphWorkspace, state: GraphState, part: int,
     whose cost depends on sender/receiver placement.
     """
     g = ws.graph
-    yield AccessBatch(ws.msg, ws.inbox_blocks(part, cand_v.size))
+    inbox_base, inbox_count = ws.inbox_run(part, cand_v.size)
+    yield AccessRun(ws.msg, inbox_base, inbox_count)
     uniq = np.unique(cand_v)
     yield AccessBatch(
         ws.vtx, ws.vtx_blocks_for(uniq), write=True,
@@ -283,7 +340,7 @@ def _owner_round_task(ws: GraphWorkspace, state: GraphState, part: int,
     else:  # cc / cc-seed
         payload = np.repeat(state.label[new], counts)
     dest_counts = np.bincount(ws.owner_of(nbrs64), minlength=ws.n_parts)
-    yield AccessBatch(ws.msg, ws.outbox_blocks(dest_counts), write=True)
+    yield AccessBatch(ws.msg, ws.outbox_block_array(dest_counts), write=True)
     yield YieldPoint()
     return nbrs64, payload
 
@@ -379,26 +436,27 @@ def _pr_owner_task(ws: GraphWorkspace, state: GraphState, part: int,
     v0, v1 = ws.part_range(part)
     if v1 <= v0:
         return 0
-    yield AccessBatch(ws.adj, ws.adj_blocks_range(v0, v1),
-                      compute_ns_per_block=ws.scan_ns_per_block)
+    adj_base, adj_count = ws.adj_run(v0, v1)
+    yield AccessRun(ws.adj, adj_base, adj_count,
+                    compute_ns_per_block=ws.scan_ns_per_block)
     lo, hi = int(g.indptr[v0]), int(g.indptr[v1])
     srcs = g.indices[lo:hi].astype(np.int64)
     state.edges_traversed += hi - lo
     yield Compute(float(hi - lo) * EDGE_COMPUTE_NS * 1.4)
     # Random reads of remote owners' rank blocks (invalidated every round
     # by their owners' writes — the cross-chiplet refetch traffic).
+    # vtx_blocks_for dedupes via its block bitmap, so srcs goes in raw.
     yield AccessBatch(
-        ws.vtx, ws.vtx_blocks_for(np.unique(srcs)),
+        ws.vtx, ws.vtx_blocks_for(srcs),
         nbytes=VTX_ACCESS_BYTES, compute_ns_per_block=VTX_TOUCH_NS,
     )
     counts = np.diff(g.indptr[v0 : v1 + 1])
     row = np.repeat(np.arange(v1 - v0), counts)
     new_rank[v0:v1] = np.bincount(row, weights=contrib[srcs], minlength=v1 - v0)
     # Write back my rank range (owner-exclusive; invalidates readers).
-    yield AccessBatch(
-        ws.vtx, ws.vtx_blocks_for(np.arange(v0, v1, dtype=np.int64)),
-        write=True, nbytes=VTX_ACCESS_BYTES,
-    )
+    vtx_base, vtx_count = ws.vtx_run(v0, v1)
+    yield AccessRun(ws.vtx, vtx_base, vtx_count,
+                    write=True, nbytes=VTX_ACCESS_BYTES)
     yield YieldPoint()
     return v1 - v0
 

@@ -106,14 +106,21 @@ def run_oltp(
                 stats["aborted"] += 1
                 yield Compute(OP_LOGIC_NS * 2)
                 continue
-            # Record traffic: reads first, then written records.
-            read_blocks = sorted({_key_block(k, table_region) for k, w in ops if not w})
-            write_blocks = sorted({_key_block(k, table_region) for k, w in ops if w})
-            if read_blocks:
+            # Record traffic: reads first, then written records.  Emit the
+            # deduped block sets as sorted int64 arrays — same values and
+            # order as the old sorted-set lists, but the machine's
+            # sortedness probe then proves distinctness without hashing.
+            read_blocks = np.unique(np.fromiter(
+                (_key_block(k, table_region) for k, w in ops if not w),
+                dtype=np.int64))
+            write_blocks = np.unique(np.fromiter(
+                (_key_block(k, table_region) for k, w in ops if w),
+                dtype=np.int64))
+            if read_blocks.size:
                 yield AccessBatch(table_region, read_blocks, nbytes=RECORD_BYTES,
                                   dependent=True)
             yield Compute(len(ops) * OP_LOGIC_NS)
-            if write_blocks:
+            if write_blocks.size:
                 yield AccessBatch(table_region, write_blocks, write=True,
                                   nbytes=RECORD_BYTES, dependent=True)
             # Commit pipeline: serialised latch + log append.

@@ -1,8 +1,24 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite.
+
+CI runs with ``HYPOTHESIS_PROFILE=ci``: derandomized (the same examples
+on every run, so a red build is reproducible locally) and with the
+per-example deadline disabled (shared runners have noisy clocks).
+"""
+
+import os
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.hw.machine import Machine, milan, small_test_machine
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

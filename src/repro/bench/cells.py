@@ -31,6 +31,7 @@ __all__ = [
     "REGISTRY",
     "register",
     "execute_cell",
+    "execute_cell_telemetry",
     "run_serial",
 ]
 
@@ -126,6 +127,31 @@ def execute_cell(cell: ExperimentCell) -> Any:
     except KeyError:
         raise KeyError(f"unknown experiment in cell {cell.cell_id!r}") from None
     return exp.run_cell(cell)
+
+
+def execute_cell_telemetry(cell: ExperimentCell) -> Any:
+    """Top-level (picklable) cell executor with telemetry attached.
+
+    Runs the cell under :func:`repro.obs.capture` and, when the result is
+    a dict, attaches the primary runtime's telemetry summary under the
+    ``"telemetry"`` key.  List-shaped results (e.g. the latency-CDF
+    samples of fig03) pass through unchanged — there is nowhere
+    JSON-shaped to hang a summary without breaking their merge.
+
+    Virtual-time outputs are bit-identical with telemetry attached
+    (tests/test_obs_equivalence.py), so the observed fields of the result
+    match what :func:`execute_cell` produces; the sweep still caches the
+    two modes under different keys because the summary itself differs.
+    """
+    from repro.obs import capture
+
+    with capture() as cap:
+        result = execute_cell(cell)
+    tel = cap.primary()
+    if tel is not None and isinstance(result, dict):
+        result = dict(result)
+        result["telemetry"] = tel.summary()
+    return result
 
 
 def run_serial(name: str, quick: bool = True, **overrides) -> Tuple[Any, str]:

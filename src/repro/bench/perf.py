@@ -35,8 +35,10 @@ determinism regression check: virtual results must be bit-identical.
 Usage::
 
     python -m repro.bench.perf            # full run, writes BENCH_simperf.json
+    python -m repro.bench.perf --profile  # full run + per-kernel-path wall attribution
     python -m repro.bench.perf --check    # <60 s smoke + determinism gate
     python -m repro.bench.perf --gate     # CI regression gate vs recorded acc/s
+    python -m repro.bench.perf --telemetry-gate  # attached-telemetry overhead gate
 """
 
 import argparse
@@ -94,9 +96,16 @@ def _batched_task(region, batches: List[List[int]], write: bool, nbytes: Optiona
     return len(batches)
 
 
-def _run_scenario(build) -> Dict[str, float]:
-    """Build a runtime via ``build()``, time ``run()``, return metrics."""
+def _run_scenario(build, attach=None) -> Dict[str, float]:
+    """Build a runtime via ``build()``, time ``run()``, return metrics.
+
+    ``attach``, when given, is called with the built runtime before the
+    timed run (the hook the self-profiler and telemetry-overhead gates
+    use); if it returns an object with a ``report()`` method, the report
+    lands in the result under ``"kernel_profile"``.
+    """
     runtime = build()
+    attached = attach(runtime) if attach is not None else None
     t0 = time.perf_counter()
     report = runtime.run()
     wall_s = time.perf_counter() - t0
@@ -115,6 +124,8 @@ def _run_scenario(build) -> Dict[str, float]:
     if stats is not None:
         out["cache"] = stats()["total"]
     out["bandwidth"] = runtime.machine.bandwidth_stats()
+    if attached is not None and hasattr(attached, "report"):
+        out["kernel_profile"] = attached.report()
     return out
 
 
@@ -125,7 +136,7 @@ def _spawn_batches(runtime: Runtime, region, per_worker: List[List[List[int]]],
                       pin_worker=wid, name=f"perf-{wid}")
 
 
-def scenario_gups(updates_per_worker: int) -> Dict[str, float]:
+def scenario_gups(updates_per_worker: int, attach=None) -> Dict[str, float]:
     """Random single-word writes to a table ~4x the aggregate L3."""
 
     def build() -> Runtime:
@@ -144,10 +155,10 @@ def scenario_gups(updates_per_worker: int) -> Dict[str, float]:
         _spawn_batches(runtime, region, per_worker, write=True, nbytes=64)
         return runtime
 
-    return _run_scenario(build)
+    return _run_scenario(build, attach)
 
 
-def scenario_stream(blocks_per_worker: int) -> Dict[str, float]:
+def scenario_stream(blocks_per_worker: int, attach=None) -> Dict[str, float]:
     """Disjoint sequential read streams (pure MLP-overlapped DRAM fills)."""
 
     def build() -> Runtime:
@@ -166,10 +177,10 @@ def scenario_stream(blocks_per_worker: int) -> Dict[str, float]:
         _spawn_batches(runtime, region, per_worker, write=False, nbytes=None)
         return runtime
 
-    return _run_scenario(build)
+    return _run_scenario(build, attach)
 
 
-def scenario_shared_read(rounds: int) -> Dict[str, float]:
+def scenario_shared_read(rounds: int, attach=None) -> Dict[str, float]:
     """All workers re-read one L3-resident region (hits + peer fills)."""
 
     def build() -> Runtime:
@@ -183,7 +194,7 @@ def scenario_shared_read(rounds: int) -> Dict[str, float]:
         _spawn_batches(runtime, region, per_worker, write=False, nbytes=None)
         return runtime
 
-    return _run_scenario(build)
+    return _run_scenario(build, attach)
 
 
 def _run_task(region, runs: List, write: bool, nbytes: Optional[int]):
@@ -193,7 +204,7 @@ def _run_task(region, runs: List, write: bool, nbytes: Optional[int]):
     return len(runs)
 
 
-def scenario_stream_run(blocks_per_worker: int) -> Dict[str, float]:
+def scenario_stream_run(blocks_per_worker: int, attach=None) -> Dict[str, float]:
     """The ``stream`` layout as run-compressed ``AccessRun`` ops."""
 
     def build() -> Runtime:
@@ -212,10 +223,10 @@ def scenario_stream_run(blocks_per_worker: int) -> Dict[str, float]:
                           pin_worker=wid, name=f"perf-{wid}")
         return runtime
 
-    return _run_scenario(build)
+    return _run_scenario(build, attach)
 
 
-def scenario_gups_run(updates_per_worker: int) -> Dict[str, float]:
+def scenario_gups_run(updates_per_worker: int, attach=None) -> Dict[str, float]:
     """The ``gups`` update streams as sorted-unique ndarray batches.
 
     This is the exact emission shape of the real gups workload
@@ -239,10 +250,10 @@ def scenario_gups_run(updates_per_worker: int) -> Dict[str, float]:
         _spawn_batches(runtime, region, per_worker, write=True, nbytes=64)
         return runtime
 
-    return _run_scenario(build)
+    return _run_scenario(build, attach)
 
 
-def scenario_shared_read_hot(rounds: int) -> Dict[str, float]:
+def scenario_shared_read_hot(rounds: int, attach=None) -> Dict[str, float]:
     """Run-compressed re-reads of a region that never leaves any L3 slice.
 
     The region is half of one slice, so after each worker's first pass
@@ -262,10 +273,10 @@ def scenario_shared_read_hot(rounds: int) -> Dict[str, float]:
                           pin_worker=wid, name=f"perf-{wid}")
         return runtime
 
-    return _run_scenario(build)
+    return _run_scenario(build, attach)
 
 
-def scenario_pagerank_micro(iterations: int) -> Dict[str, float]:
+def scenario_pagerank_micro(iterations: int, attach=None) -> Dict[str, float]:
     """PageRank on a Kronecker graph via the real graph task generators.
 
     Exercises the exact emission shape of ``repro.workloads.graph.tasks``
@@ -285,7 +296,7 @@ def scenario_pagerank_micro(iterations: int) -> Dict[str, float]:
                       0, iterations, name="pagerank")
         return runtime
 
-    return _run_scenario(build)
+    return _run_scenario(build, attach)
 
 
 SCENARIOS = {
@@ -306,8 +317,31 @@ CHECK_SIZES = {"gups": 4096, "gups_run": 4096, "stream": 4096,
                "shared_read_hot": 8, "pagerank_micro": 2}
 
 
-def run_suite(sizes: Dict[str, int], verbose: bool = True) -> Dict[str, Dict[str, float]]:
-    """Run each scenario named in ``sizes`` twice (determinism gate)."""
+def _attach_kernel_profiler(runtime: Runtime):
+    """``attach`` hook: hang a wall-clock self-profiler off the machine."""
+    from repro.obs.selfprof import KernelProfiler
+
+    prof = KernelProfiler()
+    runtime.machine.profiler = prof
+    return prof
+
+
+def _attach_null_telemetry(runtime: Runtime):
+    """``attach`` hook: telemetry in null-sink mode (bus wired, nothing on)."""
+    from repro.obs.telemetry import Telemetry
+
+    return Telemetry.null(runtime)
+
+
+def run_suite(sizes: Dict[str, int], verbose: bool = True,
+              profile: bool = False) -> Dict[str, Dict[str, float]]:
+    """Run each scenario named in ``sizes`` twice (determinism gate).
+
+    With ``profile`` a third, self-profiled run per scenario attributes
+    host wall-clock to the simulator's kernel paths; its virtual results
+    must be bit-identical to the unprofiled runs (the profiler reads
+    ``perf_counter`` but never touches simulated state).
+    """
     results: Dict[str, Dict[str, float]] = {}
     for name, fn in SCENARIOS.items():
         if name not in sizes:
@@ -322,6 +356,15 @@ def run_suite(sizes: Dict[str, int], verbose: bool = True) -> Dict[str, Dict[str
                 )
         # keep the faster host time of the two runs (less scheduler noise)
         best = first if first["host_wall_s"] <= second["host_wall_s"] else second
+        if profile:
+            profiled = fn(sizes[name], attach=_attach_kernel_profiler)
+            for field in ("sim_wall_ns", "accesses", "fill_counts"):
+                if profiled[field] != best[field]:
+                    raise AssertionError(
+                        f"{name}: self-profiler perturbed the simulation — "
+                        f"{field} differs ({profiled[field]} vs {best[field]})"
+                    )
+            best["kernel_profile"] = profiled.get("kernel_profile", {})
         results[name] = best
         if verbose:
             print(
@@ -330,6 +373,12 @@ def run_suite(sizes: Dict[str, int], verbose: bool = True) -> Dict[str, Dict[str
                 f"{best['events_per_sec']:>10,.0f} events/s  "
                 f"host {best['host_wall_s']:.2f}s  sim {best['sim_wall_ns']:,.0f}ns"
             )
+            if profile and best.get("kernel_profile"):
+                shares = ", ".join(
+                    f"{path}={rec['share']:.0%}"
+                    for path, rec in best["kernel_profile"].items()
+                )
+                print(f"{'':12s} kernel wall shares: {shares}")
     return results
 
 
@@ -401,6 +450,53 @@ def run_gate(record_path: Path, factor: float) -> int:
     return 0
 
 
+#: scenarios and sizes the telemetry-overhead gate measures: the two pure
+#: access-servicing paths (where per-batch instrumentation cost shows
+#: first), sized so each run lasts a few hundred ms — at the ~50 ms check
+#: sizes, host scheduler noise alone exceeds the 2% bound being asserted.
+TELEMETRY_GATE_SIZES = {"stream": 32768, "gups": 16384}
+
+
+def run_telemetry_gate(max_overhead: float, reps: int = 5) -> int:
+    """Gate: attached-but-idle telemetry must cost < ``max_overhead``.
+
+    Runs ``stream``/``gups``, interleaving bare runs with runs that have
+    a null-mode :class:`Telemetry` attached (event bus wired into
+    machine and caches, no subscribers, no tracer/sampler).  Virtual
+    results must be bit-identical, and the min-of-``reps`` host
+    wall-clock ratio must stay below the bound — the "observation never
+    perturbs, and off means off" contract.
+    """
+    failures = []
+    for name, size in TELEMETRY_GATE_SIZES.items():
+        fn = SCENARIOS[name]
+        off_walls: List[float] = []
+        on_walls: List[float] = []
+        for _ in range(reps):
+            off = fn(size)
+            on = fn(size, attach=_attach_null_telemetry)
+            for field in ("sim_wall_ns", "accesses", "fill_counts"):
+                if off[field] != on[field]:
+                    print(f"FAIL: {name}: telemetry perturbed the simulation — "
+                          f"{field} {off[field]} vs {on[field]}", file=sys.stderr)
+                    return 1
+            off_walls.append(off["host_wall_s"])
+            on_walls.append(on["host_wall_s"])
+        overhead = min(on_walls) / min(off_walls) - 1.0
+        status = "ok" if overhead < max_overhead else "FAIL"
+        print(f"{name:12s} off {min(off_walls):.3f}s  on {min(on_walls):.3f}s  "
+              f"overhead {overhead:+.2%}  {status}")
+        if status == "FAIL":
+            failures.append(name)
+    if failures:
+        print(f"FAIL: telemetry-off overhead >= {max_overhead:.0%} on: {failures}",
+              file=sys.stderr)
+        return 1
+    print(f"telemetry gate OK (attached-idle overhead < {max_overhead:.0%}, "
+          "virtual results bit-identical)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true",
@@ -408,6 +504,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--gate", action="store_true",
                         help="CI regression gate: reduced sizes, fail below "
                              "--gate-factor x the recorded accesses/sec")
+    parser.add_argument("--profile", action="store_true",
+                        help="also run each scenario once with the kernel-path "
+                             "self-profiler attached and record the wall-clock "
+                             "attribution (full mode writes it to the report)")
+    parser.add_argument("--telemetry-gate", action="store_true",
+                        help="gate: attached-but-idle telemetry overhead on "
+                             "stream/gups must stay below --overhead, with "
+                             "bit-identical virtual results")
+    parser.add_argument("--overhead", type=float, default=0.02,
+                        help="telemetry-gate bound as a fraction (default 0.02)")
     parser.add_argument("--gate-factor", type=float, default=0.5,
                         help="gate threshold as a fraction of recorded acc/s")
     parser.add_argument("--min-aps", type=float, default=20_000.0,
@@ -418,6 +524,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.gate:
         return run_gate(args.out, args.gate_factor)
+    if args.telemetry_gate:
+        return run_telemetry_gate(args.overhead)
 
     if not args.check:
         out_dir = args.out.resolve().parent
@@ -426,7 +534,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     sizes = CHECK_SIZES if args.check else FULL_SIZES
     t0 = time.perf_counter()
-    results = run_suite(sizes)
+    results = run_suite(sizes, profile=args.profile)
     elapsed = time.perf_counter() - t0
 
     slow = [n for n, r in results.items() if r["accesses_per_sec"] < args.min_aps]

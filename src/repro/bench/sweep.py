@@ -41,7 +41,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.bench.cells import ExperimentCell, REGISTRY, execute_cell
+from repro.bench.cells import (
+    ExperimentCell,
+    REGISTRY,
+    execute_cell,
+    execute_cell_telemetry,
+)
 
 __all__ = [
     "SweepStats",
@@ -89,22 +94,27 @@ def cache_dir() -> Path:
     return Path(os.environ.get("REPRO_SWEEP_CACHE", str(DEFAULT_CACHE_DIR)))
 
 
-def cache_key(cell: ExperimentCell) -> str:
-    """Content address of one cell result: config + code version."""
-    payload = json.dumps(
-        {"config": cell.config(), "code_version": code_version()},
-        sort_keys=True, separators=(",", ":"),
-    )
+def cache_key(cell: ExperimentCell, telemetry: bool = False) -> str:
+    """Content address of one cell result: config + code version.
+
+    Telemetry-mode results carry an extra ``telemetry`` summary, so they
+    cache under a distinct key; plain-mode keys are unchanged (adding the
+    marker only when set keeps every pre-telemetry cache entry valid).
+    """
+    doc: Dict[str, Any] = {"config": cell.config(), "code_version": code_version()}
+    if telemetry:
+        doc["telemetry"] = True
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def _cache_path(cell: ExperimentCell) -> Path:
-    return cache_dir() / f"{cache_key(cell)}.json"
+def _cache_path(cell: ExperimentCell, telemetry: bool = False) -> Path:
+    return cache_dir() / f"{cache_key(cell, telemetry)}.json"
 
 
-def load_cached(cell: ExperimentCell) -> Tuple[bool, Any]:
+def load_cached(cell: ExperimentCell, telemetry: bool = False) -> Tuple[bool, Any]:
     """Return ``(hit, result)``; corrupt/unreadable entries count as misses."""
-    path = _cache_path(cell)
+    path = _cache_path(cell, telemetry)
     try:
         doc = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
@@ -112,12 +122,14 @@ def load_cached(cell: ExperimentCell) -> Tuple[bool, Any]:
     return True, doc["result"]
 
 
-def store_cached(cell: ExperimentCell, result: Any) -> None:
+def store_cached(cell: ExperimentCell, result: Any, telemetry: bool = False) -> None:
     """Atomically persist one cell result (rename over a temp file)."""
-    path = _cache_path(cell)
+    path = _cache_path(cell, telemetry)
     path.parent.mkdir(parents=True, exist_ok=True)
     doc = {"cell_id": cell.cell_id, "cell": cell.config(),
            "code_version": code_version(), "result": result}
+    if telemetry:
+        doc["telemetry"] = True
     tmp = path.with_suffix(f".tmp.{os.getpid()}")
     tmp.write_text(json.dumps(doc, sort_keys=True))
     os.replace(tmp, path)
@@ -155,6 +167,7 @@ def _progress(msg: str) -> None:
 
 def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True,
               progress: Optional[Callable[[str], None]] = None,
+              telemetry: bool = False,
               ) -> Tuple[Dict[str, Any], SweepStats]:
     """Execute ``cells``, returning ``({cell_id: result}, stats)``.
 
@@ -164,10 +177,16 @@ def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True
     :mod:`repro.bench.datasets` memoize per process); with ``jobs <= 1``
     they run inline.  Either way results land in a dict keyed by cell_id
     — merge order is the caller's cell order, not completion order.
+
+    ``telemetry=True`` runs each cell through
+    :func:`~repro.bench.cells.execute_cell_telemetry` (dict results gain
+    a ``"telemetry"`` summary) and caches under telemetry-marked keys so
+    plain and telemetry sweeps never serve each other's entries.
     """
     jobs = resolve_jobs(jobs)
     say = progress or (lambda msg: None)
     t0 = time.perf_counter()
+    executor = execute_cell_telemetry if telemetry else execute_cell
     unique: Dict[str, ExperimentCell] = {}
     for cell in cells:
         unique.setdefault(cell.cell_id, cell)
@@ -177,7 +196,7 @@ def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True
     todo: List[ExperimentCell] = []
     for cell_id, cell in unique.items():
         if use_cache:
-            hit, result = load_cached(cell)
+            hit, result = load_cached(cell, telemetry)
             if hit:
                 results[cell_id] = result
                 stats.cache_hits += 1
@@ -189,9 +208,9 @@ def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True
     done = 0
     if jobs <= 1 or len(todo) <= 1:
         for cell in todo:
-            results[cell.cell_id] = result = execute_cell(cell)
+            results[cell.cell_id] = result = executor(cell)
             if use_cache:
-                store_cached(cell, result)
+                store_cached(cell, result, telemetry)
             stats.executed += 1
             done += 1
             say(f"{done}/{len(todo)} cells done ({cell.cell_id})")
@@ -203,7 +222,7 @@ def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True
         ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
         with ProcessPoolExecutor(max_workers=min(jobs, len(todo)),
                                  mp_context=ctx) as pool:
-            pending = {pool.submit(execute_cell, cell): cell for cell in todo}
+            pending = {pool.submit(executor, cell): cell for cell in todo}
             while pending:
                 finished, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for fut in finished:
@@ -211,7 +230,7 @@ def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True
                     result = fut.result()  # propagate worker exceptions
                     results[cell.cell_id] = result
                     if use_cache:
-                        store_cached(cell, result)
+                        store_cached(cell, result, telemetry)
                     stats.executed += 1
                     done += 1
                     say(f"{done}/{len(todo)} cells done ({cell.cell_id})")
@@ -223,12 +242,13 @@ def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True
 def run_experiment(name: str, quick: bool = True, jobs: int = 1,
                    use_cache: bool = True,
                    progress: Optional[Callable[[str], None]] = None,
+                   telemetry: bool = False,
                    **overrides) -> Tuple[Any, str, SweepStats]:
     """One experiment through the sweep engine: ``(rows, text, stats)``."""
     exp = REGISTRY[name]
     cells = exp.cells(quick, **overrides)
     results, stats = run_cells(cells, jobs=jobs, use_cache=use_cache,
-                               progress=progress)
+                               progress=progress, telemetry=telemetry)
     stats.experiments = [name]
     rows, text = exp.merge(quick, results, **overrides)
     return rows, text, stats
@@ -237,6 +257,7 @@ def run_experiment(name: str, quick: bool = True, jobs: int = 1,
 def run_many(names: List[str], quick: bool = True, jobs: int = 1,
              use_cache: bool = True,
              progress: Optional[Callable[[str], None]] = None,
+             telemetry: bool = False,
              ) -> Tuple[List[Tuple[str, Any, str]], SweepStats]:
     """Run several experiments as ONE pooled sweep.
 
@@ -251,7 +272,7 @@ def run_many(names: List[str], quick: bool = True, jobs: int = 1,
         per_exp.append((name, cells))
         all_cells.extend(cells)
     results, stats = run_cells(all_cells, jobs=jobs, use_cache=use_cache,
-                               progress=progress)
+                               progress=progress, telemetry=telemetry)
     stats.experiments = list(names)
     out = []
     for name, cells in per_exp:

@@ -8,7 +8,10 @@ Commands
   (and an ASCII chart for series-shaped results);
 - ``all [--full]``              — run the whole evaluation in order;
 - ``machine [--preset X]``      — describe a machine preset and its
-  latency hierarchy.
+  latency hierarchy;
+- ``trace <experiment>``        — run one cell of an experiment with full
+  telemetry attached and export a merged Chrome-trace JSON (loadable in
+  Perfetto / ``chrome://tracing``) plus a text digest.
 
 ``run`` and ``all`` accept ``--jobs N`` to shard the experiment cells
 across N worker processes (``0`` = auto-size to the host), backed by the
@@ -24,8 +27,10 @@ Examples
     python -m repro list
     python -m repro run fig05_local_vs_distributed
     python -m repro run fig07_amd_scalability --full --jobs 4
+    python -m repro run fig07_amd_scalability --jobs 1 --telemetry
     python -m repro all --jobs 0
     python -m repro machine --preset sapphire-rapids
+    python -m repro trace fig07_amd_scalability
 """
 
 import argparse
@@ -77,13 +82,16 @@ def _render(name: str, rows, text: str) -> None:
     print()
 
 
-def _run_one(name: str, full: bool, jobs=None, use_cache: bool = True) -> None:
+def _run_one(name: str, full: bool, jobs=None, use_cache: bool = True,
+             telemetry: bool = False) -> None:
+    if telemetry and jobs is None:
+        jobs = 1  # telemetry summaries ride on the sweep path
     if jobs is not None:
         from repro.bench import sweep
 
         rows, text, stats = sweep.run_experiment(
             name, quick=not full, jobs=jobs, use_cache=use_cache,
-            progress=sweep._progress)
+            progress=sweep._progress, telemetry=telemetry)
         _render(name, rows, text)
         _print_sweep_stats(stats)
         return
@@ -116,17 +124,21 @@ def cmd_run(args) -> int:
               file=sys.stderr)
         return 2
     _run_one(args.experiment, args.full, jobs=args.jobs,
-             use_cache=not args.no_cache)
+             use_cache=not args.no_cache, telemetry=args.telemetry)
     return 0
 
 
 def cmd_all(args) -> int:
-    if args.jobs is not None:
+    jobs = args.jobs
+    if args.telemetry and jobs is None:
+        jobs = 1
+    if jobs is not None:
         from repro.bench import sweep
 
         sections, stats = sweep.run_many(
-            EXPERIMENT_ORDER, quick=not args.full, jobs=args.jobs,
-            use_cache=not args.no_cache, progress=sweep._progress)
+            EXPERIMENT_ORDER, quick=not args.full, jobs=jobs,
+            use_cache=not args.no_cache, progress=sweep._progress,
+            telemetry=args.telemetry)
         for name, rows, text in sections:
             print(f"### {name}")
             _render(name, rows, text)
@@ -165,6 +177,72 @@ def cmd_machine(args) -> int:
     return 0
 
 
+def _pick_trace_cell(cells, selector):
+    """Choose the cell to trace: ``--cell`` substring match, else the
+    first CHARM cell (so the exported trace shows the Alg. 1 decision
+    loop), else the first cell."""
+    if selector:
+        for cell in cells:
+            if selector in cell.cell_id:
+                return cell
+        return None
+    for cell in cells:
+        if "charm" in cell.strategy:
+            return cell
+    return cells[0]
+
+
+def cmd_trace(args) -> int:
+    from pathlib import Path
+
+    from repro.bench.cells import REGISTRY, execute_cell
+    from repro.obs import capture
+    from repro.obs.export import text_summary, write_chrome_trace, write_metrics_csv, \
+        write_metrics_json
+
+    if args.experiment not in REGISTRY:
+        known = sorted(n for n in REGISTRY if n in EXPERIMENT_ORDER)
+        print(f"unknown experiment {args.experiment!r}; celled experiments: {known}",
+              file=sys.stderr)
+        return 2
+    cells = REGISTRY[args.experiment].cells(not args.full)
+    cell = _pick_trace_cell(cells, args.cell)
+    if cell is None:
+        print(f"no cell of {args.experiment!r} matches --cell {args.cell!r}; "
+              f"have: {[c.cell_id for c in cells]}", file=sys.stderr)
+        return 2
+
+    print(f"[trace] {cell.cell_id}", file=sys.stderr)
+    with capture(interval_ns=args.interval) as cap:
+        execute_cell(cell)
+    if not cap.telemetries:
+        print("no runtime was constructed while tracing this cell", file=sys.stderr)
+        return 1
+
+    out = Path(args.out or f"results/trace_{args.experiment}.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as fh:
+        n_events = write_chrome_trace(cap.telemetries, fh)
+
+    print(text_summary(cap.primary()))
+    print(f"trace: {n_events} events from {len(cap.telemetries)} runtime(s) -> {out}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+
+    if args.metrics:
+        mpath = Path(args.metrics)
+        mpath.parent.mkdir(parents=True, exist_ok=True)
+        tel = cap.primary()
+        if mpath.suffix == ".csv":
+            with open(mpath, "w") as fh:
+                rows = write_metrics_csv(tel, fh)
+            print(f"metrics: {rows} samples -> {mpath}")
+        else:
+            with open(mpath, "w") as fh:
+                write_metrics_json(tel, fh)
+            print(f"metrics: json -> {mpath}")
+    return 0
+
+
 def _add_sweep_args(p) -> None:
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="shard cells across N worker processes with the "
@@ -172,6 +250,10 @@ def _add_sweep_args(p) -> None:
                         "inline, uncached)")
     p.add_argument("--no-cache", action="store_true",
                    help="with --jobs: ignore and don't write the result cache")
+    p.add_argument("--telemetry", action="store_true",
+                   help="attach a per-cell telemetry summary to every result "
+                        "(cached under separate keys; implies --jobs 1 when "
+                        "--jobs is omitted)")
 
 
 def main(argv=None) -> int:
@@ -196,6 +278,25 @@ def main(argv=None) -> int:
     m_p.add_argument("--preset", default="milan")
     m_p.add_argument("--scale", type=int, default=32)
     m_p.set_defaults(fn=cmd_machine)
+
+    t_p = sub.add_parser(
+        "trace", help="trace one experiment cell and export a Chrome trace")
+    t_p.add_argument("experiment")
+    t_p.add_argument("--cell", default=None, metavar="SUBSTR",
+                     help="select the cell whose id contains SUBSTR "
+                          "(default: first CHARM cell, else first cell)")
+    t_p.add_argument("--full", action="store_true",
+                     help="pick from the full paper-shaped cell list")
+    t_p.add_argument("--out", default=None, metavar="PATH",
+                     help="trace output path "
+                          "(default: results/trace_<experiment>.json)")
+    t_p.add_argument("--metrics", default=None, metavar="PATH",
+                     help="also dump sampled metric series + decisions "
+                          "(.csv -> wide CSV, otherwise JSON)")
+    t_p.add_argument("--interval", type=float, default=None, metavar="NS",
+                     help="sampling interval in virtual ns "
+                          "(default: the strategy's scheduler timer)")
+    t_p.set_defaults(fn=cmd_trace)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -123,6 +123,10 @@ class CacheSystem:
         ]
         self.directory: Dict[int, Set[int]] = {}
         self._socket_of = topo.socket_of_chiplet_table
+        # Telemetry event bus (repro.obs) or None.  The bulk entry points
+        # below emit one event per *run* (the vector kernels' granularity),
+        # guarded by a single None check — nothing fires per block.
+        self.obs = None
 
     @property
     def capacity_bytes_per_chiplet(self) -> int:
@@ -179,6 +183,9 @@ class CacheSystem:
         non-resident the whole run falls back to the scalar touch loop
         (counting its misses exactly), so callers may probe with it.
         """
+        obs = self.obs
+        if obs is not None:
+            obs.emit("cache.touch_run", {"chiplet": chiplet, "n": len(blocks)})
         cache = self.caches[chiplet]
         lru = cache._lru
         n = len(blocks)
@@ -229,6 +236,11 @@ class CacheSystem:
         ``_uniform_nb``) the prefix is pure integer arithmetic; mixed
         slices pay one integer cumulative sum.
         """
+        obs = self.obs
+        if obs is not None:
+            obs.emit("cache.fill_run", {
+                "chiplet": chiplet, "n": len(blocks), "shared": shared,
+            })
         cache = self.caches[chiplet]
         cap = cache.capacity_bytes
         if nbytes <= 0:

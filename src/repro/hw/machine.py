@@ -21,6 +21,7 @@ by source — the signal consumed by CHARM's Alg. 1.
 """
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -174,6 +175,12 @@ class Machine:
         # Barrier-span memo, keyed on the participant core tuple;
         # invalidated by the runtime on migration (see sync_span_ns).
         self._span_cache: Dict[Tuple[int, ...], float] = {}
+        # Observability (repro.obs): ``obs`` is the telemetry event bus
+        # (or None), ``profiler`` the wall-clock kernel-path self-profiler
+        # (or None).  Both default off; every guard is one attribute load
+        # plus a None check at batch/segment granularity, never per block.
+        self.obs = None
+        self.profiler = None
 
     # -- Allocation ----------------------------------------------------------
 
@@ -224,6 +231,23 @@ class Machine:
         write: bool = False,
     ) -> AccessResult:
         """Service one block access by ``core`` at virtual time ``now``."""
+        prof = self.profiler
+        if prof is not None:
+            t0 = perf_counter()
+            res = self._access_impl(core, region, block_index, now, nbytes, write)
+            prof.add("access", 1, perf_counter() - t0)
+            return res
+        return self._access_impl(core, region, block_index, now, nbytes, write)
+
+    def _access_impl(
+        self,
+        core: int,
+        region: Region,
+        block_index: int,
+        now: float,
+        nbytes: Optional[int] = None,
+        write: bool = False,
+    ) -> AccessResult:
         self.total_accesses += 1
         nbytes = nbytes or region.block_bytes
         key = region.block_key(block_index)
@@ -402,6 +426,8 @@ class Machine:
                     and next(reversed(lru)) == k0 + count - 1
                     and list(lru)[len(lru) - count:]
                         == list(range(k0, k0 + count))):
+                prof = self.profiler
+                t0 = perf_counter() if prof is not None else 0.0
                 self.total_accesses += count
                 ns = self.latency.l3_hit
                 step = ns / mlp  # hits have no queue wait: latency == ns
@@ -418,6 +444,14 @@ class Machine:
                 counts[IDX_LOCAL_CHIPLET] = count
                 self.counters.record_batch(core, counts)
                 end = t if t > finish else finish
+                if prof is not None:
+                    prof.add("hot_replay", count, perf_counter() - t0)
+                obs = self.obs
+                if obs is not None:
+                    obs.emit("hw.batch", {
+                        "t": end, "core": core, "n": count,
+                        "hits": count, "misses": 0,
+                    })
                 return BatchResult(end - now, finish, counts, 0, count)
         arr = start + stride * np.arange(count, dtype=np.int64)
         return self._service_blocks(
@@ -561,6 +595,14 @@ class Machine:
         self.counters.record_batch(core, counts)
         t, finish = state[0], state[1]
         end = t if t > finish else finish
+        obs = self.obs
+        if obs is not None:
+            # One event per serviced batch (never per block): pulses the
+            # telemetry sampler and tallies kernel activity.
+            obs.emit("hw.batch", {
+                "t": end, "core": core, "n": n,
+                "hits": state[3], "misses": state[4],
+            })
         return BatchResult(end - now, finish, counts, state[2], n)
 
     def _service_segment(
@@ -634,6 +676,7 @@ class Machine:
             else:
                 runs = self._classify_runs(chiplet, seg_keys, i0, write)
         ev0 = cache.evictions
+        prof = self.profiler
         for lab, r0, r1 in runs:
             n_run = r1 - r0
             if (n_run < VECTOR_MIN or lab == _SCALAR
@@ -644,6 +687,7 @@ class Machine:
                                   write, per_issue_ns, mlp, counts, state)
             whole = r0 == 0 and r1 == len(keys_list)
             kl = keys_list if whole else keys_list[r0:r1]
+            pt0 = perf_counter() if prof is not None else 0.0
             if lab == _MISS:
                 t_end, fin, n_local, n_remote = vector.dram_fill_segment(
                     self, region, chiplet, my_node,
@@ -655,6 +699,8 @@ class Machine:
                 counts[IDX_DRAM_LOCAL] += n_local
                 counts[IDX_DRAM_REMOTE] += n_remote
                 state[4] += n_run
+                if prof is not None:
+                    prof.add("vec_miss", n_run, perf_counter() - pt0)
             elif lab == _HIT:
                 t_end, fin = vector.local_hit_segment(
                     self, chiplet, kl, state[0], per_issue_ns, mlp,
@@ -663,6 +709,8 @@ class Machine:
                 # touch_run counted the hits on the slice directly; the
                 # span state must not double-count them in the finale.
                 counts[IDX_LOCAL_CHIPLET] += n_run
+                if prof is not None:
+                    prof.add("vec_hit", n_run, perf_counter() - pt0)
             else:
                 t_end, fin, same = vector.peer_fill_segment(
                     self, region, chiplet, lab, kl, state[0], req_bytes,
@@ -671,6 +719,8 @@ class Machine:
                 counts[IDX_REMOTE_CHIPLET if same
                        else IDX_REMOTE_NUMA_CHIPLET] += n_run
                 state[4] += n_run
+                if prof is not None:
+                    prof.add("vec_peer", n_run, perf_counter() - pt0)
             state[0] = t_end
             if fin > state[1]:
                 state[1] = fin
@@ -749,6 +799,8 @@ class Machine:
         and writes the shared span ``state`` so vector segments and scalar
         spans interleave on one virtual-time line.
         """
+        prof = self.profiler
+        span_t0 = perf_counter() if prof is not None else 0.0
         n_blocks = region.n_blocks
         resident_bytes = region.block_bytes
         key_base = region.region_id << Region._KEY_SHIFT
@@ -887,6 +939,8 @@ class Machine:
         state[2] = inval_total
         state[3] = hits
         state[4] = misses
+        if prof is not None:
+            prof.add("scalar", i1 - i0, perf_counter() - span_t0)
 
     # -- Synchronisation latency ---------------------------------------------
 
@@ -923,6 +977,23 @@ class Machine:
 
     # -- Introspection ---------------------------------------------------------
 
+    def fill_latency_histogram(self) -> Dict:
+        """Per-source fill histogram: count, summed pure latency, average.
+
+        Shared by :meth:`bandwidth_stats` and ``RunReport.fill_latency``
+        so every run — not just perf scenarios — carries the breakdown.
+        """
+        fills = self.counters.totals()
+        flat = self._fill_lat
+        return {
+            src.value: {
+                "fills": fills[i],
+                "latency_ns": flat[i],
+                "avg_ns": flat[i] / fills[i] if fills[i] else 0.0,
+            }
+            for src, i in SOURCE_INDEX.items()
+        }
+
     def bandwidth_stats(self) -> Dict:
         """Utilization of every modelled bandwidth resource.
 
@@ -939,16 +1010,7 @@ class Machine:
         channels = self.channels.stats()
         links = self.links.stats()
         xlinks = self.xlinks.stats()
-        fills = self.counters.totals()
-        flat = self._fill_lat
-        fill_latency = {
-            src.value: {
-                "fills": fills[i],
-                "latency_ns": flat[i],
-                "avg_ns": flat[i] / fills[i] if fills[i] else 0.0,
-            }
-            for src, i in SOURCE_INDEX.items()
-        }
+        fill_latency = self.fill_latency_histogram()
 
         def _tot(rows):
             return {

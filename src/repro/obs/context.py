@@ -1,0 +1,73 @@
+"""Capture context: attach telemetry to runtimes built deep inside helpers.
+
+Experiment cell runners construct their :class:`Runtime` internally, so
+callers that want telemetry (the ``repro trace`` verb, the sweep's
+``--telemetry`` mode) cannot reach the instance to attach to.  The
+:func:`capture` context manager solves this the same way the dataset
+cache does: a module-level hook.  ``Runtime.__init__`` ends with a call
+to :func:`attach_if_active`, which is a single global load and ``None``
+check when no capture is active — the same null-sink discipline as the
+event bus.
+
+This module must stay import-light: ``repro.runtime.runtime`` imports it
+at module scope, so nothing here may import the runtime (or anything that
+does) at import time.  The Telemetry class is imported lazily inside
+:meth:`_Capture._attach`.
+"""
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+_ACTIVE: Optional["_Capture"] = None
+
+
+class _Capture:
+    """Collects one Telemetry per Runtime constructed while active."""
+
+    def __init__(self, **kwargs) -> None:
+        self.kwargs = kwargs
+        self.telemetries: List[object] = []
+
+    def _attach(self, runtime) -> None:
+        from repro.obs.telemetry import Telemetry
+
+        self.telemetries.append(Telemetry(runtime, **self.kwargs))
+
+    def primary(self):
+        """The telemetry whose runtime did the most memory traffic.
+
+        Cell runners may build warm-up or baseline runtimes; the one that
+        serviced the most accesses is the run worth exporting.
+        """
+        if not self.telemetries:
+            return None
+        return max(
+            self.telemetries,
+            key=lambda t: sum(t.runtime.machine.counters.totals()),
+        )
+
+
+def attach_if_active(runtime) -> None:
+    """Called by ``Runtime.__init__``; no-op unless a capture is active."""
+    if _ACTIVE is not None:
+        _ACTIVE._attach(runtime)
+
+
+@contextmanager
+def capture(**kwargs) -> Iterator[_Capture]:
+    """Attach a :class:`Telemetry` to every Runtime built inside the block.
+
+    Keyword arguments are forwarded to ``Telemetry`` (``interval_ns``,
+    ``ring_capacity``, ``mode``).  Not reentrant and not thread-safe —
+    the sweep's process pool gives each cell its own interpreter, which
+    is the only concurrency this repo uses.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("telemetry capture is already active")
+    cap = _Capture(**kwargs)
+    _ACTIVE = cap
+    try:
+        yield cap
+    finally:
+        _ACTIVE = None

@@ -1,0 +1,83 @@
+"""Policy decision log: every Alg. 1 evaluation, explainable after the fact.
+
+CHARM's scheduling loop (paper Alg. 1) compares a per-worker remote-fill
+*rate* — fill events normalized to the scheduler timer — against
+``rmt_chip_access_rate`` and spreads, compacts, or holds.  The outcome
+(final placement, migration counts) has always been visible; *why* each
+step happened was not.  :class:`DecisionLog` records one row per
+evaluation with the exact operands the policy saw, so any spread or
+migration in a trace can be traced back to its counter-vs-threshold
+comparison.
+
+``CharmStrategy.on_tick`` calls ``runtime.obs.on_policy_decision(...)``
+(guarded by one ``obs is not None`` check) which lands here; the merged
+Chrome-trace exporter renders each row as an instant event with the
+operands in ``args``.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One Alg. 1 evaluation (including "hold" — no spread change)."""
+
+    time_ns: float
+    worker_id: int
+    elapsed_ns: float       # interval the counter was accumulated over
+    counter: int            # remote fill events observed in the interval
+    rate: float             # counter normalized to the scheduler timer
+    threshold: float        # rmt_chip_access_rate the rate was compared to
+    action: str             # "spread" | "compact" | "hold"
+    spread_before: int
+    spread_after: int
+    core_before: int
+    core_after: int
+
+    @property
+    def migrated(self) -> bool:
+        return self.core_after != self.core_before
+
+    def as_dict(self) -> Dict:
+        return {
+            "time_ns": self.time_ns,
+            "worker": self.worker_id,
+            "elapsed_ns": self.elapsed_ns,
+            "counter": self.counter,
+            "rate": round(self.rate, 4),
+            "threshold": self.threshold,
+            "action": self.action,
+            "spread_before": self.spread_before,
+            "spread_after": self.spread_after,
+            "core_before": self.core_before,
+            "core_after": self.core_after,
+            "migrated": self.migrated,
+        }
+
+
+class DecisionLog:
+    """Append-only record of policy decisions for one run."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self) -> None:
+        self.rows: List[PolicyDecision] = []
+
+    def record(self, decision: PolicyDecision) -> None:
+        self.rows.append(decision)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def by_action(self) -> Dict[str, int]:
+        out: Dict[str, int] = {"spread": 0, "compact": 0, "hold": 0}
+        for r in self.rows:
+            out[r.action] = out.get(r.action, 0) + 1
+        return out
+
+    def migrations(self) -> int:
+        return sum(1 for r in self.rows if r.migrated)
+
+    def for_worker(self, worker_id: int) -> List[PolicyDecision]:
+        return [r for r in self.rows if r.worker_id == worker_id]

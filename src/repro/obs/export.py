@@ -1,0 +1,217 @@
+"""Exporters: merged Chrome trace, metrics JSON/CSV, text summary.
+
+The Chrome trace merges three views of one run into a single
+Perfetto-loadable JSON (https://ui.perfetto.dev):
+
+- **pid 0 "tasks"** — task execution spans per worker lane (``ph:"X"``)
+  plus the metric counter series (``ph:"C"``) overlaid on the same
+  process so cache/channel pressure lines up with the task timeline;
+- **pid 1 "chiplets"** — migration arrows: a ``migrate-out`` sliver on
+  the source chiplet lane flow-linked (``ph:"s"``/``ph:"f"``) to a
+  ``migrate-in`` sliver on the destination chiplet lane, using the
+  chiplet/NUMA ids carried by :class:`~repro.obs.trace.TraceEvent`;
+- **pid 2 "policy"** — one instant event (``ph:"i"``) per Alg. 1
+  evaluation with the observed counter, rate, and threshold in ``args``.
+
+Timestamps are virtual nanoseconds scaled to Chrome's microseconds.
+Counter-series timestamps come from the interval sampler's ring, which
+guarantees strict monotonicity (tests/test_obs_trace_schema.py).
+"""
+
+import csv
+import json
+from typing import TYPE_CHECKING, Dict, List, Sequence, TextIO
+
+from repro.hw.counters import FillSource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import Telemetry
+
+_US = 1 / 1000.0  # ns -> Chrome trace microseconds
+
+
+def chrome_trace_events(tel: "Telemetry", pid_base: int = 0) -> List[Dict]:
+    """All trace events for one telemetry, pids offset by ``pid_base``."""
+    tel.finish()
+    if tel.mode != "full":
+        return []
+    pid_tasks, pid_chiplets, pid_policy = pid_base, pid_base + 1, pid_base + 2
+    topo = tel.runtime.machine.topo
+    out: List[Dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid_tasks,
+         "args": {"name": "tasks+metrics"}},
+        {"name": "process_name", "ph": "M", "pid": pid_chiplets,
+         "args": {"name": "chiplets (migrations)"}},
+        {"name": "process_name", "ph": "M", "pid": pid_policy,
+         "args": {"name": "policy (Alg. 1)"}},
+    ]
+    for w in tel.runtime.workers:
+        out.append({"name": "thread_name", "ph": "M", "pid": pid_tasks,
+                    "tid": w.worker_id, "args": {"name": f"worker {w.worker_id}"}})
+        out.append({"name": "thread_name", "ph": "M", "pid": pid_policy,
+                    "tid": w.worker_id, "args": {"name": f"worker {w.worker_id}"}})
+    for c in range(topo.total_chiplets):
+        out.append({"name": "thread_name", "ph": "M", "pid": pid_chiplets,
+                    "tid": c, "args": {"name": f"chiplet {c}"}})
+
+    # Task spans.
+    for s in tel.tracer.task_summaries():
+        for start, end, wid in s.spans:
+            out.append({
+                "name": s.name, "ph": "X", "ts": start * _US,
+                "dur": max(end - start, 1.0) * _US,
+                "pid": pid_tasks, "tid": wid, "args": {"task_id": s.task_id},
+            })
+
+    # Migration arrows between chiplet lanes.
+    for idx, e in enumerate(tel.tracer.migrations()):
+        ts = e.time_ns * _US
+        flow_id = f"mig{pid_base}_{idx}"
+        args = {"worker": e.worker_id, "detail": e.detail,
+                "src_chiplet": e.src_chiplet, "dst_chiplet": e.chiplet,
+                "numa": e.numa}
+        out.append({"name": "migrate-out", "ph": "X", "ts": ts, "dur": 1.0,
+                    "pid": pid_chiplets, "tid": max(e.src_chiplet, 0),
+                    "cat": "migration", "args": args})
+        out.append({"name": "migrate-in", "ph": "X", "ts": ts + 1.0, "dur": 1.0,
+                    "pid": pid_chiplets, "tid": max(e.chiplet, 0),
+                    "cat": "migration", "args": args})
+        out.append({"name": "migrate", "ph": "s", "id": flow_id, "ts": ts + 0.5,
+                    "pid": pid_chiplets, "tid": max(e.src_chiplet, 0),
+                    "cat": "migration"})
+        out.append({"name": "migrate", "ph": "f", "bp": "e", "id": flow_id,
+                    "ts": ts + 1.5, "pid": pid_chiplets,
+                    "tid": max(e.chiplet, 0), "cat": "migration"})
+        # Keep the instant on the worker lane too (matches Tracer's export).
+        out.append({"name": "migrate", "ph": "i", "ts": ts, "s": "t",
+                    "pid": pid_tasks, "tid": e.worker_id, "args": args})
+
+    # Policy decision instants with the operands Alg. 1 actually compared.
+    for d in tel.decisions.rows:
+        out.append({
+            "name": f"alg1:{d.action}", "ph": "i", "s": "t",
+            "ts": d.time_ns * _US, "pid": pid_policy, "tid": d.worker_id,
+            "args": d.as_dict(),
+        })
+
+    out.extend(_counter_events(tel, pid_tasks))
+    return out
+
+
+def _counter_events(tel: "Telemetry", pid: int) -> List[Dict]:
+    """Metric series as Chrome counter (``ph:"C"``) events."""
+    ring = tel.sampler.ring
+    n = len(ring)
+    if n == 0:
+        return []
+    topo = tel.runtime.machine.topo
+    times = ring.timestamps()
+    order = ring._order()
+    vals = ring.values[order]
+    idx = ring._index
+    out: List[Dict] = []
+
+    def counter(name: str, ts: float, args: Dict) -> Dict:
+        return {"name": name, "ph": "C", "ts": ts * _US, "pid": pid, "args": args}
+
+    occ_cols = [idx[f"l3_occ.ch{c}"] for c in range(topo.total_chiplets)]
+    hit_cols = [idx[f"l3_hits.ch{c}"] for c in range(topo.total_chiplets)]
+    miss_cols = [idx[f"l3_misses.ch{c}"] for c in range(topo.total_chiplets)]
+    chan_cols = [idx[f"chan_busy.s{s}"] for s in range(topo.sockets)]
+    mig_col = idx["migrations"]
+    remote_src = [s.value for s in FillSource if s is not FillSource.LOCAL_CHIPLET]
+    remote_cols = [idx[f"fills.w{w.worker_id}.{src}"]
+                   for w in tel.runtime.workers for src in remote_src]
+
+    hits = vals[:, hit_cols].sum(axis=1)
+    total = hits + vals[:, miss_cols].sum(axis=1)
+    chan_busy = vals[:, chan_cols]
+    remote = vals[:, remote_cols].sum(axis=1)
+    migrations = vals[:, mig_col]
+
+    for i in range(n):
+        ts = float(times[i])
+        out.append(counter("l3_occupancy_pct", ts, {
+            f"ch{c}": round(float(vals[i, col]) * 100.0, 2)
+            for c, col in enumerate(occ_cols)}))
+        out.append(counter("migrations", ts, {"count": float(migrations[i])}))
+        if i == 0:
+            continue
+        # Delta-based rates over the sample interval.
+        dt = float(times[i] - times[i - 1])
+        d_total = float(total[i] - total[i - 1])
+        d_hits = float(hits[i] - hits[i - 1])
+        out.append(counter("l3_hit_rate_pct", ts, {
+            "hit_rate": round(100.0 * d_hits / d_total, 2) if d_total > 0 else 0.0}))
+        out.append(counter("mem_channel_busy_pct", ts, {
+            f"s{s}": round(100.0 * float(chan_busy[i, j] - chan_busy[i - 1, j]) / dt, 2)
+            if dt > 0 else 0.0
+            for s, j in enumerate(range(chan_busy.shape[1]))}))
+        out.append(counter("remote_fill_rate", ts, {
+            "fills_per_us": round(1000.0 * float(remote[i] - remote[i - 1]) / dt, 3)
+            if dt > 0 else 0.0}))
+    return out
+
+
+def write_chrome_trace(telemetries: Sequence["Telemetry"], fh: TextIO) -> int:
+    """Merged Chrome trace for one or more runtimes; returns event count.
+
+    Multiple runtimes (a cell that builds warm-up + measured runs) land
+    in disjoint pid blocks of 10.
+    """
+    events: List[Dict] = []
+    for i, tel in enumerate(telemetries):
+        events.extend(chrome_trace_events(tel, pid_base=10 * i))
+    json.dump({"traceEvents": events, "displayTimeUnit": "ns"}, fh)
+    return len(events)
+
+
+# -- Metrics dumps -------------------------------------------------------------
+
+
+def write_metrics_json(tel: "Telemetry", fh: TextIO) -> None:
+    json.dump(tel.metrics(), fh)
+
+
+def write_metrics_csv(tel: "Telemetry", fh: TextIO) -> int:
+    """Wide CSV: one row per sample, one column per metric. Returns rows."""
+    tel.finish()
+    if tel.sampler is None:
+        return 0
+    ring = tel.sampler.ring
+    writer = csv.writer(fh)
+    writer.writerow(["time_ns"] + ring.names)
+    times = ring.timestamps()
+    order = ring._order()
+    vals = ring.values[order]
+    for i in range(len(ring)):
+        writer.writerow([repr(float(times[i]))]
+                        + [repr(float(v)) for v in vals[i]])
+    return len(ring)
+
+
+def text_summary(tel: "Telemetry") -> str:
+    """Human-readable digest printed by ``repro trace``."""
+    s = tel.summary()
+    lines = [
+        f"virtual wall time : {s['wall_ns'] / 1e6:.3f} ms",
+        f"l3 hit rate       : {100.0 * s['l3']['hit_rate']:.1f}%  "
+        f"(occupancy {100.0 * s['l3']['occupancy']:.1f}%)",
+        "fills             : " + "  ".join(
+            f"{k}={v}" for k, v in s["fills"].items()),
+        f"migrations        : {s['migrations']}   steals: {s['steals']}",
+    ]
+    if tel.mode == "full":
+        d = s["decisions"]
+        lines.append(
+            f"policy decisions  : {d['total']} "
+            f"(spread {d['spread']}, compact {d['compact']}, hold {d['hold']}, "
+            f"migrated {d['migrated']})")
+        lines.append(
+            f"samples           : {s['samples']} @ {s['sample_interval_ns']:.0f} ns"
+            + (f" ({s['samples_dropped']} dropped)" if s["samples_dropped"] else ""))
+        lines.append(f"tasks traced      : {s['tasks_traced']}")
+        if s["events"]:
+            lines.append("bus events        : " + "  ".join(
+                f"{k}={v}" for k, v in s["events"].items()))
+    return "\n".join(lines)

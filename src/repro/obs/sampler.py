@@ -1,0 +1,132 @@
+"""Virtual-time interval sampler: periodic machine/runtime snapshots.
+
+Ticks are driven by the instrumented virtual-time stream itself (runtime
+hook wrappers and ``hw.batch`` bus events feed :meth:`maybe_sample`); at
+most one sample is taken per ``interval_ns`` of virtual time, stamped
+with the actual trigger time.  Because a sample is only taken when
+``now >= next`` and ``next`` then jumps past ``now``, recorded
+timestamps are strictly increasing even though per-worker clocks are not
+globally ordered.
+
+Sampling reads state (cache occupancy/hit counters, server busy/backlog,
+worker spread and fill vectors) and writes only to its own ring buffer —
+it never touches clocks, counters, or LRU order, which is the
+zero-perturbation argument (MODELING.md "Observability") enforced by
+tests/test_obs_equivalence.py.
+
+Columns (cumulative unless noted):
+
+- ``l3_occ.ch<i>``       — instantaneous occupancy fraction per chiplet
+- ``l3_hits.ch<i>`` / ``l3_misses.ch<i>``
+- ``chan_busy.s<i>`` / ``chan_wait.s<i>`` — per-socket channel totals (ns)
+- ``chan_backlog.s<i>``  — instantaneous queued-work ns across channels
+- ``link_busy.ch<i>`` / ``link_backlog.ch<i>`` — per-chiplet fabric link
+- ``xlink_busy`` / ``xlink_backlog`` — cross-socket links, summed
+- ``spread.w<i>``        — instantaneous per-worker spread rate
+- ``fills.w<i>.<source>``— per-worker per-source fill counts
+- ``migrations``         — granted migrations, summed over workers
+
+Rate-style views (hit rate, remote-fill rate per interval) are derived
+from the cumulative columns at export time (:mod:`repro.obs.export`).
+"""
+
+from typing import TYPE_CHECKING, List
+
+from repro.hw.counters import FillSource, N_SOURCES
+from repro.obs.series import RingSeries
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import Runtime
+
+_SOURCE_NAMES = [s.value for s in FillSource]
+
+
+class IntervalSampler:
+    """Columnar snapshots of one runtime at virtual-time intervals."""
+
+    def __init__(self, runtime: "Runtime", interval_ns: float = 50_000.0,
+                 capacity: int = 4096) -> None:
+        if interval_ns <= 0:
+            raise ValueError("interval_ns must be > 0")
+        self.runtime = runtime
+        self.machine = runtime.machine
+        self.interval_ns = float(interval_ns)
+        self._next = 0.0
+        self.ring = RingSeries(self._column_names(), capacity)
+        self.maybe_sample(0.0)  # baseline row at t=0
+
+    def _column_names(self) -> List[str]:
+        topo = self.machine.topo
+        names: List[str] = []
+        for c in range(topo.total_chiplets):
+            names += [f"l3_occ.ch{c}", f"l3_hits.ch{c}", f"l3_misses.ch{c}"]
+        for s in range(topo.sockets):
+            names += [f"chan_busy.s{s}", f"chan_wait.s{s}", f"chan_backlog.s{s}"]
+        for c in range(topo.total_chiplets):
+            names += [f"link_busy.ch{c}", f"link_backlog.ch{c}"]
+        names += ["xlink_busy", "xlink_backlog"]
+        for w in self.runtime.workers:
+            names.append(f"spread.w{w.worker_id}")
+            names += [f"fills.w{w.worker_id}.{src}" for src in _SOURCE_NAMES]
+        names.append("migrations")
+        return names
+
+    def maybe_sample(self, now: float) -> None:
+        """Take a sample if the current interval has elapsed."""
+        if now < self._next:
+            return
+        self._sample(now)
+        self._next = now + self.interval_ns
+
+    def _sample(self, now: float) -> None:
+        row: List[float] = []
+        append = row.append
+        m = self.machine
+        for cache in m.caches.caches:
+            append(cache.used_bytes / cache.capacity_bytes if cache.capacity_bytes else 0.0)
+            append(cache.hits)
+            append(cache.misses)
+        for servers in m.channels._servers:
+            busy = wait = backlog = 0.0
+            for s in servers:
+                busy += s.busy_ns
+                wait += s.wait_ns
+                free = s.free_at - now
+                if free > 0.0:
+                    backlog += free
+            append(busy)
+            append(wait)
+            append(backlog)
+        for s in m.links._servers:
+            append(s.busy_ns)
+            free = s.free_at - now
+            append(free if free > 0.0 else 0.0)
+        xbusy = xbacklog = 0.0
+        for s in m.xlinks._servers.values():
+            xbusy += s.busy_ns
+            free = s.free_at - now
+            if free > 0.0:
+                xbacklog += free
+        append(xbusy)
+        append(xbacklog)
+        migrations = 0
+        for w in self.runtime.workers:
+            append(w.spread_rate)
+            v = w.fills.v
+            for i in range(N_SOURCES):
+                append(v[i])
+            migrations += w.migrations
+        append(migrations)
+        self.ring.append(now, row)
+
+    # -- Convenience reads -----------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.ring)
+
+    def finish(self, now: float) -> None:
+        """Force a final sample at end of run (captures the last interval)."""
+        if self.ring.count == 0 or now > self.ring.times[(self.ring.count - 1) % self.ring.capacity]:
+            self._sample(now)
+            self._next = now + self.interval_ns

@@ -1,0 +1,67 @@
+"""Columnar metric series on a numpy ring buffer.
+
+One shared timestamp vector plus a dense float64 matrix, one column per
+metric, one row per sample tick.  Appends are a row write at
+``count % capacity``; once the buffer wraps, the oldest rows are
+overwritten, bounding memory for arbitrarily long runs.
+
+Columns are declared once at attach time (names are stable for the life
+of the store), so a sample is a single preallocated-row fill — no dict
+churn on the sampling path.
+"""
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+class RingSeries:
+    """Fixed-capacity columnar store: times + one float64 column per name."""
+
+    __slots__ = ("capacity", "names", "_index", "times", "values", "count")
+
+    def __init__(self, names: Sequence[str], capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.names: List[str] = list(names)
+        self._index: Dict[str, int] = {n: i for i, n in enumerate(self.names)}
+        self.times = np.zeros(capacity, dtype=np.float64)
+        self.values = np.zeros((capacity, len(self.names)), dtype=np.float64)
+        self.count = 0
+
+    def __len__(self) -> int:
+        return min(self.count, self.capacity)
+
+    def append(self, t: float, row: Sequence[float]) -> None:
+        i = self.count % self.capacity
+        self.times[i] = t
+        self.values[i, :] = row
+        self.count += 1
+
+    # -- Reads ----------------------------------------------------------------
+
+    def _order(self) -> np.ndarray:
+        """Row indices in chronological order (handles wraparound)."""
+        n = len(self)
+        if self.count <= self.capacity:
+            return np.arange(n)
+        head = self.count % self.capacity
+        return np.concatenate([np.arange(head, self.capacity), np.arange(head)])
+
+    def timestamps(self) -> np.ndarray:
+        return self.times[self._order()]
+
+    def column(self, name: str) -> np.ndarray:
+        return self.values[self._order(), self._index[name]]
+
+    def series(self) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """``name -> (times, values)`` for every column, in order."""
+        order = self._order()
+        t = self.times[order]
+        vals = self.values[order]
+        return {n: (t, vals[:, i]) for n, i in self._index.items()}
+
+    def dropped(self) -> int:
+        """Samples overwritten by wraparound (0 until the buffer fills)."""
+        return max(0, self.count - self.capacity)

@@ -260,6 +260,8 @@ class CharmStrategy(SchedulingStrategy):
         rate = counter * cfg.scheduler_timer_ns / elapsed
         topo = runtime.machine.topo
         chiplets = topo.chiplets_per_socket
+        spread_before = worker.spread_rate
+        core_before = worker.core
         if rate >= cfg.rmt_chip_access_rate:
             if worker.spread_rate < chiplets:
                 worker.spread_rate += 1
@@ -269,6 +271,14 @@ class CharmStrategy(SchedulingStrategy):
         self._update_location(worker, runtime)                # spread or compact
         worker.policy_time = now
         worker.mark_fill_counters()                           # resetEventCounter()
+        obs = runtime.obs
+        if obs is not None:
+            # Observation only: records the operands Alg. 1 just compared.
+            obs.on_policy_decision(
+                now=now, worker=worker, elapsed_ns=elapsed, counter=counter,
+                rate=rate, threshold=cfg.rmt_chip_access_rate,
+                spread_before=spread_before, core_before=core_before,
+            )
 
     def _update_location(self, worker: "Worker", runtime: "Runtime") -> None:
         """Alg. 2, within the worker's socket, via the runtime's core ledger."""

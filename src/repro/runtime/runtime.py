@@ -11,9 +11,10 @@ run-level profiling record.
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.hw.counters import CounterSnapshot
+from repro.hw.counters import CounterSnapshot, FillSource
 from repro.hw.machine import Machine
 from repro.hw.memory import MemPolicy, Region
+from repro.obs.context import attach_if_active
 from repro.runtime.policy import SchedulingStrategy
 from repro.runtime.sync import Barrier, Future
 from repro.runtime.task import Task, TaskState
@@ -39,6 +40,10 @@ class RunReport:
     #: raw (virtual time, +1/-1) task start/stop deltas; see cumulative_concurrency()
     concurrency_timeline: List[Tuple[float, int]] = field(default_factory=list)
     total_accesses: int = 0
+    #: machine-wide per-source fill totals (``FillSource.value`` keyed)
+    fill_totals: Dict[str, int] = field(default_factory=dict)
+    #: per-source fill-latency histogram (count / summed ns / average ns)
+    fill_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def wall_seconds(self) -> float:
@@ -150,6 +155,10 @@ class Runtime:
         self._timeline: List[Tuple[float, int]] = []
         self.spread_history: List[Tuple[float, int, int]] = []
         self._started = False
+        #: attached Telemetry (repro.obs) or None; every instrumentation
+        #: point guards on this so the detached cost is one None check.
+        self.obs = None
+        attach_if_active(self)
 
     def _nearest_free_core(self, wanted: int) -> int:
         """Closest unassigned core: same chiplet, same socket, then any."""
@@ -281,6 +290,11 @@ class Runtime:
             spread_history=list(self.spread_history),
             concurrency_timeline=list(self._timeline),
             total_accesses=self.machine.total_accesses,
+            fill_totals={
+                src.value: n
+                for src, n in zip(FillSource, self.machine.counters.totals())
+            },
+            fill_latency=self.machine.fill_latency_histogram(),
         )
 
     def _aggregate_worker_counters(self) -> CounterSnapshot:

@@ -113,6 +113,12 @@ class Worker(Actor):
                 self._charge(rt.machine.cas_ns(self.core, victim.core) / 2.0)
                 self.steals_ok += 1
                 rt.total_steals += 1
+                obs = rt.obs
+                if obs is not None:  # rare path: one event per successful steal
+                    obs.bus.emit("worker.steal", {
+                        "t": self.clock, "thief": self.worker_id,
+                        "victim": victim_id, "task": task.task_id,
+                    })
                 return task
         return None
 

@@ -59,3 +59,67 @@ def test_experiment_order_matches_module():
 
     for name in EXPERIMENT_ORDER:
         assert hasattr(experiments, name)
+
+
+def test_trace_verb_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.csv"
+    assert main(["trace", "fig05_local_vs_distributed",
+                 "--out", str(out), "--metrics", str(metrics)]) == 0
+    printed = capsys.readouterr().out
+    assert "perfetto" in printed.lower()
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]
+    assert metrics.read_text().startswith("time_ns,")
+
+
+def test_trace_verb_cell_selector(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "fig05_local_vs_distributed",
+                 "--cell", "definitely-not-a-cell", "--out", str(out)]) == 2
+    assert "no cell" in capsys.readouterr().err
+    assert not out.exists()
+
+
+def test_trace_verb_unknown_experiment(capsys):
+    assert main(["trace", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_telemetry_attaches_and_survives_cache(tmp_path, monkeypatch, capsys):
+    import json
+
+    cache = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", str(cache))
+    # --telemetry without --jobs routes through the sweep path (jobs=1);
+    # fig05's cells return dict results, which carry the summary.
+    assert main(["run", "fig05_local_vs_distributed", "--telemetry"]) == 0
+    assert "executed" in capsys.readouterr().err
+    cached = list(cache.glob("*.json"))
+    assert cached
+    for path in cached:
+        doc = json.loads(path.read_text())
+        assert doc["telemetry"] is True
+        assert doc["result"]["telemetry"]["mode"] == "full"
+        assert doc["result"]["telemetry"]["wall_ns"] > 0
+    # round trip: the second run resolves from cache, summaries intact
+    assert main(["run", "fig05_local_vs_distributed", "--telemetry"]) == 0
+    assert "from cache" in capsys.readouterr().err.splitlines()[-1]
+
+
+def test_run_telemetry_uses_separate_cache_keys(tmp_path, monkeypatch, capsys):
+    from repro.bench.cells import ExperimentCell
+    from repro.bench.sweep import cache_key
+
+    cell = ExperimentCell.make("fig04_channels", cores=4)
+    assert cache_key(cell) != cache_key(cell, telemetry=True)
+
+    cache = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", str(cache))
+    assert main(["run", "fig04_channels", "--jobs", "1"]) == 0
+    # a plain-mode cache hit must not satisfy a telemetry-mode run
+    assert main(["run", "fig04_channels", "--jobs", "1", "--telemetry"]) == 0
+    err = capsys.readouterr().err
+    assert "1 executed" in err.splitlines()[-1]

@@ -1,0 +1,84 @@
+"""Exported Chrome-trace JSON: schema and content validation.
+
+Drives the real CLI verb (``repro trace``) end to end on a CHARM cell of
+the Fig. 7 experiment and validates the merged trace document the way
+Perfetto's loader would: well-formed JSON, required fields per event
+phase, monotonic counter-series timestamps, and the PR's content floor —
+task events, at least one Alg. 1 decision with its counter-vs-threshold
+operands, and at least three metric counter series.
+"""
+
+import json
+from collections import defaultdict
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def trace_doc(tmp_path_factory):
+    out = tmp_path_factory.mktemp("trace") / "trace.json"
+    assert main(["trace", "fig07_amd_scalability", "--out", str(out)]) == 0
+    with open(out) as fh:
+        return json.load(fh)
+
+
+def test_trace_loads_with_events(trace_doc):
+    assert "traceEvents" in trace_doc
+    assert trace_doc["displayTimeUnit"] == "ns"
+    assert len(trace_doc["traceEvents"]) > 0
+
+
+def test_every_event_is_well_formed(trace_doc):
+    for ev in trace_doc["traceEvents"]:
+        assert isinstance(ev.get("name"), str) and ev["name"]
+        assert ev.get("ph") in ("X", "i", "C", "s", "f", "M")
+        if ev["ph"] in ("X", "i", "C", "s", "f"):
+            assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+            assert isinstance(ev["pid"], int)
+        if ev["ph"] == "X":
+            assert isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0
+
+
+def test_task_timeline_present(trace_doc):
+    spans = [e for e in trace_doc["traceEvents"]
+             if e["ph"] == "X" and not e["name"].startswith("migrate")]
+    assert len(spans) >= 1
+
+
+def test_policy_decisions_with_operands(trace_doc):
+    decisions = [e for e in trace_doc["traceEvents"]
+                 if e["ph"] == "i" and e["name"].startswith("alg1:")]
+    assert len(decisions) >= 1  # fig07's CHARM cell always evaluates Alg. 1
+    for ev in decisions:
+        args = ev["args"]
+        assert isinstance(args["counter"], int)
+        assert isinstance(args["rate"], float)
+        assert args["threshold"] > 0
+        assert args["action"] in ("spread", "compact", "hold")
+        assert ev["name"] == f"alg1:{args['action']}"
+
+
+def test_at_least_three_counter_series(trace_doc):
+    names = {e["name"] for e in trace_doc["traceEvents"] if e["ph"] == "C"}
+    assert len(names) >= 3
+    assert "l3_occupancy_pct" in names
+    assert "migrations" in names
+
+
+def test_counter_timestamps_strictly_monotonic(trace_doc):
+    per_series = defaultdict(list)
+    for ev in trace_doc["traceEvents"]:
+        if ev["ph"] == "C":
+            per_series[(ev["pid"], ev["name"])].append(ev["ts"])
+    assert per_series
+    for key, ts in per_series.items():
+        assert all(b > a for a, b in zip(ts, ts[1:])), f"non-monotonic {key}"
+
+
+def test_flow_arrows_pair_up(trace_doc):
+    starts = [e for e in trace_doc["traceEvents"] if e["ph"] == "s"]
+    ends = [e for e in trace_doc["traceEvents"] if e["ph"] == "f"]
+    assert len(starts) == len(ends)
+    assert {e["id"] for e in starts} == {e["id"] for e in ends}

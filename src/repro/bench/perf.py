@@ -7,14 +7,20 @@ throughput — not the modelled workloads — is the wall-clock bottleneck
 that caps how large a machine/dataset the paper artifacts can sweep, so
 its trajectory is tracked in ``BENCH_simperf.json`` at the repo root.
 
-Five scenarios stress the distinct service paths of
+The scenarios stress the distinct service paths of
 :meth:`repro.hw.machine.Machine.access_batch` / ``access_run``:
 
 - ``gups``        — GUPS-style random writes to a table far larger than
   the aggregate L3: DRAM fills, channel queueing, write invalidations;
 - ``gups_run``    — the same update streams emitted as sorted-unique
-  ndarray batches (the real gups workload shape): the vectorized
-  miss-kernel path of :mod:`repro.hw.vector`;
+  ndarray batches: the vectorized miss-kernel path of
+  :mod:`repro.hw.vector`;
+- ``gups_unsorted`` — the same update streams emitted raw (unsorted,
+  occasional repeats — the real gups workload shape since the gather
+  kernel landed): the gather/scatter inverse-permutation path;
+- ``gups_dup``    — each batch drawn with replacement from a half-batch
+  pool (~50% duplicates): the duplicate-replay path, where repeats
+  resolve as L3 hits after the first touch;
 - ``stream``      — disjoint sequential read streams: DRAM fills with
   full MLP overlap, no sharing;
 - ``stream_run``  — the same streams emitted as run-compressed
@@ -77,6 +83,11 @@ RECORDED_BASELINE: Dict[str, float] = {
     # so they are anchored to the same pre-batching per-access figures.
     "gups_run": 130_250.0,
     "stream_run": 131_812.0,
+    # gups-shaped update streams through the same per-access loop; the
+    # pre-gather-kernel servicing cost per access was the same regardless
+    # of batch order or repeats, so both anchor to the gups figure.
+    "gups_unsorted": 130_250.0,
+    "gups_dup": 130_250.0,
     # Pre-hit-path-kernel figures, measured at commit 24b780a (scalar
     # per-block hit and peer-fill servicing) against these exact scenario
     # definitions.
@@ -253,6 +264,70 @@ def scenario_gups_run(updates_per_worker: int, attach=None) -> Dict[str, float]:
     return _run_scenario(build, attach)
 
 
+def scenario_gups_unsorted(updates_per_worker: int, attach=None) -> Dict[str, float]:
+    """The ``gups`` update streams emitted raw: unsorted, repeats kept.
+
+    This is the exact emission shape of the real gups workload since the
+    gather kernel landed — no ``np.unique``, no sorting — exercising the
+    inverse-permutation gather/scatter path end to end.
+    """
+
+    def build() -> Runtime:
+        machine = _machine()
+        runtime = Runtime(machine, N_WORKERS, CharmStrategy(), seed=SEED)
+        agg_l3 = machine.l3_bytes_per_chiplet * machine.topo.total_chiplets
+        region = runtime.alloc_shared(4 * agg_l3, name="perf-gups")
+        per_worker = []
+        for wid in range(N_WORKERS):
+            rng = np.random.default_rng(derive_seed(SEED, "perf-gups", wid))
+            idx = rng.integers(0, region.n_blocks, size=updates_per_worker, dtype=np.int64)
+            per_worker.append([
+                idx[s : s + BATCH_BLOCKS]
+                for s in range(0, updates_per_worker, BATCH_BLOCKS)
+            ])
+        _spawn_batches(runtime, region, per_worker, write=True, nbytes=64)
+        return runtime
+
+    return _run_scenario(build, attach)
+
+
+#: fraction of each ``gups_dup`` batch that is (in expectation) a repeat:
+#: indices are drawn with replacement from a pool of
+#: ``BATCH_BLOCKS * (1 - DUP_RATE)`` candidate blocks per batch.
+DUP_RATE = 0.5
+
+
+def scenario_gups_dup(updates_per_worker: int, attach=None,
+                      dup_rate: float = DUP_RATE) -> Dict[str, float]:
+    """Random writes where ~``dup_rate`` of each batch are repeats.
+
+    Each batch draws ``BATCH_BLOCKS`` indices with replacement from a
+    per-batch pool of ``BATCH_BLOCKS * (1 - dup_rate)`` random blocks, so
+    roughly half the accesses revisit a block already touched earlier in
+    the same batch — the duplicate-replay path of the gather kernel,
+    where repeats resolve as L3 hits against the in-flight fill.
+    """
+
+    def build() -> Runtime:
+        machine = _machine()
+        runtime = Runtime(machine, N_WORKERS, CharmStrategy(), seed=SEED)
+        agg_l3 = machine.l3_bytes_per_chiplet * machine.topo.total_chiplets
+        region = runtime.alloc_shared(4 * agg_l3, name="perf-gups")
+        pool_size = max(1, int(BATCH_BLOCKS * (1.0 - dup_rate)))
+        per_worker = []
+        for wid in range(N_WORKERS):
+            rng = np.random.default_rng(derive_seed(SEED, "perf-gups-dup", wid))
+            batches = []
+            for _ in range(0, updates_per_worker, BATCH_BLOCKS):
+                pool = rng.integers(0, region.n_blocks, size=pool_size, dtype=np.int64)
+                batches.append(pool[rng.integers(0, pool_size, size=BATCH_BLOCKS)])
+            per_worker.append(batches)
+        _spawn_batches(runtime, region, per_worker, write=True, nbytes=64)
+        return runtime
+
+    return _run_scenario(build, attach)
+
+
 def scenario_shared_read_hot(rounds: int, attach=None) -> Dict[str, float]:
     """Run-compressed re-reads of a region that never leaves any L3 slice.
 
@@ -302,6 +377,8 @@ def scenario_pagerank_micro(iterations: int, attach=None) -> Dict[str, float]:
 SCENARIOS = {
     "gups": scenario_gups,
     "gups_run": scenario_gups_run,
+    "gups_unsorted": scenario_gups_unsorted,
+    "gups_dup": scenario_gups_dup,
     "stream": scenario_stream,
     "stream_run": scenario_stream_run,
     "shared_read": scenario_shared_read,
@@ -309,10 +386,12 @@ SCENARIOS = {
     "pagerank_micro": scenario_pagerank_micro,
 }
 
-FULL_SIZES = {"gups": 65536, "gups_run": 65536, "stream": 65536,
+FULL_SIZES = {"gups": 65536, "gups_run": 65536, "gups_unsorted": 65536,
+              "gups_dup": 65536, "stream": 65536,
               "stream_run": 65536, "shared_read": 512,
               "shared_read_hot": 512, "pagerank_micro": 24}
-CHECK_SIZES = {"gups": 4096, "gups_run": 4096, "stream": 4096,
+CHECK_SIZES = {"gups": 4096, "gups_run": 4096, "gups_unsorted": 4096,
+               "gups_dup": 4096, "stream": 4096,
                "stream_run": 4096, "shared_read": 4,
                "shared_read_hot": 8, "pagerank_micro": 2}
 

@@ -213,7 +213,7 @@ class Machine:
         """
         shift = Region._KEY_SHIFT
         rid = region.region_id
-        resident = [k for k in self.caches.directory if k >> shift == rid]
+        resident = [k for k in self.caches._dir_slot if k >> shift == rid]
         drop = self.caches.drop_everywhere
         for key in resident:
             drop(key)
@@ -420,7 +420,7 @@ class Machine:
                 and region.policy is not MemPolicy.REPLICATED):
             chiplet = self._chiplet_of_core[core]
             cache = self.caches.caches[chiplet]
-            lru = cache._lru
+            lru = cache._slot
             k0 = (region.region_id << Region._KEY_SHIFT) + start
             if (len(lru) >= count
                     and next(reversed(lru)) == k0 + count - 1
@@ -504,12 +504,12 @@ class Machine:
                 arr = np.asarray(seq, dtype=np.int64)
             except (TypeError, ValueError):
                 vec = False
-        cuts: Sequence[int] = ()
+        sorted_inc = True
         if vec and not validated:
             # Sorted batches (np.unique output, scans) prove distinctness
             # in O(n) and expose their bounds at the endpoints; anything
-            # else pays min/max reductions plus one seen-set pass that
-            # records where duplicates force segment boundaries.
+            # else pays min/max reductions (and routes to the gather
+            # kernel below, which tolerates duplicates directly).
             sorted_inc = bool(np.all(arr[1:] > arr[:-1]))
             if sorted_inc:
                 lo = int(arr[0])
@@ -522,25 +522,6 @@ class Machine:
                     f"block {lo if lo < 0 else hi} outside region "
                     f"'{region.name}' ({region.n_blocks} blocks)"
                 )
-            if not distinct and not sorted_inc:
-                if seq is None:
-                    seq = arr.tolist()
-                seen = set()
-                seen_add = seen.add
-                seg_cuts = []
-                for i, b in enumerate(seq):
-                    if b in seen:
-                        seg_cuts.append(i)
-                        seen.clear()
-                    seen_add(b)
-                cuts = seg_cuts
-        keys_list = None
-        keys = None
-        if vec:
-            keys = arr + np.int64(region.region_id << Region._KEY_SHIFT)
-            keys_list = keys.tolist()
-            if seq is None:
-                seq = arr.tolist()
 
         chiplet = self._chiplet_of_core[core]
         if not vec:
@@ -562,32 +543,70 @@ class Machine:
                 (lat.fill_same_socket + s_link) + s_link,
                 ((lat.fill_cross_socket + s_link) + s_link) + s_xlink,
             )
-            # ``pos`` tracks the pending (not yet serviced) scalar prefix:
-            # short segments and scalar-classified runs merge into one
-            # span per gap, so an all-duplicates batch costs exactly one
-            # scalar prologue, not one per single-block segment.
-            pos = 0
-            bounds = (0, *cuts, n)
-            for si in range(len(bounds) - 1):
-                i0 = bounds[si]
-                i1 = bounds[si + 1]
-                if i1 - i0 < VECTOR_MIN:
-                    continue
-                if pos < i0:
-                    # Flush the pending span *before* classifying: scalar
-                    # servicing mutates cache and directory state the
-                    # classification must observe.
-                    self._scalar_span(core, region, seq, pos, i0, req_bytes,
-                                      write, per_issue_ns, mlp, counts, state)
-                    pos = i0
-                pos = self._service_segment(
-                    core, region, chiplet, my_node, seq, arr, keys, keys_list,
-                    i0, i1, pos, req_bytes, write, per_issue_ns, mlp, lats,
-                    counts, state,
+            keys = arr + np.int64(region.region_id << Region._KEY_SHIFT)
+            serviced = False
+            if not validated and (write or not sorted_inc):
+                # Irregular shapes — unsorted spans, duplicates, write
+                # batches with sharers — go to the gather kernel, which
+                # services the whole batch or declines untouched.
+                prof = self.profiler
+                pt0 = perf_counter() if prof is not None else 0.0
+                g = vector.gather_segment(
+                    self, region, chiplet, my_node, arr, keys, now,
+                    req_bytes, write, per_issue_ns, mlp, lats, counts, state,
                 )
-            if pos < n:
-                self._scalar_span(core, region, seq, pos, n, req_bytes,
-                                  write, per_issue_ns, mlp, counts, state)
+                if g is not None:
+                    serviced = True
+                    if prof is not None:
+                        prof.add("vec_dup_replay" if g else "vec_gather",
+                                 n, perf_counter() - pt0)
+            if not serviced:
+                cuts: Sequence[int] = ()
+                if not distinct and not sorted_inc:
+                    # Seen-set pass recording where duplicates force
+                    # segment boundaries (the pre-gather fallback path).
+                    if seq is None:
+                        seq = arr.tolist()
+                    seen = set()
+                    seen_add = seen.add
+                    seg_cuts = []
+                    for i, b in enumerate(seq):
+                        if b in seen:
+                            seg_cuts.append(i)
+                            seen.clear()
+                        seen_add(b)
+                    cuts = seg_cuts
+                keys_list = keys.tolist()
+                if seq is None:
+                    seq = arr.tolist()
+                # ``pos`` tracks the pending (not yet serviced) scalar
+                # prefix: short segments and scalar-classified runs merge
+                # into one span per gap, so an all-duplicates batch costs
+                # exactly one scalar prologue, not one per single-block
+                # segment.
+                pos = 0
+                bounds = (0, *cuts, n)
+                for si in range(len(bounds) - 1):
+                    i0 = bounds[si]
+                    i1 = bounds[si + 1]
+                    if i1 - i0 < VECTOR_MIN:
+                        continue
+                    if pos < i0:
+                        # Flush the pending span *before* classifying:
+                        # scalar servicing mutates cache and directory
+                        # state the classification must observe.
+                        self._scalar_span(core, region, seq, pos, i0,
+                                          req_bytes, write, per_issue_ns,
+                                          mlp, counts, state)
+                        pos = i0
+                    pos = self._service_segment(
+                        core, region, chiplet, my_node, seq, arr, keys,
+                        keys_list, i0, i1, pos, req_bytes, write,
+                        per_issue_ns, mlp, lats, counts, state,
+                    )
+                if pos < n:
+                    self._scalar_span(core, region, seq, pos, n, req_bytes,
+                                      write, per_issue_ns, mlp, counts, state)
 
         cache = self.caches.caches[chiplet]
         cache.hits += state[3]
@@ -648,11 +667,11 @@ class Machine:
         at dispatch time and demoting the run to scalar if it moved.
         """
         caches = self.caches
-        directory = caches.directory
+        dir_slot = caches._dir_slot
         cache = caches.caches[chiplet]
         whole_seg = i0 == 0 and i1 == len(keys_list)
         seg_keys = keys_list if whole_seg else keys_list[i0:i1]
-        lru = cache._lru
+        lru = cache._slot
         n_seg = i1 - i0
         # Hot re-read steady state: the slice's most-recent entries are
         # exactly this segment in batch order, so it is all-HIT *and* the
@@ -669,7 +688,7 @@ class Machine:
             # streaming segment resident nowhere (one C-level disjointness
             # check) and a hot read segment fully resident in the
             # requester's slice (one C-level superset check).
-            if not directory or directory.keys().isdisjoint(seg_keys):
+            if not dir_slot or dir_slot.keys().isdisjoint(seg_keys):
                 runs = ((_MISS, i0, i1),)
             elif not write and lru.keys() >= set(seg_keys):
                 runs = ((_HIT, i0, i1),)
@@ -742,33 +761,32 @@ class Machine:
         key; the holder choice repeats ``CacheSystem.find_holder``'s
         min-id-per-distance-class rule exactly.
         """
-        dir_get = self.caches.directory.get
-        socket_of = self._socket_of_chiplet
-        my_socket = socket_of[chiplet]
+        caches = self.caches
+        dir_slot_get = caches._dir_slot.get
+        mask_col = caches._dir_mask
+        bit = 1 << chiplet
+        my_socket = self._socket_of_chiplet[chiplet]
+        smask = caches._socket_mask[my_socket]
         runs: List[Tuple[int, int, int]] = []
         cur = _SCALAR - 1  # sentinel unequal to every real label
         r0 = base
         i = base
         for k in seg_keys:
-            holders = dir_get(k)
-            if holders is None:
+            s = dir_slot_get(k)
+            if s is None:
                 lab = _MISS
-            elif chiplet in holders:
-                lab = _HIT if not write or len(holders) == 1 else _SCALAR
-            elif write or not holders:
-                lab = _SCALAR
             else:
-                best_same = None
-                best_remote = None
-                for h in holders:
-                    if h == chiplet:
-                        continue
-                    if socket_of[h] == my_socket:
-                        if best_same is None or h < best_same:
-                            best_same = h
-                    elif best_remote is None or h < best_remote:
-                        best_remote = h
-                lab = best_same if best_same is not None else best_remote
+                m = int(mask_col[s])
+                if m & bit:
+                    lab = _HIT if not write or m == bit else _SCALAR
+                elif write or not m:
+                    lab = _SCALAR
+                else:
+                    # Min-id holder per distance class: lowest set bit of
+                    # the same-socket subset, else of the whole mask.
+                    same = m & smask
+                    cand = same if same else m
+                    lab = (cand & -cand).bit_length() - 1
             if lab != cur:
                 if i > base:
                     runs.append((cur, r0, i))
@@ -829,10 +847,12 @@ class Machine:
 
         caches = self.caches
         cache = caches.caches[chiplet]
-        lru = cache._lru
+        lru = cache._slot
         lru_pop = lru.pop
         fill_lat = self._fill_lat
-        dir_get = caches.directory.get
+        dir_slot_get = caches._dir_slot.get
+        my_bit = 1 << chiplet
+        smask = caches._socket_mask[my_socket]
         cache_fill = caches.fill
         invalidate_others = caches.invalidate_others
         links_service = self.links.service
@@ -851,10 +871,10 @@ class Machine:
                 )
             key = key_base | block
 
-            res_bytes = lru_pop(key, None)
-            if res_bytes is not None:
+            slot = lru_pop(key, None)
+            if slot is not None:
                 # Local L3 hit; re-inserting refreshes recency.
-                lru[key] = res_bytes
+                lru[key] = slot
                 hits += 1
                 if write:
                     inval = invalidate_others(chiplet, key)
@@ -873,21 +893,18 @@ class Machine:
             misses += 1
 
             # Directory lookup: minimum-id holder per distance class, the
-            # same deterministic rule as CacheSystem.find_holder.
-            holders = dir_get(key)
+            # same deterministic rule as CacheSystem.find_holder — lowest
+            # set bit of the same-socket subset, else of the whole mask.
+            ds = dir_slot_get(key)
             holder = None
-            if holders:
-                best_same = None
-                best_remote = None
-                for h in holders:
-                    if h == chiplet:
-                        continue
-                    if socket_of[h] == my_socket:
-                        if best_same is None or h < best_same:
-                            best_same = h
-                    elif best_remote is None or h < best_remote:
-                        best_remote = h
-                holder = best_same if best_same is not None else best_remote
+            if ds is not None:
+                # Re-fetch the column per access: fills in this loop may
+                # grow (reallocate) the directory's mask array.
+                m = int(caches._dir_mask[ds]) & ~my_bit
+                if m:
+                    same = m & smask
+                    cand = same if same else m
+                    holder = (cand & -cand).bit_length() - 1
 
             if holder is not None:
                 # Fill from a peer chiplet's L3.

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 
 class MemPolicy(Enum):
     """NUMA memory placement policy for a region (mbind-style)."""
@@ -79,14 +81,52 @@ class Region:
 
 
 class RegionTable:
-    """Allocator and registry of live regions."""
+    """Allocator and registry of live regions, stored structure-of-arrays.
+
+    Region metadata lives in four parallel int64 columns (size, block
+    size, policy code, home node) indexed by a compact row number; an
+    insertion-ordered ``region_id -> row`` map and a free-row stack give
+    O(1) alloc/free with rows recycled in place.  :class:`Region`
+    dataclass handles are minted on demand (``alloc``/``get``/
+    ``live_regions``) — the public API is unchanged, but bulk consumers
+    can scan the columns without touching per-region Python objects.
+    """
+
+    _COL_SIZE, _COL_BLOCK, _COL_POLICY, _COL_HOME = range(4)
+    _POLICY_BY_CODE = (MemPolicy.BIND, MemPolicy.INTERLEAVE,
+                       MemPolicy.REPLICATED)
+    _CODE_BY_POLICY = {p: c for c, p in enumerate(_POLICY_BY_CODE)}
 
     def __init__(self, numa_nodes: int, default_block_bytes: int):
         self.numa_nodes = numa_nodes
         self.default_block_bytes = default_block_bytes
         self._next_id = 1
-        self._regions: Dict[int, Region] = {}
+        self._row_of: Dict[int, int] = {}  # insertion order == alloc order
+        self._cols = np.zeros((4, 8), dtype=np.int64)
+        self._free_rows: List[int] = list(range(7, -1, -1))
+        self._names: Dict[int, str] = {}
         self.allocated_bytes_per_node = [0] * numa_nodes
+
+    def _take_row(self) -> int:
+        if not self._free_rows:
+            old = self._cols
+            cap = old.shape[1]
+            self._cols = np.zeros((4, 2 * cap), dtype=np.int64)
+            self._cols[:, :cap] = old
+            self._free_rows = list(range(2 * cap - 1, cap - 1, -1))
+        return self._free_rows.pop()
+
+    def _mint(self, region_id: int, row: int) -> Region:
+        c = self._cols
+        return Region(
+            region_id=region_id,
+            size_bytes=int(c[self._COL_SIZE, row]),
+            block_bytes=int(c[self._COL_BLOCK, row]),
+            policy=self._POLICY_BY_CODE[int(c[self._COL_POLICY, row])],
+            home_node=int(c[self._COL_HOME, row]),
+            numa_nodes=self.numa_nodes,
+            name=self._names[region_id],
+        )
 
     def alloc(
         self,
@@ -100,17 +140,16 @@ class RegionTable:
             raise ValueError("region size must be non-negative")
         if not 0 <= node < self.numa_nodes:
             raise ValueError(f"NUMA node {node} out of range")
-        region = Region(
-            region_id=self._next_id,
-            size_bytes=size_bytes,
-            block_bytes=block_bytes or self.default_block_bytes,
-            policy=policy,
-            home_node=node,
-            numa_nodes=self.numa_nodes,
-            name=name or f"region{self._next_id}",
-        )
+        region_id = self._next_id
         self._next_id += 1
-        self._regions[region.region_id] = region
+        row = self._take_row()
+        col = self._cols
+        col[self._COL_SIZE, row] = size_bytes
+        col[self._COL_BLOCK, row] = block_bytes or self.default_block_bytes
+        col[self._COL_POLICY, row] = self._CODE_BY_POLICY[policy]
+        col[self._COL_HOME, row] = node
+        self._row_of[region_id] = row
+        self._names[region_id] = name or f"region{region_id}"
         if policy is MemPolicy.REPLICATED:
             for n in range(self.numa_nodes):
                 self.allocated_bytes_per_node[n] += size_bytes
@@ -120,7 +159,7 @@ class RegionTable:
                 self.allocated_bytes_per_node[n] += share
         else:
             self.allocated_bytes_per_node[node] += size_bytes
-        return region
+        return self._mint(region_id, row)
 
     def free(self, region: Region) -> None:
         """Release a region, returning its bytes to the per-node accounting.
@@ -129,8 +168,12 @@ class RegionTable:
         decrements ``allocated_bytes_per_node`` (mirroring the increments
         made by :meth:`alloc` for each placement policy).
         """
-        if self._regions.pop(region.region_id, None) is None:
+        row = self._row_of.pop(region.region_id, None)
+        if row is None:
             return
+        self._cols[:, row] = 0
+        self._free_rows.append(row)
+        self._names.pop(region.region_id, None)
         if region.policy is MemPolicy.REPLICATED:
             for n in range(self.numa_nodes):
                 self.allocated_bytes_per_node[n] -= region.size_bytes
@@ -142,10 +185,10 @@ class RegionTable:
             self.allocated_bytes_per_node[region.home_node] -= region.size_bytes
 
     def get(self, region_id: int) -> Region:
-        return self._regions[region_id]
+        return self._mint(region_id, self._row_of[region_id])
 
     def live_regions(self) -> List[Region]:
-        return list(self._regions.values())
+        return [self._mint(rid, row) for rid, row in self._row_of.items()]
 
 
 class _Server:

@@ -44,8 +44,9 @@ its pure service expression, so the per-server grouping collapses into a
 handful of whole-segment array ops plus O(channels) scalar accounting.
 """
 
+from itertools import islice, repeat
 from math import gcd
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +63,19 @@ from repro.hw.memory import MemPolicy
 # seeded cumsum beats the interpreter loop; below it, the numpy call
 # overhead dominates.
 _CHAIN_LOOP_MAX = 48
+
+# A queueing batch is served either by an interpreter replay of
+# ``_Server.service`` (~1 us per arrival) or by the busy-period cumsum
+# replay (a handful of numpy passes per busy period).  The interpreter
+# wins when periods are dense relative to arrivals: python_cost ~ m,
+# numpy_cost ~ periods * this many arrival-equivalents per pass.
+_SERVE_PERIOD_COST = 9
+
+# The breadth-first period replay chains *all* busy periods at once with
+# one vector add per queue position, so its cost is ~6 numpy ops per
+# *longest* period instead of per period.  Past this depth a single
+# dense period is cheaper through the per-period cumsum.
+_SERVE_VEC_MAX_DEPTH = 32
 
 
 def _chain(x0: float, m: int, s: float) -> float:
@@ -100,6 +114,150 @@ def _per_row(mat, first: int, m: int, rem: int) -> list:
     return out
 
 
+_ARANGE = np.arange(4096)
+
+
+def _arange(k: int) -> np.ndarray:
+    """Memoized ``np.arange(k)`` (read-only use only)."""
+    global _ARANGE
+    if k > _ARANGE.shape[0]:
+        _ARANGE = np.arange(2 * k)
+    return _ARANGE[:k]
+
+
+def serve_groups(servers: list, t: np.ndarray, bounds: np.ndarray,
+                 s_row: np.ndarray) -> np.ndarray:
+    """Serve several independent servers' arrival groups in one matrix pass.
+
+    ``t[bounds[g]:bounds[g+1]]`` holds group ``g``'s nondecreasing arrival
+    times for ``servers[g]`` with constant service time ``s_row[g]`` —
+    different rows may carry different service times, so DRAM channels,
+    peer fabric links and cross-socket links all batch into *one* call.
+    Equivalent to one :func:`serve_constant` call per group —
+    bit-identically, including all server-state updates — but the cost
+    is one set of numpy ops over a ``groups x longest-group`` matrix
+    instead of ~a dozen ops *per group*.  The servers must be pairwise
+    distinct (each row's state evolves independently).
+
+    The matrix path requires a row to be head-drain shaped (arrivals
+    spaced at least ``s_row[g]`` apart, so any queue backlog carried in
+    from earlier batches only shrinks): the row chain is then a seeded
+    row cumsum up to the drain point and plain ``t + s`` after it.
+    Internally dense rows are served by :func:`serve_constant`
+    individually; the returned delay vector always covers every group.
+    """
+    ng = len(servers)
+    length = np.diff(bounds)
+    max_l = int(length.max())
+    col = _arange(max_l)
+    valid = col < length[:, None]
+    tm = np.full((ng, max_l), np.inf)
+    tm[valid] = t
+    sg = s_row[:, None]
+    if max_l > 1:
+        # +inf padding makes every pad gap trivially ok.
+        ok = (tm[:, 1:] >= tm[:, :-1] + sg).all(axis=1)
+        all_ok = bool(ok.all())
+    else:
+        all_ok = True
+    d_out = None
+    if not all_ok:
+        # Dense rows replay through the sequential server; the matrix
+        # path below then runs on the surviving head-drain rows only.
+        d_out = np.empty(t.shape[0])
+        for g in np.flatnonzero(~ok).tolist():
+            lo, hi = int(bounds[g]), int(bounds[g + 1])
+            d_out[lo:hi], _ = serve_constant(servers[g], t[lo:hi],
+                                             float(s_row[g]))
+        if not bool(ok.any()):
+            return d_out
+        keep = np.repeat(ok, length)
+        servers = [sv for g, sv in enumerate(servers) if ok[g]]
+        tm = tm[ok]
+        valid = valid[ok]
+        length = length[ok]
+        sg = sg[ok]
+        ng = len(servers)
+        max_l = int(length.max())
+        if max_l < tm.shape[1]:
+            tm = tm[:, :max_l]
+            valid = valid[:, :max_l]
+            col = col[:max_l]
+    rows = _arange(ng)
+    heads = tm[:, 0]
+    attrs = np.array([(sv.free_at, sv.busy_ns, sv.wait_ns)
+                      for sv in servers])
+    if bool((attrs[:, 0] <= heads).all()):
+        # Every row starts idle and stays idle (arrivals spaced >= s):
+        # each arrival departs at ``t + s`` with zero wait, so the wait
+        # chain adds +0.0 per arrival — a bitwise no-op on the
+        # non-negative accumulator — and only the busy chain needs a
+        # sequential replay.
+        fm = tm + sg
+        am = np.empty((ng, max_l + 1))
+        am[:, 0] = attrs[:, 1]
+        am[:, 1:] = sg
+        np.cumsum(am, axis=1, out=am)
+        busy_end = am[rows, length].tolist()
+        free_end = fm[rows, length - 1].tolist()
+        len_l = length.tolist()
+        for g, sv in enumerate(servers):
+            sv.free_at = free_end[g]
+            sv.busy_ns = busy_end[g]
+            sv.requests += len_l[g]
+        if d_out is None:
+            return fm[valid] - t
+        d_out[keep] = fm[valid] - t[keep]
+        return d_out
+    start0 = np.maximum(attrs[:, 0], heads)
+    # Candidate finishes assuming each row stays queued: the exact
+    # sequential ``+= s`` chain, seeded per row, replayed left-to-right
+    # by one row-wise cumsum.
+    cm = np.empty((ng, max_l))
+    cm[:, 0] = start0 + sg[:, 0]
+    cm[:, 1:] = sg
+    np.cumsum(cm, axis=1, out=cm)
+    # First arrival that finds its server idle; +inf padding guarantees
+    # a hit at the first pad cell, so rows without one drain at length.
+    # (All-singleton groups have no drain candidates: the head IS the
+    # row, and ``start0`` already folded its idle-vs-queued choice in.)
+    if max_l > 1:
+        drained = cm[:, : max_l - 1] <= tm[:, 1:]
+        j = np.where(drained.any(axis=1),
+                     np.argmax(drained, axis=1) + 1, length)
+    else:
+        j = length
+    queued = col < j[:, None]
+    fm = np.where(queued, cm, tm + sg)
+    wm = np.empty((ng, max_l))
+    wm[:, 0] = start0 - heads
+    if max_l > 1:
+        wm[:, 1:] = np.where(queued[:, 1:], cm[:, : max_l - 1] - tm[:, 1:],
+                             0.0)
+    # Per-server accumulator chains (busy_ns, wait_ns), seeded row
+    # cumsums with endpoints at each row's true length; one stacked
+    # matrix so a single cumsum replays both chains.
+    am = np.empty((2 * ng, max_l + 1))
+    am[:ng, 0] = attrs[:, 1]
+    am[ng:, 0] = attrs[:, 2]
+    am[:ng, 1:] = sg
+    am[ng:, 1:] = wm  # pad cells are +0.0 and sit past each endpoint
+    np.cumsum(am, axis=1, out=am)
+    busy_end = am[rows, length].tolist()
+    wait_end = am[ng + rows, length].tolist()
+    free_end = fm[rows, length - 1].tolist()
+    len_l = length.tolist()
+    for g, sv in enumerate(servers):
+        sv.free_at = free_end[g]
+        sv.busy_ns = busy_end[g]
+        sv.wait_ns = wait_end[g]
+        sv.requests += len_l[g]
+    if d_out is None:
+        return fm[valid] - t
+    d_out[keep] = fm[valid] - t[keep]
+    return d_out
+
+
 def serve_constant(server, t: np.ndarray, s: float) -> Tuple[np.ndarray, np.ndarray]:
     """Serve ``m`` arrivals at nondecreasing times ``t`` with constant service ``s``.
 
@@ -120,14 +278,126 @@ def serve_constant(server, t: np.ndarray, s: float) -> Tuple[np.ndarray, np.ndar
     # Fast path: no queueing anywhere in the batch (idle server at every
     # arrival).  ``t[i] >= t[i-1] + s`` uses the exact finish values the
     # scalar loop would compare against.
-    if free <= t[0] and (m == 1 or bool(np.all(t[1:] >= t[:-1] + s))):
+    n_gaps = 0
+    if m > 1:
+        gaps = t[1:] >= t[:-1] + s
+        if bool(gaps.all()):
+            if free <= t[0]:
+                f = t + s
+                server.free_at = float(f[-1])
+                server.requests += m
+                _accumulate_busy(server, m, s)
+                # Every wait is ``t[i] - t[i] == +0.0`` and the scalar
+                # chain ``wait_ns += 0.0`` leaves a non-negative
+                # accumulator bit-unchanged.
+                return f - t, np.zeros(m)
+            # Head-drain: the server starts busy (carryover from an
+            # earlier batch) but arrivals are spaced >= s apart, so the
+            # backlog only shrinks — once one arrival finds the server
+            # idle, every later one does too.  The busy head is one
+            # seeded cumsum (the exact ``+= s`` chain); everything after
+            # the drain point is a plain idle ``t + s``.
+            c = np.empty(m)
+            c[0] = free + s
+            c[1:] = s
+            c = np.cumsum(c)
+            drained = c[:-1] <= t[1:]
+            j = 1 + int(np.argmax(drained)) if bool(drained.any()) else m
+            f = np.empty(m)
+            f[:j] = c[:j]
+            w = np.empty(m)
+            w[0] = free - t[0]
+            w[1:j] = c[: j - 1] - t[1:j]
+            if j < m:
+                f[j:] = t[j:] + s
+                w[j:] = 0.0
+            server.free_at = float(f[-1])
+            server.requests += m
+            _accumulate_busy(server, m, s)
+            acc = np.empty(m + 1)
+            acc[0] = server.wait_ns
+            acc[1:] = w
+            server.wait_ns = float(np.cumsum(acc)[-1])
+            return f - t, w
+        # Idle gaps under the no-queue assumption estimate busy-period
+        # starts (queue carryover only merges periods, never adds any).
+        n_gaps = int(np.count_nonzero(gaps))
+    elif free <= t[0]:
         f = t + s
         server.free_at = float(f[-1])
+        server.requests += 1
+        _accumulate_busy(server, 1, s)
+        return f - t, np.zeros(1)
+    if n_gaps and m >= 10:
+        # Breadth-first period replay: chain every provisional busy
+        # period simultaneously, one ``+= s`` vector add per queue depth
+        # — the same left-to-right float accumulation as the scalar loop,
+        # applied to all period heads at once.  Provisional starts (idle
+        # gaps) are a superset of true starts, so the result is valid iff
+        # every provisional start really found the server idle; that is
+        # checked before any state is touched, falling back to the exact
+        # sequential paths below when queue backlog carried across a gap.
+        ps = np.empty(n_gaps + 1, dtype=np.int64)
+        ps[0] = 0
+        ps[1:] = np.flatnonzero(gaps) + 1
+        ends = np.empty(n_gaps + 1, dtype=np.int64)
+        ends[:-1] = ps[1:]
+        ends[-1] = m
+        if int((ends - ps).max()) <= _SERVE_VEC_MAX_DEPTH:
+            bases = t[ps]
+            if free > t[0]:
+                bases[0] = free
+            curq = bases + s
+            f = np.empty(m)
+            w = np.zeros(m)
+            f[ps] = curq
+            if free > t[0]:
+                w[0] = free - t[0]
+            pos = ps + 1
+            en = ends
+            while True:
+                alive = pos < en
+                if not bool(alive.all()):
+                    pos = pos[alive]
+                    if not pos.size:
+                        break
+                    en = en[alive]
+                    curq = curq[alive]
+                prev = curq           # = free before this arrival (queued)
+                curq = curq + s
+                f[pos] = curq
+                w[pos] = prev - t[pos]
+                pos = pos + 1
+            if bool((f[ps[1:] - 1] <= t[ps[1:]]).all()):
+                server.free_at = float(f[-1])
+                server.requests += m
+                _accumulate_busy(server, m, s)
+                acc = np.empty(m + 1)
+                acc[0] = server.wait_ns
+                acc[1:] = w
+                server.wait_ns = float(np.cumsum(acc)[-1])
+                return f - t, w
+    if m < _SERVE_PERIOD_COST * (n_gaps + 1):
+        # Dense busy periods (scattered arrivals, short queues): an
+        # interpreter replay of ``_Server.service`` — same float ops,
+        # same order — beats per-busy-period numpy passes.
+        busy = server.busy_ns
+        waits = server.wait_ns
+        d_l: List[float] = []
+        w_l: List[float] = []
+        for now in t.tolist():
+            start = free if free > now else now
+            free = start + s
+            busy += s
+            w = start - now
+            waits += w
+            d_l.append(free - now)
+            w_l.append(w)
+        server.free_at = free
+        server.busy_ns = busy
+        server.wait_ns = waits
         server.requests += m
-        _accumulate_busy(server, m, s)
-        # Every wait is ``t[i] - t[i] == +0.0`` and the scalar chain
-        # ``wait_ns += 0.0`` leaves a non-negative accumulator bit-unchanged.
-        return f - t, np.zeros(m)
+        return np.asarray(d_l), np.asarray(w_l)
     f = np.empty(m)
     start = np.empty(m)
     i = 0
@@ -424,6 +694,508 @@ def _bind_arith_segment(
         d_x, _ = serve_constant(xsrv, t, s_xlink)
         ns = ns + d_x
     return float((t + ns).max())
+
+
+def gather_segment(
+    machine,
+    region,
+    chiplet: int,
+    my_node: int,
+    arr: np.ndarray,
+    keys: np.ndarray,
+    t0: float,
+    req_bytes: int,
+    write: bool,
+    per_issue_ns: float,
+    mlp: float,
+    lats: Tuple[float, float, float, float],
+    counts: List[int],
+    state: list,
+) -> Optional[bool]:
+    """Service a whole unsorted, duplicate-laden batch in array ops.
+
+    The irregular-access kernel: where the segment kernels above need a
+    long run of one service class, this one takes the batch exactly as
+    the workload issued it — random order, repeats and all — and
+    services every class at once:
+
+    1. **argsort** the block vector (stable) and classify each *unique*
+       block in sorted order from the directory's bitmask column: local
+       hit, hit-with-sharers (write), DRAM miss, or peer fill with the
+       min-id holder extracted as a lowest-set-bit;
+    2. **replay duplicates as hits**: within one batch the first touch of
+       a block services as its classified fill/hit, every repeat is a
+       local L3 hit (after a write's first touch the requester is the
+       block's sole holder, so repeat writes invalidate nothing);
+    3. service the per-access arrival times — one seeded cumsum over the
+       per-access issue steps — through the shared servers, with each
+       bank's arrivals **merged across classes in batch order** (the
+       requester link sees misses and peer fills interleaved exactly as
+       the scalar loop would present them);
+    4. **inverse-permute** nothing at the end: arrival times are built in
+       batch order directly (the inverse permutation of the argsort maps
+       each access to its unique's classification), so per-access
+       completions land in place and the slowest one is the batch finish.
+
+    Duplicate-replay clock math: a repeat contributes a plain-hit issue
+    step ``max(l3_hit / mlp, per_issue_ns)`` and a completion at
+    ``t + l3_hit``; its LRU effect is a recency refresh, so the slice's
+    final tail is the batch's unique blocks in *last*-occurrence order.
+
+    Preconditions (checked here, not by the caller): BIND or INTERLEAVE
+    region, uniformly-sized resident entries matching the region's block
+    size, and a classification-stability certificate obtained by
+    *simulating the eviction interleaving* at the unique-block level —
+    if any block classified as a hit would be evicted by earlier fills
+    before its first touch, the kernel declines.  Returns ``None`` (with
+    **no state mutated**) when it declines — the caller falls back to
+    the segment/scalar path — else ``True`` when duplicates were
+    replayed, ``False`` for a duplicate-free batch.
+    """
+    caches = machine.caches
+    cache = caches.caches[chiplet]
+    nb = region.block_bytes
+    cap = cache.capacity_bytes
+    if nb > cap:
+        return None
+    slot_map = cache._slot
+    len0 = len(slot_map)
+    if len0 and cache._uniform_nb != nb:
+        return None
+    if cache.used_bytes != len0 * nb:
+        return None
+    n = arr.shape[0]
+
+    # -- 1. argsort -> unique blocks + inverse permutation ------------------
+    perm = np.argsort(arr, kind="stable")
+    sorted_arr = arr[perm]
+    newgrp = np.empty(n, dtype=bool)
+    newgrp[0] = True
+    np.not_equal(sorted_arr[1:], sorted_arr[:-1], out=newgrp[1:])
+    starts = np.flatnonzero(newgrp)
+    nu = starts.shape[0]
+    has_dups = nu < n
+    # Stable sort keeps equal blocks in batch order, so a group's first
+    # and last members are its first/last occurrence positions.
+    first_pos = perm[starts]
+    ends = np.empty(nu, dtype=np.int64)
+    ends[:-1] = starts[1:]
+    ends[-1] = n
+    last_pos = perm[ends - 1]
+    gid = np.cumsum(newgrp) - 1
+    inv = np.empty(n, dtype=np.int64)
+    inv[perm] = gid
+    ublocks = sorted_arr[starts]
+    ukeys = keys[perm[starts]]
+    ukeys_list = ukeys.tolist()
+
+    # -- classify uniques from the directory bitmask column -----------------
+    dir_slot = caches._dir_slot
+    dslots = np.fromiter(map(dir_slot.get, ukeys_list, repeat(-1)),
+                         dtype=np.int64, count=nu)
+    present = dslots >= 0
+    masks = np.zeros(nu, dtype=np.int64)
+    masks[present] = caches._dir_mask[dslots[present]]
+    bit = 1 << chiplet
+    nbit = np.int64(bit)
+    res_u = (masks & nbit) != 0  # resident in requester's slice (invariant)
+    others = masks & ~nbit
+
+    # -- eviction interleaving: victims + hit reclassification --------------
+    # Fills evict from the LRU front; a block classified as a hit whose
+    # first touch comes *after* its eviction would be re-missed by the
+    # scalar loop.  Replay the exact interleaving of touches and
+    # evictions at the unique level (touches in first-occurrence order;
+    # each overflowing fill pops the oldest surviving untouched original)
+    # and *reclassify* such blocks as the fill the scalar loop performs —
+    # the extra fill cascades naturally into further evictions.  Victims
+    # come out of the simulation in scalar eviction order; reclassified
+    # keys appear both as victims (their old residency) and as fills.
+    maxlen = cap // nb
+    n_res0 = int(np.count_nonzero(res_u))
+    victims: List[int] = []
+    if len0 + (nu - n_res0) > maxlen:
+        if n_res0 == 0:
+            # No resident batch block can be disturbed: victims are
+            # exactly the E oldest entries.
+            E = len0 + nu - maxlen
+            if E > len0:
+                return None  # fills would evict the batch's own blocks
+            victims = list(islice(slot_map, E))
+        else:
+            # Only resident uniques interact with the eviction frontier:
+            # every other unique just advances it by one (once ``room``
+            # runs out).  Walk the residents alone — in first-touch
+            # order, tracking how many fills (including reclassified
+            # re-misses) precede each touch — instead of simulating all
+            # ``nu`` touches.  A resident whose depth the frontier has
+            # already passed was evicted before its first touch: the
+            # scalar loop re-misses it, so reclassify it as a fill.
+            orig_arr = np.fromiter(slot_map.keys(), dtype=np.int64,
+                                   count=len0)
+            sorter = np.argsort(orig_arr, kind="stable")
+            # Touch order = ascending first_pos (unique values, so the
+            # unstable default sort is deterministic); a resident's
+            # fills-before count is its touch rank minus how many
+            # residents were touched before it.
+            ord1 = np.argsort(first_pos)
+            rpos = np.flatnonzero(res_u[ord1])
+            r_idx_o = ord1[rpos]
+            depths = sorter[np.searchsorted(orig_arr[sorter],
+                                            ukeys[r_idx_o])]
+            d_seq = depths.tolist()
+            fb_seq = (rpos - np.arange(n_res0)).tolist()
+            room = maxlen - len0
+            touched: List[int] = []  # depths of successfully touched
+            reclass: List[int] = []
+            extra = 0  # reclassified re-misses so far (each is a fill)
+            for i in range(n_res0):
+                e = fb_seq[i] + extra - room
+                if e > 0:
+                    # Frontier position after ``e`` evictions: the e-th
+                    # untouched depth (touched entries are skipped).
+                    p = e
+                    while True:
+                        c = sum(1 for d in touched if d < p)
+                        if p == e + c:
+                            break
+                        p = e + c
+                    if p > len0:
+                        return None  # fills would evict batch blocks
+                    if d_seq[i] < p:
+                        reclass.append(int(r_idx_o[i]))
+                        extra += 1
+                        continue
+                touched.append(d_seq[i])
+            E = len0 + (nu - n_res0 + extra) - maxlen
+            if E > len0 - len(touched):
+                return None  # fills would evict the batch's own blocks
+            unt = np.ones(len0, dtype=bool)
+            if touched:
+                unt[touched] = False
+            victims = orig_arr[np.flatnonzero(unt)[:E]].tolist()
+            if reclass:
+                # The scalar loop re-misses these: directory-wise their
+                # residency bit falls with the victims and the refill
+                # restores it, so the pre-batch ``others`` masks still
+                # classify the replacement fill (DRAM vs peer).
+                res_u[reclass] = False
+
+    peer_u = ~res_u & (others != 0)
+    miss_u = ~res_u & ~peer_u
+
+    lat = machine.latency
+    l3 = lat.l3_hit
+    if write:
+        inval_u = np.zeros(nu, dtype=np.int64)
+        ivm = res_u | peer_u
+        inval_u[ivm] = np.bitwise_count(others[ivm]).astype(np.int64)
+        iv_ns = inval_u * lat.invalidate
+    n_res = int(np.count_nonzero(res_u))
+    nfills = nu - n_res
+
+    # -- per-access latency / issue-step arrays -----------------------------
+    lat_u = np.empty(nu)
+    base_u = np.empty(nu)
+    src_u = np.empty(nu, dtype=np.int64)
+    if n_res:
+        if write:
+            lat_u[res_u] = l3 + iv_ns[res_u]
+        else:
+            lat_u[res_u] = l3
+        base_u[res_u] = lat_u[res_u]
+        src_u[res_u] = IDX_LOCAL_CHIPLET
+    mi = np.flatnonzero(miss_u)
+    homes_mi = None
+    if mi.size:
+        if region.policy is MemPolicy.BIND:
+            local = region.home_node == my_node
+            lat_u[mi] = lats[0] if local else lats[1]
+            base_u[mi] = lat.dram_local if local else lat.dram_remote
+            src_u[mi] = IDX_DRAM_LOCAL if local else IDX_DRAM_REMOTE
+        else:  # INTERLEAVE
+            homes_mi = ublocks[mi] % region.numa_nodes
+            loc = homes_mi == my_node
+            lat_u[mi] = np.where(loc, lats[0], lats[1])
+            base_u[mi] = np.where(loc, lat.dram_local, lat.dram_remote)
+            src_u[mi] = np.where(loc, IDX_DRAM_LOCAL, IDX_DRAM_REMOTE)
+    pi = np.flatnonzero(peer_u)
+    if pi.size:
+        socket_of = machine.topo.socket_of_chiplet_arr
+        my_socket = int(socket_of[chiplet])
+        o = others[pi]
+        same_cand = o & np.int64(caches._socket_mask[my_socket])
+        cand = np.where(same_cand != 0, same_cand, o)
+        low = cand & -cand
+        # Min-id holder == lowest set bit; log2 of an exact power of two
+        # is exact in float64.
+        holders_p = np.log2(low.astype(np.float64)).astype(np.int64)
+        same_p = socket_of[holders_p] == my_socket
+        lat_p = np.where(same_p, lats[2], lats[3])
+        if write:
+            lat_p = lat_p + iv_ns[pi]
+        lat_u[pi] = lat_p
+        base_u[pi] = np.where(same_p, lat.fill_same_socket, lat.fill_cross_socket)
+        src_u[pi] = np.where(same_p, IDX_REMOTE_CHIPLET, IDX_REMOTE_NUMA_CHIPLET)
+
+    lat_a = lat_u[inv]
+    base_a = base_u[inv]
+    src_a = src_u[inv]
+    if has_dups:
+        # Duplicate replay: every repeat is a plain local hit (the first
+        # touch made — or kept — the requester a holder; after a write's
+        # first touch it is the *sole* holder, so repeats invalidate 0).
+        rep = np.ones(n, dtype=bool)
+        rep[first_pos] = False
+        lat_a[rep] = l3
+        base_a[rep] = l3
+        src_a[rep] = IDX_LOCAL_CHIPLET
+
+    steps = lat_a / mlp  # overlap pure latency, not queue waits
+    steps = np.where(steps > per_issue_ns, steps, per_issue_ns)
+    tf = np.empty(n + 1)
+    tf[0] = t0
+    tf[1:] = steps
+    tf = np.cumsum(tf)
+    t = tf[:-1]
+    t_end = float(tf[-1])
+
+    # -- servers: arrivals merged per bank in batch order -------------------
+    # (Mutation starts here; every decline happens above.)
+    s_chan = req_bytes / machine.channels.bytes_per_ns
+    s_link = req_bytes / machine.links.bytes_per_ns
+    s_xlink = req_bytes / machine.xlinks.bytes_per_ns
+    dz = np.zeros((3, n))  # rows: bank (channel/holder link), requester
+    d_srv, d_req, d_x = dz  # fabric link, cross-socket link delays
+
+    nonhit = np.zeros(n, dtype=bool)
+    nonhit[first_pos[miss_u]] = True
+    nonhit[first_pos[peer_u]] = True
+    svc_pos = np.flatnonzero(nonhit)
+    if svc_pos.size:
+        d, _ = serve_constant(machine.links.server(chiplet), t[svc_pos], s_link)
+        d_req[svc_pos] = d
+
+    # One serve_groups call covers every banked server class — DRAM
+    # channels, peer fabric links, cross-socket links — as rows of a
+    # single matrix with per-row service times.  All these servers are
+    # pairwise distinct (the requester's own link above is the only one
+    # shared across classes, and it is served separately), so row order
+    # is free; within each row arrivals stay in batch order.
+    xpair = np.full(n, -1, dtype=np.int64)
+    n_sockets = machine.xlinks.sockets
+    g_servers: List = []
+    g_pos: List[np.ndarray] = []
+    g_bounds: List[int] = [0]
+    g_s: List[float] = []
+    off = 0
+    if mi.size:
+        # One argsort on a (bank, position) composite key groups by bank
+        # while keeping batch order inside each group; keys are unique
+        # (positions are), so the unstable default sort is deterministic.
+        miss_pos = first_pos[miss_u]
+        mk = keys[miss_pos]
+        if homes_mi is None:
+            homes = np.full(mi.size, region.home_node, dtype=np.int64)
+        else:
+            homes = homes_mi
+        cps = machine.channels.channels_per_socket
+        sort_key = homes * cps + mk % cps
+        corder = np.argsort(sort_key * np.int64(n) + miss_pos)
+        skey = sort_key[corder]
+        cuts = (np.flatnonzero(skey[1:] != skey[:-1]) + 1).tolist()
+        g_servers += [machine.channels.server(sk // cps, sk % cps)
+                      for sk in (int(skey[b]) for b in (0, *cuts))]
+        g_pos.append(miss_pos[corder])
+        g_bounds += [off + c for c in cuts] + [off + int(mi.size)]
+        g_s += [s_chan] * (len(cuts) + 1)
+        off += int(mi.size)
+        remote = homes != my_node
+        if remote.any():
+            rp = miss_pos[remote]
+            rh = homes[remote]
+            lo = np.minimum(rh, my_node)
+            hi = np.maximum(rh, my_node)
+            xpair[rp] = lo * n_sockets + hi
+    if pi.size:
+        peer_pos = first_pos[peer_u]
+        horder = np.argsort(holders_p * np.int64(n) + peer_pos)
+        hkey = holders_p[horder]
+        cuts = (np.flatnonzero(hkey[1:] != hkey[:-1]) + 1).tolist()
+        g_servers += [machine.links.server(int(hkey[b])) for b in (0, *cuts)]
+        g_pos.append(peer_pos[horder])
+        g_bounds += [off + c for c in cuts] + [off + int(pi.size)]
+        g_s += [s_link] * (len(cuts) + 1)
+        off += int(pi.size)
+        psock = socket_of[holders_p]
+        cross = psock != my_socket
+        if cross.any():
+            cp = peer_pos[cross]
+            cs = psock[cross]
+            lo = np.minimum(cs, my_socket)
+            hi = np.maximum(cs, my_socket)
+            xpair[cp] = lo * n_sockets + hi
+    n_srv = off
+    xpos = np.flatnonzero(xpair >= 0)
+    if xpos.size:
+        xp = xpair[xpos]
+        xorder = np.argsort(xp, kind="stable")
+        xkey = xp[xorder]
+        cuts = (np.flatnonzero(xkey[1:] != xkey[:-1]) + 1).tolist()
+        g_servers += [machine.xlinks.server(pid // n_sockets, pid % n_sockets)
+                      for pid in (int(xkey[b]) for b in (0, *cuts))]
+        g_pos.append(xpos[xorder])
+        g_bounds += [off + c for c in cuts] + [off + int(xpos.size)]
+        g_s += [s_xlink] * (len(cuts) + 1)
+        off += int(xpos.size)
+    if g_servers:
+        pos_all = g_pos[0] if len(g_pos) == 1 else np.concatenate(g_pos)
+        d_all = serve_groups(g_servers, t[pos_all], np.asarray(g_bounds),
+                             np.asarray(g_s))
+        d_srv[pos_all[:n_srv]] = d_all[:n_srv]
+        if off > n_srv:
+            d_x[pos_all[n_srv:]] = d_all[n_srv:]
+
+    # Compose per-access totals in the scalar loop's addition order; every
+    # class's unused delay terms are +0.0, which leaves positive IEEE
+    # doubles bit-unchanged.  Peer writes add their invalidation term
+    # after the cross-link delay, exactly like the scalar loop.
+    ns_a = ((base_a + d_srv) + d_req) + d_x
+    if write and pi.size:
+        inv_a = np.zeros(n)
+        inv_a[first_pos[pi]] = iv_ns[pi]
+        ns_a = ns_a + inv_a
+    fin = float((t + ns_a).max())
+    state[0] = t_end
+    if fin > state[1]:
+        state[1] = fin
+    state[3] += n - nfills
+    state[4] += nfills
+    if write:
+        state[2] += int(inval_u.sum())
+
+    # Per-source fill-latency chains and counters, in batch order.
+    fl = machine._fill_lat
+    for s_idx in (IDX_LOCAL_CHIPLET, IDX_DRAM_LOCAL, IDX_DRAM_REMOTE,
+                  IDX_REMOTE_CHIPLET, IDX_REMOTE_NUMA_CHIPLET):
+        sel = src_a == s_idx
+        k = int(np.count_nonzero(sel))
+        if k:
+            acc = np.empty(k + 1)
+            acc[0] = fl[s_idx]
+            acc[1:] = lat_a[sel]
+            fl[s_idx] = float(np.cumsum(acc)[-1])
+            counts[s_idx] += k
+
+    # -- cache + directory writeback ----------------------------------------
+    caches_l = caches.caches
+    mask_col = caches._dir_mask
+    recycled = None  # victims' directory rows reusable for the miss fills
+    nv = len(victims)
+    vict_slots = None
+    if victims:
+        vict_slots = np.fromiter(map(slot_map.pop, victims),
+                                 dtype=np.int64, count=nv)
+        cache.used_bytes -= nv * nb
+        cache.evictions += nv
+        # Pop every victim's directory row in one C pass.  In the steady
+        # state no peer holds any victim, so each row already carries this
+        # chiplet's singleton mask — exactly what the miss fills below
+        # mint — and is recycled wholesale.  Shared victims get their row
+        # back with this chiplet's bit cleared.
+        vslots = np.fromiter(map(dir_slot.pop, victims), dtype=np.int64,
+                             count=nv)
+        if not np.bitwise_and(mask_col[vslots], ~nbit).any():
+            recycled = vslots
+        else:
+            rec: List[int] = []
+            for v, sl, m in zip(victims, vslots.tolist(),
+                                mask_col[vslots].tolist()):
+                m &= ~bit
+                if m:
+                    mask_col[sl] = m
+                    dir_slot[v] = sl
+                else:
+                    rec.append(sl)  # mask is already this chiplet's bit
+            recycled = np.asarray(rec, dtype=np.int64)
+    if write:
+        # Invalidation drops on peer slices (hit-with-sharers and peer
+        # fills); the survivors' masks collapse to this chiplet below.
+        for j in np.flatnonzero(inval_u > 0).tolist():
+            key = ukeys_list[j]
+            m = int(others[j])
+            while m:
+                lowb = m & -m
+                caches_l[lowb.bit_length() - 1].drop(key)
+                m ^= lowb
+    # Directory slot allocation may grow the mask column: take first,
+    # then fetch the (possibly new) column for every mask write.
+    n_mi = int(mi.size)
+    if n_mi:
+        if recycled is not None:
+            r = recycled.size
+            if r >= n_mi:
+                if r > n_mi:
+                    tail_r = recycled[n_mi:]
+                    mask_col[tail_r] = 0
+                    caches._dir_free.extend(tail_r.tolist())
+                mi_slots = recycled[:n_mi].tolist()
+            else:
+                extra = caches._dir_take_slots(n_mi - r)
+                mask_col = caches._dir_mask
+                mask_col[extra] = nbit
+                mi_slots = recycled.tolist() + extra
+        else:
+            mi_slots = caches._dir_take_slots(n_mi)
+            mask_col = caches._dir_mask
+            mask_col[mi_slots] = nbit
+        dir_slot.update(zip(ukeys[mi].tolist(), mi_slots))
+    elif recycled is not None and recycled.size:
+        mask_col[recycled] = 0
+        caches._dir_free.extend(recycled.tolist())
+    if pi.size:
+        if write:
+            mask_col[dslots[pi]] = nbit
+        else:
+            mask_col[dslots[pi]] |= nbit
+    if write and n_res:
+        hs = res_u & (inval_u > 0)
+        if hs.any():
+            mask_col[dslots[hs]] = nbit
+
+    # LRU writeback: untouched originals keep their order; the batch's
+    # unique blocks re-enter at the tail in last-occurrence order (hits
+    # carry their slot along, fills take fresh slots sized nb).
+    cache_slot_u = np.empty(nu, dtype=np.int64)
+    if n_res:
+        for j in np.flatnonzero(res_u).tolist():
+            cache_slot_u[j] = slot_map.pop(ukeys_list[j])
+    if nfills:
+        # Fills reuse the victims' cache slots directly (slot identity
+        # is unobservable; victim rows already read ``nb`` because the
+        # slice was uniformly ``nb``-sized on entry) and only overflow
+        # into the free stack.
+        if nfills <= nv:
+            cache_slot_u[~res_u] = vict_slots[:nfills]
+            if nfills < nv:
+                cache._free.extend(vict_slots[nfills:].tolist())
+        else:
+            extra = cache._take_slots(nfills - nv)
+            cache._sizes[extra] = nb
+            if nv:
+                fill_slots = np.empty(nfills, dtype=np.int64)
+                fill_slots[:nv] = vict_slots
+                fill_slots[nv:] = extra
+                cache_slot_u[~res_u] = fill_slots
+            else:
+                cache_slot_u[~res_u] = extra
+        cache.used_bytes += nfills * nb
+    elif vict_slots is not None:
+        cache._free.extend(vict_slots.tolist())
+    cache._uniform_nb = nb
+    tail = np.argsort(last_pos)  # unique values: unstable is deterministic
+    slot_map.update(zip(ukeys[tail].tolist(), cache_slot_u[tail].tolist()))
+    return has_dups
 
 
 def local_hit_segment(

@@ -5,12 +5,15 @@ machine in virtual time — this profiler observes the simulator itself in
 host wall-clock time, attributing it to the kernel paths introduced by
 the perf PRs:
 
-- ``scalar``      — the per-access fallback loop (``Machine._scalar_span``)
-- ``vec_miss``    — vectorized DRAM-fill segments (``dram_fill_segment``)
-- ``vec_hit``     — vectorized local-hit segments (``local_hit_segment``)
-- ``vec_peer``    — vectorized peer-fill segments (``peer_fill_segment``)
-- ``hot_replay``  — the O(1) cached re-read fast path in ``access_run``
-- ``access``      — single-access ``Machine.access`` calls
+- ``scalar``         — the per-access fallback loop (``Machine._scalar_span``)
+- ``vec_miss``       — vectorized DRAM-fill segments (``dram_fill_segment``)
+- ``vec_hit``        — vectorized local-hit segments (``local_hit_segment``)
+- ``vec_peer``       — vectorized peer-fill segments (``peer_fill_segment``)
+- ``vec_gather``     — whole-batch gather kernel on unsorted unique
+  batches (``gather_segment``, no duplicates present)
+- ``vec_dup_replay`` — the same kernel when repeats were replayed as hits
+- ``hot_replay``     — the O(1) cached re-read fast path in ``access_run``
+- ``access``         — single-access ``Machine.access`` calls
 
 Attach with ``machine.profiler = KernelProfiler()`` before running.
 Timing uses ``perf_counter`` around the kernel call only; it reads no
@@ -25,7 +28,8 @@ shifting between paths, not just as a lower accesses/sec number.
 
 from typing import Dict
 
-PATHS = ("scalar", "vec_miss", "vec_hit", "vec_peer", "hot_replay", "access")
+PATHS = ("scalar", "vec_miss", "vec_hit", "vec_peer", "vec_gather",
+         "vec_dup_replay", "hot_replay", "access")
 
 
 class KernelProfiler:

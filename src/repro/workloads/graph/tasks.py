@@ -299,6 +299,11 @@ def _owner_round_task(ws: GraphWorkspace, state: GraphState, part: int,
     inbox_base, inbox_count = ws.inbox_run(part, cand_v.size)
     yield AccessRun(ws.msg, inbox_base, inbox_count)
     uniq = np.unique(cand_v)
+    # Deduped state write-back: each owned vertex's state is updated once
+    # per round regardless of how many messages named it — the per-message
+    # examination cost is the inbox drain above, not extra memory writes.
+    # (Charging one write per message would add duplicate traffic that is
+    # placement-insensitive and dilutes the placement signal.)
     yield AccessBatch(
         ws.vtx, ws.vtx_blocks_for(uniq), write=True,
         nbytes=VTX_ACCESS_BYTES, compute_ns_per_block=VTX_TOUCH_NS,

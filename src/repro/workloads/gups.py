@@ -76,9 +76,10 @@ def _gups_task(region, table: np.ndarray, idx_stream: np.ndarray, word_bytes: in
     for start in range(0, n, UPDATES_PER_BATCH):
         idx = idx_stream[start : start + UPDATES_PER_BATCH]
         np.bitwise_xor.at(table, idx, idx + 1)
-        # np.unique yields sorted distinct blocks — handed to the machine
-        # as an ndarray so the vectorized kernels engage without a copy.
-        blocks = np.unique(idx * word_bytes // block_bytes)
+        # Raw update order, repeats and all: every XOR touches memory, and
+        # the gather kernel services unsorted duplicate-laden batches
+        # directly (repeats replay as L3 hits after the first touch).
+        blocks = idx * word_bytes // block_bytes
         yield AccessBatch(region, blocks, write=True, nbytes=UPDATE_BYTES)
         yield Compute(idx.size * UPDATE_COMPUTE_NS)
         yield YieldPoint()

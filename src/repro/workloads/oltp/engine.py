@@ -106,16 +106,17 @@ def run_oltp(
                 stats["aborted"] += 1
                 yield Compute(OP_LOGIC_NS * 2)
                 continue
-            # Record traffic: reads first, then written records.  Emit the
-            # deduped block sets as sorted int64 arrays — same values and
-            # order as the old sorted-set lists, but the machine's
-            # sortedness probe then proves distinctness without hashing.
-            read_blocks = np.unique(np.fromiter(
+            # Record traffic: reads first, then written records, each in
+            # raw op order with repeats kept — a transaction touching the
+            # same record twice really touches memory twice.  The gather
+            # kernel services unsorted duplicate-laden batches directly
+            # (repeats replay as L3 hits after the first touch).
+            read_blocks = np.fromiter(
                 (_key_block(k, table_region) for k, w in ops if not w),
-                dtype=np.int64))
-            write_blocks = np.unique(np.fromiter(
+                dtype=np.int64)
+            write_blocks = np.fromiter(
                 (_key_block(k, table_region) for k, w in ops if w),
-                dtype=np.int64))
+                dtype=np.int64)
             if read_blocks.size:
                 yield AccessBatch(table_region, read_blocks, nbytes=RECORD_BYTES,
                                   dependent=True)

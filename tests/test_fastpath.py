@@ -49,8 +49,7 @@ def test_find_holder_is_directory_order_independent():
     b = _cs()
     for ch in (3, 2, 1, 0):
         b.fill(ch, 5, 64)
-    b.caches[0].drop(5)
-    b.directory[5].discard(0)
+    b.remove_holder(5, 0)
     assert a.directory[5] == b.directory[5]
     for requester in range(4):
         assert a.find_holder(requester, 5) == b.find_holder(requester, 5)

@@ -1,0 +1,191 @@
+"""Bit-identity of the gather/scatter kernel vs the scalar path.
+
+PR 3/4 proved the sorted-unique miss, hit, and peer-fill kernels
+bit-identical; this suite covers the gather kernel that services
+*unsorted, duplicate-laden* batches directly: the inverse-permutation
+scatter of per-class delays, the duplicate-replay clock math (repeats
+resolve against the first touch's fill), the composite-key bank
+grouping, the single ``serve_groups`` call across channel/peer/xlink
+server classes, and the SoA eviction/writeback paths underneath.
+
+The contract is the one every kernel in :mod:`repro.hw.vector` obeys:
+virtual times, LRU contents *and order*, the sharing directory,
+hit/miss/eviction statistics, per-core fill counters, and bandwidth
+server state must match a forced-scalar twin exactly — bit for bit —
+and every run must leave the directory structurally consistent
+(:meth:`CacheSystem.check_directory_consistent`).
+
+Scenario shapes pin the gather-specific classes: raw gups-style streams
+(unsorted, occasional repeats), duplicate-heavy batches drawn from a
+tiny block pool, reverse-sorted batches, and mixed read/write sequences
+interleaved across cores so directory state carries between batches.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro.hw.machine as machine_mod
+from repro.hw.machine import milan, sapphire_rapids, small_test_machine
+from repro.hw.memory import MemPolicy
+
+MACHINES = {
+    "small_test_machine": small_test_machine,
+    "milan32": lambda: milan(scale=32),
+    "sapphire_rapids32": lambda: sapphire_rapids(scale=32),
+}
+
+
+def scalar_batch(machine, core, region, blocks, now, **kw):
+    """Service a batch with the vector kernels disabled (reference path)."""
+    saved = machine_mod.VECTOR_MIN
+    machine_mod.VECTOR_MIN = 1 << 60
+    try:
+        return machine.access_batch(core, region, list(blocks), now, **kw)
+    finally:
+        machine_mod.VECTOR_MIN = saved
+
+
+def machine_state(m):
+    """Everything the equivalence contract covers, as comparable values."""
+    return {
+        "directory": {k: frozenset(v) for k, v in m.caches.directory.items()},
+        "lru": [list(c._lru.items()) for c in m.caches.caches],
+        "cache_stats": [
+            (c.hits, c.misses, c.evictions, c.used_bytes) for c in m.caches.caches
+        ],
+        "bandwidth": m.bandwidth_stats(),
+        "counters": [m.counters.core(c).v for c in range(m.topo.total_cores)],
+        "total_accesses": m.total_accesses,
+    }
+
+
+def assert_same_state(m_vec, m_ref):
+    sv, sr = machine_state(m_vec), machine_state(m_ref)
+    for k in sv:
+        assert sv[k] == sr[k], f"state mismatch in {k}"
+    assert m_vec.caches.check_directory_consistent()
+
+
+def _pair(mk, policy=MemPolicy.INTERLEAVE, blocks=96):
+    m_vec, m_ref = mk(), mk()
+    size = blocks * m_vec.block_bytes
+    r_vec = m_vec.alloc_region(size, node=0, policy=policy, name="geq")
+    r_ref = m_ref.alloc_region(size, node=0, policy=policy, name="geq")
+    return m_vec, r_vec, m_ref, r_ref
+
+
+def _drive(m_vec, r_vec, m_ref, r_ref, batches):
+    """Run (core, blocks, write) batches through both twins, clock-chained."""
+    now = 0.0
+    for core, blocks, write in batches:
+        res_v = m_vec.access_batch(core, r_vec, np.asarray(blocks, dtype=np.int64),
+                                   now=now, write=write)
+        res_s = scalar_batch(m_ref, core, r_ref, blocks, now, write=write)
+        assert res_v.ns == res_s.ns, "virtual time diverged"
+        assert res_v.finish == res_s.finish
+        assert res_v.fill_counts == res_s.fill_counts
+        now += res_v.ns
+    assert_same_state(m_vec, m_ref)
+
+
+# --- hypothesis: arbitrary unsorted duplicate-laden read/write sequences ---
+
+@pytest.mark.parametrize("mk", MACHINES.values(), ids=MACHINES.keys())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_gather_matches_scalar_on_irregular_batches(mk, data):
+    policy = data.draw(st.sampled_from([MemPolicy.BIND, MemPolicy.INTERLEAVE]))
+    m_vec, r_vec, m_ref, r_ref = _pair(mk, policy)
+    n_blocks = r_vec.n_blocks
+    total_cores = m_vec.topo.total_cores
+    # A tiny pool forces heavy duplication; the full range forces misses.
+    hi = data.draw(st.sampled_from([7, n_blocks - 1]))
+    batches = []
+    for _ in range(data.draw(st.integers(1, 4))):
+        core = data.draw(st.integers(0, total_cores - 1))
+        blocks = data.draw(st.lists(st.integers(0, hi),
+                                    min_size=32, max_size=96))
+        write = data.draw(st.booleans())
+        batches.append((core, blocks, write))
+    _drive(m_vec, r_vec, m_ref, r_ref, batches)
+
+
+# --- deterministic shapes that pin specific gather classes ---
+
+@pytest.mark.parametrize("mk", MACHINES.values(), ids=MACHINES.keys())
+def test_gather_matches_scalar_on_raw_gups_stream(mk):
+    """The exact emission shape of the gups workload: raw update order."""
+    m_vec, r_vec, m_ref, r_ref = _pair(mk, blocks=256)
+    rng = np.random.default_rng(7)
+    batches = []
+    for i in range(4):
+        idx = rng.integers(0, r_vec.n_blocks, size=256, dtype=np.int64)
+        batches.append((i % m_vec.topo.total_cores, idx, True))
+    _drive(m_vec, r_vec, m_ref, r_ref, batches)
+
+
+@pytest.mark.parametrize("mk", MACHINES.values(), ids=MACHINES.keys())
+def test_gather_matches_scalar_on_duplicate_heavy_writes(mk):
+    """~50% repeats per batch: the duplicate-replay clock path."""
+    m_vec, r_vec, m_ref, r_ref = _pair(mk, blocks=256)
+    rng = np.random.default_rng(11)
+    batches = []
+    for i in range(4):
+        pool = rng.integers(0, r_vec.n_blocks, size=64, dtype=np.int64)
+        idx = pool[rng.integers(0, pool.size, size=128)]
+        batches.append((i % m_vec.topo.total_cores, idx, bool(i % 2)))
+    _drive(m_vec, r_vec, m_ref, r_ref, batches)
+
+
+@pytest.mark.parametrize("mk", MACHINES.values(), ids=MACHINES.keys())
+def test_gather_matches_scalar_on_reverse_sorted_batch(mk):
+    """Strictly descending blocks: maximal unsortedness, zero repeats."""
+    m_vec, r_vec, m_ref, r_ref = _pair(mk, blocks=96)
+    blocks = np.arange(r_vec.n_blocks - 1, -1, -1, dtype=np.int64)
+    _drive(m_vec, r_vec, m_ref, r_ref,
+           [(0, blocks, False), (0, blocks, True)])
+
+
+@pytest.mark.parametrize("mk", MACHINES.values(), ids=MACHINES.keys())
+def test_gather_peer_fills_after_cross_core_warm(mk):
+    """Unsorted re-reads from another chiplet: gathered peer fills."""
+    m_vec = mk()
+    if m_vec.topo.total_chiplets < 2:
+        pytest.skip("machine has a single chiplet")
+    m_vec, r_vec, m_ref, r_ref = _pair(mk, blocks=64)
+    warm = list(range(r_vec.n_blocks))
+    other = next(c for c, ch in enumerate(m_vec._chiplet_of_core)
+                 if ch != m_vec._chiplet_of_core[0])
+    rng = np.random.default_rng(3)
+    reread = rng.permutation(np.arange(r_vec.n_blocks, dtype=np.int64))
+    _drive(m_vec, r_vec, m_ref, r_ref,
+           [(0, warm, False), (other, reread, False)])
+
+
+# --- memory-footprint smoke: SoA state must not exceed the dict layout ---
+
+def test_soa_state_smaller_than_dict_layout_at_perf_sizes():
+    """The SoA columns must stay within the dict-of-objects footprint.
+
+    Fills a ``milan(scale=32)`` machine's slices well past capacity with
+    gups-style random writes (the perf-suite shape), then compares the
+    resident bytes of the SoA cache/directory state against the modelled
+    pre-SoA layout for the same contents.
+    """
+    m = milan(scale=32)
+    agg_l3 = m.l3_bytes_per_chiplet * m.topo.total_chiplets
+    region = m.alloc_region(4 * agg_l3, node=0,
+                            policy=MemPolicy.INTERLEAVE, name="smoke")
+    rng = np.random.default_rng(7)
+    now = 0.0
+    for core in range(0, m.topo.total_cores, 4):
+        idx = rng.integers(0, region.n_blocks, size=2048, dtype=np.int64)
+        now += m.access_batch(core, region, idx, now=now, write=True).ns
+    caches = m.caches
+    assert caches.check_directory_consistent()
+    soa, dict_layout = caches.state_nbytes(), caches.dict_layout_nbytes()
+    assert soa <= dict_layout, (
+        f"SoA cache state ({soa:,} B) exceeds the modelled dict layout "
+        f"({dict_layout:,} B)")

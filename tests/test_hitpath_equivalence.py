@@ -224,13 +224,13 @@ def test_mixed_duplicate_batches_bit_identical(mk, data):
     assert_same_state(m_vec, m_ref)
 
 
-def test_all_duplicates_batch_costs_one_scalar_span(tiny):
-    """A pathological all-repeats batch merges into a single scalar span.
+def test_all_duplicates_batch_needs_no_scalar_span(tiny):
+    """A pathological all-repeats batch is serviced without a scalar loop.
 
-    The duplicate-aware splitter cuts a boundary at every repeat, so the
-    old behaviour (re-scanning for the first duplicate per fallback) was
-    quadratic; the fix services the whole batch as exactly one merged
-    span.  Bit-identity is asserted against a forced-scalar twin.
+    The duplicate-aware splitter once cut a boundary at every repeat (one
+    merged scalar span); the gather kernel now replays repeats as hits
+    directly, so the batch costs *zero* scalar spans.  Bit-identity is
+    asserted against a forced-scalar twin.
     """
     ref = machine_mod.small_test_machine()
     r_vec = tiny.alloc_region(64 * tiny.block_bytes, node=0, name="dup")
@@ -247,7 +247,7 @@ def test_all_duplicates_batch_costs_one_scalar_span(tiny):
     tiny._scalar_span = counting_span
     res_v = tiny.access_batch(0, r_vec, blocks, now=0.0)
     res_r = scalar_batch(ref, 0, r_ref, blocks, 0.0)
-    assert len(calls) == 1
+    assert len(calls) == 0
     assert res_v.ns == res_r.ns and res_v.finish == res_r.finish
     del tiny._scalar_span
     assert_same_state(tiny, ref)

@@ -116,6 +116,11 @@ def test_telemetry_is_bit_identical(machine_fn, n_workers, seed):
     null_report = null.run()
     assert _state(null, null_report) == bare_state
 
+    # Post-run structural invariant: every run leaves the sharing
+    # directory and the per-slice SoA cache state mutually consistent.
+    for rt in (bare, full, null):
+        assert rt.machine.caches.check_directory_consistent()
+
     # The observed run actually observed something.
     assert sum(tel.bus.counts.values()) > 0
     assert tel.sampler.count >= 1

@@ -87,6 +87,45 @@ class ExperimentCell:
             "seed": self.seed,
         }
 
+    def work_hint(self) -> float:
+        """Dimensionless size estimate of this cell's simulated work.
+
+        Used by the sweep scheduler's cost model
+        (:mod:`repro.bench.cost`): cells are ordered longest-first by
+        ``work_hint() × calibrated seconds-per-unit``.  The hint only has
+        to be *monotone* in real cost within one experiment — the scale
+        is absorbed by calibration — so it multiplies the generic size
+        drivers found in the cell's parameters: core count, exponential
+        graph scale, linear op/iteration counts, and byte sizes.
+        """
+        work = float(max(1, self.cores))
+        for key, value in self.workload_params:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if value <= 0:
+                continue
+            if key in _EXPONENTIAL_SIZE_KEYS:
+                work *= 2.0 ** min(float(value), 40.0)
+            elif any(s in key for s in _BYTES_KEY_SUBSTRINGS):
+                work *= max(1.0, float(value) / 65536.0)
+            elif any(s in key for s in _LINEAR_KEY_SUBSTRINGS):
+                work *= float(value)
+        return work
+
+
+#: parameter names whose value is a log2 problem size (2**v elements)
+_EXPONENTIAL_SIZE_KEYS = frozenset({"graph_scale", "scale"})
+
+#: parameter-name substrings that multiply work linearly
+_LINEAR_KEY_SUBSTRINGS = (
+    "updates", "iterations", "iters", "epochs", "points", "ops",
+    "rounds", "txns", "queries", "edgefactor", "roots", "requests",
+)
+
+#: parameter-name substrings denoting byte sizes (scaled down so typical
+#: table sizes land in the same ballpark as op counts)
+_BYTES_KEY_SUBSTRINGS = ("bytes",)
+
 
 @dataclass(frozen=True)
 class CelledExperiment:

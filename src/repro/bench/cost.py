@@ -1,0 +1,80 @@
+"""Per-cell cost model for the sweep scheduler.
+
+A 10,000-cell sweep lives or dies on scheduling: with unordered
+submission, one straggler cell landing last serializes the tail of the
+run, and thousands of sub-50ms cells pay executor IPC per cell.  The
+fix (longest-job-first ordering + chunked submission, in
+:mod:`repro.bench.sweep`) needs *estimated* per-cell cost before any
+cell has run.  This module provides it:
+
+- :meth:`ExperimentCell.work_hint` (see :mod:`repro.bench.cells`) gives
+  a dimensionless size that is monotone in real cost within one
+  experiment;
+- the result store (:mod:`repro.bench.store`) records measured wall
+  clock and the work hint for every executed cell, across runs and code
+  versions;
+- :class:`CostModel` calibrates a per-experiment *seconds per work
+  unit* rate as the median of ``wall_s / work_units`` over stored
+  samples, with two fallbacks: an unseen experiment uses the median
+  rate across all experiments, and an empty calibration set degrades to
+  the raw work hint (which still orders cells sensibly — LJF only needs
+  relative order, not absolute seconds).
+
+Medians, not means: a sweep's first run executes cells while the OS is
+also warming page caches and importing numpy in workers, so the sample
+set has heavy right-tail noise.
+"""
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.bench.cells import ExperimentCell
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Estimates wall-clock seconds for a cell from calibration samples.
+
+    ``rates`` maps experiment name to seconds-per-work-unit; a missing
+    experiment falls back to ``default_rate``; ``default_rate=None``
+    (empty calibration) makes :meth:`estimate` return the bare work
+    hint.  Estimates are ``hint × positive-rate``, so they are monotone
+    in the work hint by construction.
+    """
+
+    rates: Dict[str, float] = field(default_factory=dict)
+    default_rate: Optional[float] = None
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[Tuple[str, float, float]],
+                     ) -> "CostModel":
+        """Calibrate from ``(experiment, work_units, wall_s)`` rows."""
+        per_exp: Dict[str, list] = {}
+        for experiment, work_units, wall_s in samples:
+            if work_units is None or wall_s is None:
+                continue
+            if work_units <= 0 or wall_s < 0:
+                continue
+            per_exp.setdefault(experiment, []).append(wall_s / work_units)
+        rates = {exp: median(ratios) for exp, ratios in per_exp.items()}
+        default = median(rates.values()) if rates else None
+        return cls(rates=rates, default_rate=default)
+
+    @classmethod
+    def from_store(cls, store) -> "CostModel":
+        """Calibrate from a :class:`repro.bench.store.ResultStore`."""
+        return cls.from_samples(store.calibration_samples())
+
+    def estimate(self, cell: ExperimentCell) -> float:
+        hint = cell.work_hint()
+        rate = self.rates.get(cell.experiment, self.default_rate)
+        if rate is None or rate <= 0:
+            return hint
+        return hint * rate
+
+    @property
+    def calibrated(self) -> bool:
+        return bool(self.rates)

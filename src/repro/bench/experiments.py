@@ -1055,3 +1055,10 @@ def ext_colocation(quick: bool = True):
     from B's bandwidth pressure.
     """
     return run_serial("ext_colocation", quick)
+
+
+# Registering the DSE experiment here makes it reachable from pool
+# workers: execute_cell imports this module to populate the registry, so
+# "dse" cells resolve in spawn-started workers exactly like the figure
+# experiments do.
+from repro.bench import dse as _dse  # noqa: E402,F401

@@ -481,15 +481,17 @@ def write_report(results: Dict[str, Dict[str, float]], path: Path) -> Dict:
             for name in results
             if name in RECORDED_BASELINE and RECORDED_BASELINE[name] > 0
         }
-    # The sweep section is owned by `python -m repro.bench.sweep --bench`;
-    # carry it across rewrites of the simulator-throughput sections.
+    # The sweep section is owned by `python -m repro.bench.sweep --bench`
+    # and the dse section by `python -m repro.bench.dse --bench`; carry
+    # both across rewrites of the simulator-throughput sections.
     if path.exists():
         try:
             prev = json.loads(path.read_text())
         except json.JSONDecodeError:
             prev = {}
-        if "sweep" in prev:
-            doc["sweep"] = prev["sweep"]
+        for owned_elsewhere in ("sweep", "dse"):
+            if owned_elsewhere in prev:
+                doc[owned_elsewhere] = prev[owned_elsewhere]
     path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
     return doc
 
@@ -506,7 +508,8 @@ def run_gate(record_path: Path, factor: float) -> int:
     if not record_path.exists():
         print(f"FAIL: no recorded report at {record_path}", file=sys.stderr)
         return 1
-    recorded = json.loads(record_path.read_text()).get("scenarios", {})
+    doc = json.loads(record_path.read_text())
+    recorded = doc.get("scenarios", {})
     results = run_suite(CHECK_SIZES)
     failures = []
     for name, res in results.items():
@@ -521,12 +524,48 @@ def run_gate(record_path: Path, factor: float) -> int:
               f"recorded {rec:>12,.0f}  ratio {ratio:.2f}  {status}")
         if status == "FAIL":
             failures.append(name)
+    failures.extend(run_dse_gate(doc.get("dse"), factor))
     if failures:
-        print(f"FAIL: scenarios below {factor:.2f}x recorded throughput: "
+        print(f"FAIL: below {factor:.2f}x recorded throughput: "
               f"{failures}", file=sys.stderr)
         return 1
     print(f"perf gate OK (all scenarios >= {factor:.2f}x recorded acc/s)")
     return 0
+
+
+def run_dse_gate(dse_section: Optional[Dict], factor: float) -> List[str]:
+    """DSE sweep-throughput leg of the perf gate.
+
+    Re-measures the recorded ``dse.check`` configuration (tiny budget,
+    cold store then resume) and fails on cells/sec below ``factor`` ×
+    recorded, or on a resume that doesn't answer ≥90% of cells from the
+    result store — the two numbers BENCH_simperf.json tracks for the
+    sweep engine itself.  Returns failure labels (empty = ok).
+    """
+    rec = (dse_section or {}).get("check")
+    if not rec:
+        print(f"{'dse':12s} (no recorded dse.check section — skipped)")
+        return []
+    from repro.bench import dse as dse_mod
+
+    meas = dse_mod.measure_check(budget=rec.get("budget", 24),
+                                 jobs=rec.get("jobs", 2))
+    failures = []
+    rec_cps = rec.get("cells_per_sec", 0)
+    if rec_cps:
+        ratio = meas["cells_per_sec"] / rec_cps
+        status = "ok" if ratio >= factor else "FAIL"
+        print(f"{'dse':12s} {meas['cells_per_sec']:>12,.2f} cells/s "
+              f"recorded {rec_cps:>12,.2f}  ratio {ratio:.2f}  {status}")
+        if status == "FAIL":
+            failures.append("dse:cells_per_sec")
+    hit_ratio = meas["resume_hit_ratio"]
+    status = "ok" if hit_ratio >= 0.9 else "FAIL"
+    print(f"{'dse-resume':12s} store hit ratio {hit_ratio:.2f} "
+          f"(floor 0.90)  {status}")
+    if status == "FAIL":
+        failures.append("dse:resume_hit_ratio")
+    return failures
 
 
 #: scenarios and sizes the telemetry-overhead gate measures: the two pure
@@ -622,6 +661,18 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 1
     if args.check:
+        # DSE sweep-engine smoke: a tiny cold sweep must complete and a
+        # resumed run must answer every cell from the result store.
+        from repro.bench import dse as dse_mod
+
+        meas = dse_mod.measure_check()
+        print(f"{'dse':12s} {meas['cells']:>5d} cells     "
+              f"{meas['cells_per_sec']:>8.1f} cells/s  "
+              f"resume hit ratio {meas['resume_hit_ratio']:.2f}")
+        if meas["resume_hit_ratio"] < 1.0:
+            print("FAIL: dse resume did not answer every cell from the "
+                  "result store", file=sys.stderr)
+            return 1
         print(f"perf check OK in {elapsed:.1f}s (determinism + throughput floor)")
         return 0
     doc = write_report(results, args.out)

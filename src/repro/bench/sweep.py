@@ -5,27 +5,38 @@ parallel once decomposed into cells (:mod:`repro.bench.cells`): every
 cell is a pure function of its own config, so the engine can
 
 - **shard** the deduplicated cell list across a
-  :class:`~concurrent.futures.ProcessPoolExecutor` (``--jobs N``;
-  ``0`` means auto: ``max(1, os.cpu_count() - 1)``), and
-- **cache** each finished cell's JSON result on disk under a
-  content-addressed name — ``sha256(cell config + code version)`` — so a
-  killed or repeated sweep skips completed cells entirely.
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``--jobs N``; ``0``
+  means auto: one less than the CPUs this process may actually run on,
+  per ``os.sched_getaffinity`` — not ``os.cpu_count()``, which
+  overcounts on cgroup-limited/CPU-pinned hosts),
+- **schedule** for throughput at scale: cells are ordered
+  longest-job-first by a cost model (:mod:`repro.bench.cost`) calibrated
+  from previously measured wall-clocks, and submitted to the pool in
+  chunks sized to ``total/(jobs × 4)`` so ten thousand sub-50ms cells
+  don't pay executor IPC per cell, and
+- **cache** each finished cell's JSON result under a content-addressed
+  key — ``sha256(cell config + code version)`` — in a packed
+  SQLite-backed result store (:mod:`repro.bench.store`; one file, LRU
+  bounded, atomic per entry), so a killed or repeated sweep skips
+  completed cells entirely.
 
 Outputs are bit-identical to the serial path by construction: the same
 ``run_cell`` executes (in a worker instead of inline), results are
-JSON-native so a cache round-trip preserves every bit, and each
-experiment's ``merge`` folds results in cell order, never completion
-order.  ``tests/test_sweep_equivalence.py`` pins this.
+JSON-native so a store round-trip preserves every bit, and each
+experiment's ``merge`` folds results in cell order, never completion or
+schedule order — reordering and chunking change *when* cells run, not
+what any of them computes.  ``tests/test_sweep_equivalence.py`` pins
+this.
 
 The cache key includes a hash of every source file under ``src/repro``,
 so any code change invalidates all cached results at once; stale entries
-are simply never read again (delete the directory to reclaim space).
+are reclaimed by ``python -m repro cache gc``.
 
 Usage::
 
     python -m repro run fig07_amd_scalability --jobs 4
     python -m repro all --jobs 0            # auto-size the pool
-    python -m repro.bench.sweep --cache-stats
+    python -m repro cache stats             # result-store contents
     python -m repro.bench.sweep --bench --jobs 4   # time serial vs parallel
 """
 
@@ -47,12 +58,15 @@ from repro.bench.cells import (
     execute_cell,
     execute_cell_telemetry,
 )
+from repro.bench.cost import CostModel
+from repro.bench.store import ResultStore
 
 __all__ = [
     "SweepStats",
     "cache_dir",
     "cache_key",
     "code_version",
+    "get_store",
     "run_cells",
     "run_experiment",
     "run_many",
@@ -67,6 +81,15 @@ DEFAULT_CACHE_DIR = Path("results") / ".sweep-cache"
 #: is hardware-dependent: re-measure on the seed commit when moving to
 #: different hardware.
 RECORDED_SERIAL_BASELINE_S = 42.09
+
+#: chunked submission targets this many chunks per worker, so the pool
+#: stays load-balanced (workers that draw short chunks pick up more)
+#: without per-cell submission overhead
+CHUNKS_PER_WORKER = 4
+
+#: hard cap on cells per chunk — bounds the result latency of one future
+#: and the damage radius of a worker crash
+MAX_CHUNK_CELLS = 64
 
 _CODE_VERSION: Optional[str] = None
 
@@ -94,6 +117,28 @@ def cache_dir() -> Path:
     return Path(os.environ.get("REPRO_SWEEP_CACHE", str(DEFAULT_CACHE_DIR)))
 
 
+_STORE: Optional[ResultStore] = None
+_STORE_DIR: Optional[Path] = None
+
+
+def get_store() -> ResultStore:
+    """The process-wide result store for the current cache directory.
+
+    Opened lazily (``--no-cache`` runs never create the directory) and
+    reopened whenever ``REPRO_SWEEP_CACHE`` points somewhere new — tests
+    repoint it per-case.  Opening migrates any legacy one-JSON-per-cell
+    entries (pre-store layout) into the SQLite file.
+    """
+    global _STORE, _STORE_DIR
+    d = cache_dir()
+    if _STORE is None or _STORE_DIR != d:
+        if _STORE is not None:
+            _STORE.close()
+        _STORE = ResultStore.open(d)
+        _STORE_DIR = d
+    return _STORE
+
+
 def cache_key(cell: ExperimentCell, telemetry: bool = False) -> str:
     """Content address of one cell result: config + code version.
 
@@ -108,31 +153,29 @@ def cache_key(cell: ExperimentCell, telemetry: bool = False) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def _cache_path(cell: ExperimentCell, telemetry: bool = False) -> Path:
-    return cache_dir() / f"{cache_key(cell, telemetry)}.json"
-
-
 def load_cached(cell: ExperimentCell, telemetry: bool = False) -> Tuple[bool, Any]:
     """Return ``(hit, result)``; corrupt/unreadable entries count as misses."""
-    path = _cache_path(cell, telemetry)
-    try:
-        doc = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError):
-        return False, None
-    return True, doc["result"]
+    return get_store().get(cache_key(cell, telemetry))
 
 
-def store_cached(cell: ExperimentCell, result: Any, telemetry: bool = False) -> None:
-    """Atomically persist one cell result (rename over a temp file)."""
-    path = _cache_path(cell, telemetry)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    doc = {"cell_id": cell.cell_id, "cell": cell.config(),
-           "code_version": code_version(), "result": result}
-    if telemetry:
-        doc["telemetry"] = True
-    tmp = path.with_suffix(f".tmp.{os.getpid()}")
-    tmp.write_text(json.dumps(doc, sort_keys=True))
-    os.replace(tmp, path)
+def store_cached(cell: ExperimentCell, result: Any, telemetry: bool = False,
+                 wall_s: Optional[float] = None) -> None:
+    """Persist one cell result (one atomic store transaction).
+
+    ``wall_s``, when known, is recorded alongside the result and the
+    cell's work hint — that pair is the calibration set of the
+    scheduler's cost model.
+    """
+    get_store().put(
+        cache_key(cell, telemetry),
+        cell_id=cell.cell_id,
+        experiment=cell.experiment,
+        code_version=code_version(),
+        result=result,
+        telemetry=telemetry,
+        wall_s=wall_s,
+        work_units=cell.work_hint(),
+    )
 
 
 @dataclass
@@ -144,20 +187,60 @@ class SweepStats:
     cache_hits: int = 0
     jobs: int = 1
     wall_s: float = 0.0
+    busy_s: float = 0.0
+    chunks: int = 0
+    order: str = "ljf"
     experiments: List[str] = field(default_factory=list)
+
+    @property
+    def cells_per_sec(self) -> float:
+        """Executed cells per second of sweep wall-clock."""
+        return self.executed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        """Pool efficiency: worker-busy seconds over ``wall × jobs``.
+
+        1.0 means every worker computed cells the whole sweep; the gap
+        to 1.0 is scheduling (stragglers, submission latency) plus the
+        parent's cache probing and store writes.
+        """
+        if self.wall_s <= 0 or self.jobs <= 0:
+            return 0.0
+        return self.busy_s / (self.wall_s * self.jobs)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         return {"total": self.total, "executed": self.executed,
                 "cache_hits": self.cache_hits, "jobs": self.jobs,
-                "wall_s": round(self.wall_s, 3), "experiments": self.experiments}
+                "wall_s": round(self.wall_s, 3),
+                "busy_s": round(self.busy_s, 3),
+                "cells_per_sec": round(self.cells_per_sec, 2),
+                "pool_efficiency": round(self.efficiency, 3),
+                "chunks": self.chunks, "order": self.order,
+                "experiments": self.experiments}
 
 
 def resolve_jobs(jobs: int) -> int:
-    """``0`` → auto (``cpu_count - 1``, floor 1); negatives are an error."""
+    """``0`` → auto (available CPUs − 1, floor 1); negatives are an error.
+
+    "Available" means the CPUs this process is allowed to run on
+    (``os.sched_getaffinity``), not the machine's CPU count — on
+    cgroup-limited or CPU-pinned hosts (CI containers, ``taskset``)
+    ``os.cpu_count()`` overcounts and the pool would oversubscribe.
+    Platforms without affinity support fall back to ``os.cpu_count()``.
+    """
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
     if jobs == 0:
-        return max(1, (os.cpu_count() or 2) - 1)
+        try:
+            available = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            available = os.cpu_count() or 2
+        return max(1, available - 1)
     return jobs
 
 
@@ -165,9 +248,73 @@ def _progress(msg: str) -> None:
     print(f"[sweep] {msg}", file=sys.stderr, flush=True)
 
 
+def _execute_chunk(chunk: List[ExperimentCell], telemetry: bool,
+                   ) -> List[Tuple[Any, float]]:
+    """Worker-side: run a chunk of cells, timing each one.
+
+    Returns ``(result, wall_s)`` per cell in chunk order.  One future
+    per chunk instead of per cell is what amortizes executor IPC when
+    cells are tens of milliseconds each.
+    """
+    executor = execute_cell_telemetry if telemetry else execute_cell
+    out: List[Tuple[Any, float]] = []
+    for cell in chunk:
+        t0 = time.perf_counter()
+        result = executor(cell)
+        out.append((result, time.perf_counter() - t0))
+    return out
+
+
+def _order_cells(todo: List[ExperimentCell], model: CostModel, order: str,
+                 ) -> List[ExperimentCell]:
+    """Schedule order for uncached cells.
+
+    ``ljf``: longest-job-first by estimated cost (deterministic tiebreak
+    on cell_id) — big cells start early so no straggler lands last.
+    ``fifo``: caller order, kept as the comparison baseline for the
+    scheduler benchmark.
+    """
+    if order == "fifo":
+        return list(todo)
+    if order != "ljf":
+        raise ValueError(f"unknown order {order!r} (expected 'ljf' or 'fifo')")
+    return sorted(todo, key=lambda c: (-model.estimate(c), c.cell_id))
+
+
+def _pack_chunks(ordered: List[ExperimentCell], model: CostModel,
+                 jobs: int) -> List[List[ExperimentCell]]:
+    """Greedily pack schedule-ordered cells into submission chunks.
+
+    Target chunk cost is ``total/(jobs × CHUNKS_PER_WORKER)``: coarse
+    enough to amortize IPC, fine enough that workers drawing short
+    chunks rebalance.  Cells costing at least the target become
+    singleton chunks (they are their own granule); chunk length is also
+    capped at MAX_CHUNK_CELLS for the tiny-cell regime where cost-based
+    packing would build huge chunks.
+    """
+    if not ordered:
+        return []
+    est = {c.cell_id: max(model.estimate(c), 1e-12) for c in ordered}
+    total = sum(est.values())
+    target = total / max(1, jobs * CHUNKS_PER_WORKER)
+    chunks: List[List[ExperimentCell]] = []
+    current: List[ExperimentCell] = []
+    current_cost = 0.0
+    for cell in ordered:
+        current.append(cell)
+        current_cost += est[cell.cell_id]
+        if current_cost >= target or len(current) >= MAX_CHUNK_CELLS:
+            chunks.append(current)
+            current, current_cost = [], 0.0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
 def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True,
               progress: Optional[Callable[[str], None]] = None,
-              telemetry: bool = False,
+              telemetry: bool = False, order: str = "ljf",
+              chunked: bool = True,
               ) -> Tuple[Dict[str, Any], SweepStats]:
     """Execute ``cells``, returning ``({cell_id: result}, stats)``.
 
@@ -176,7 +323,13 @@ def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True
     where available, so workers inherit warm imports and the builders of
     :mod:`repro.bench.datasets` memoize per process); with ``jobs <= 1``
     they run inline.  Either way results land in a dict keyed by cell_id
-    — merge order is the caller's cell order, not completion order.
+    — merge order is the caller's cell order, not completion or schedule
+    order, so ``order``/``chunked`` cannot change any output bit.
+
+    ``order="ljf"`` (default) sorts uncached work longest-job-first
+    using the cost model calibrated from the result store;
+    ``order="fifo"`` with ``chunked=False`` reproduces the pre-cost-model
+    engine (one future per cell, submission order) for comparison.
 
     ``telemetry=True`` runs each cell through
     :func:`~repro.bench.cells.execute_cell_telemetry` (dict results gain
@@ -190,7 +343,7 @@ def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True
     unique: Dict[str, ExperimentCell] = {}
     for cell in cells:
         unique.setdefault(cell.cell_id, cell)
-    stats = SweepStats(total=len(unique), jobs=jobs)
+    stats = SweepStats(total=len(unique), jobs=jobs, order=order)
 
     results: Dict[str, Any] = {}
     todo: List[ExperimentCell] = []
@@ -205,35 +358,50 @@ def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True
     if stats.cache_hits:
         say(f"{stats.cache_hits}/{stats.total} cells from cache")
 
+    model = CostModel.from_store(get_store()) if use_cache else CostModel()
+    ordered = _order_cells(todo, model, order)
+
     done = 0
     if jobs <= 1 or len(todo) <= 1:
-        for cell in todo:
+        for cell in ordered:
+            t_cell = time.perf_counter()
             results[cell.cell_id] = result = executor(cell)
+            wall = time.perf_counter() - t_cell
             if use_cache:
-                store_cached(cell, result, telemetry)
+                store_cached(cell, result, telemetry, wall_s=wall)
             stats.executed += 1
+            stats.busy_s += wall
             done += 1
             say(f"{done}/{len(todo)} cells done ({cell.cell_id})")
     else:
+        if chunked:
+            chunks = _pack_chunks(ordered, model, jobs)
+        else:
+            chunks = [[c] for c in ordered]
+        stats.chunks = len(chunks)
         # fork shares the parent's imported modules and dataset cache
         # snapshot; spawn (the only option on some platforms) re-imports
         # inside execute_cell instead.
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-        with ProcessPoolExecutor(max_workers=min(jobs, len(todo)),
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks)),
                                  mp_context=ctx) as pool:
-            pending = {pool.submit(executor, cell): cell for cell in todo}
+            pending = {pool.submit(_execute_chunk, chunk, telemetry): chunk
+                       for chunk in chunks}
             while pending:
                 finished, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for fut in finished:
-                    cell = pending.pop(fut)
-                    result = fut.result()  # propagate worker exceptions
-                    results[cell.cell_id] = result
-                    if use_cache:
-                        store_cached(cell, result, telemetry)
-                    stats.executed += 1
-                    done += 1
-                    say(f"{done}/{len(todo)} cells done ({cell.cell_id})")
+                    chunk = pending.pop(fut)
+                    cell_outs = fut.result()  # propagate worker exceptions
+                    for cell, (result, wall) in zip(chunk, cell_outs):
+                        results[cell.cell_id] = result
+                        if use_cache:
+                            store_cached(cell, result, telemetry, wall_s=wall)
+                        stats.executed += 1
+                        stats.busy_s += wall
+                        done += 1
+                    say(f"{done}/{len(todo)} cells done "
+                        f"(+{len(chunk)}: {chunk[-1].cell_id})")
 
     stats.wall_s = time.perf_counter() - t0
     return results, stats
@@ -286,30 +454,16 @@ def run_many(names: List[str], quick: bool = True, jobs: int = 1,
 
 
 def cache_stats() -> Dict[str, Any]:
-    """Describe the on-disk cache (for humans and the CI artifact)."""
-    d = cache_dir()
-    entries = sorted(d.glob("*.json")) if d.is_dir() else []
-    by_experiment: Dict[str, int] = {}
-    stale = 0
-    version = code_version()
-    for path in entries:
-        try:
-            doc = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            stale += 1
-            continue
-        if doc.get("code_version") != version:
-            stale += 1
-        exp = doc.get("cell", {}).get("experiment", "?")
-        by_experiment[exp] = by_experiment.get(exp, 0) + 1
-    return {
-        "dir": str(d),
-        "entries": len(entries),
-        "bytes": sum(p.stat().st_size for p in entries),
-        "stale_entries": stale,
-        "code_version": version,
-        "by_experiment": dict(sorted(by_experiment.items())),
-    }
+    """Describe the result store (for humans and the CI artifact)."""
+    stats = get_store().stats(code_version())
+    stats["code_version"] = code_version()
+    return stats
+
+
+def cache_gc(older_than_days: Optional[float] = None) -> Dict[str, Any]:
+    """Garbage-collect the result store (see :meth:`ResultStore.gc`)."""
+    older_than_s = None if older_than_days is None else older_than_days * 86400.0
+    return get_store().gc(code_version(), older_than_s=older_than_s)
 
 
 def _bench(jobs: int, out: Path) -> int:
@@ -323,9 +477,10 @@ def _bench(jobs: int, out: Path) -> int:
                             use_cache=False, progress=None)
         wall = time.perf_counter() - t0
         print(f"{label:10s} jobs={stats.jobs:<3d} {wall:7.2f}s "
-              f"({stats.total} cells)")
+              f"({stats.total} cells, efficiency {stats.efficiency:.2f})")
         return {"jobs": stats.jobs, "wall_s": round(wall, 2),
-                "cells": stats.total}
+                "cells": stats.total,
+                "pool_efficiency": round(stats.efficiency, 3)}
 
     serial = timed("serial", 1)
     parallel = timed("parallel", jobs)
@@ -362,7 +517,7 @@ def _bench(jobs: int, out: Path) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--cache-stats", action="store_true",
-                        help="print JSON stats of the on-disk sweep cache")
+                        help="print JSON stats of the sweep result store")
     parser.add_argument("--bench", action="store_true",
                         help="time the quick suite serial vs --jobs, update "
                              "the sweep section of BENCH_simperf.json")

@@ -11,7 +11,12 @@ Commands
   latency hierarchy;
 - ``trace <experiment>``        — run one cell of an experiment with full
   telemetry attached and export a merged Chrome-trace JSON (loadable in
-  Perfetto / ``chrome://tracing``) plus a text digest.
+  Perfetto / ``chrome://tracing``) plus a text digest;
+- ``dse [--budget N]``          — budget-driven design-space exploration
+  over machine geometry, reduced to Pareto frontiers and a CHARM-vs-
+  baselines summary (:mod:`repro.bench.dse`);
+- ``cache stats|gc``            — inspect or garbage-collect the sweep
+  result store (``gc --older-than DAYS`` also age-trims live entries).
 
 ``run`` and ``all`` accept ``--jobs N`` to shard the experiment cells
 across N worker processes (``0`` = auto-size to the host), backed by the
@@ -243,6 +248,31 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_dse(args) -> int:
+    from repro.bench import dse
+
+    argv = ["--budget", str(args.budget), "--jobs", str(args.jobs),
+            "--out", str(args.out), "--order", args.order]
+    if args.no_cache:
+        argv.append("--no-cache")
+    return dse.main(argv)
+
+
+def cmd_cache(args) -> int:
+    import json
+
+    from repro.bench import sweep
+
+    if args.action == "stats":
+        print(json.dumps(sweep.cache_stats(), indent=2))
+        return 0
+    # gc: stale (code-version-mismatched) entries always go; --older-than
+    # additionally trims live entries by age.
+    removed = sweep.cache_gc(older_than_days=args.older_than)
+    print(json.dumps(removed, indent=2))
+    return 0
+
+
 def _add_sweep_args(p) -> None:
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="shard cells across N worker processes with the "
@@ -273,6 +303,35 @@ def main(argv=None) -> int:
     all_p.add_argument("--full", action="store_true")
     _add_sweep_args(all_p)
     all_p.set_defaults(fn=cmd_all)
+
+    dse_p = sub.add_parser(
+        "dse", help="design-space exploration: budget-driven geometry sweep "
+                    "reduced to Pareto frontiers")
+    dse_p.add_argument("--budget", type=int, default=1000, metavar="N",
+                       help="max cells (configs × workloads × policies); "
+                            "default 1000")
+    dse_p.add_argument("--jobs", type=int, default=0, metavar="N",
+                       help="worker processes (0 = auto from CPU affinity)")
+    dse_p.add_argument("--out", default="results/dse", metavar="DIR",
+                       help="output directory (cells.csv, frontier_*.csv, "
+                            "summary.txt)")
+    dse_p.add_argument("--order", choices=("ljf", "fifo"), default="ljf",
+                       help="scheduling order (fifo = pre-cost-model engine, "
+                            "for comparison)")
+    dse_p.add_argument("--no-cache", action="store_true",
+                       help="ignore and don't write the result store")
+    dse_p.set_defaults(fn=cmd_dse)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or garbage-collect the sweep result store")
+    cache_p.add_argument("action", choices=("stats", "gc"),
+                         help="stats: size/entries/hits; gc: drop entries "
+                              "whose code version no longer matches")
+    cache_p.add_argument("--older-than", type=float, default=None,
+                         metavar="DAYS",
+                         help="with gc: only collect entries last used more "
+                              "than DAYS ago (also trims live entries by age)")
+    cache_p.set_defaults(fn=cmd_cache)
 
     m_p = sub.add_parser("machine", help="describe a machine preset")
     m_p.add_argument("--preset", default="milan")

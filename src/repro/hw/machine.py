@@ -20,7 +20,7 @@ Every fill increments the requesting core's PMU-like counter, classified
 by source — the signal consumed by CHARM's Alg. 1.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -1131,6 +1131,153 @@ def custom_machine(
                     cores_per_chiplet=cores_per_chiplet, name=name)
     return Machine(topo=topo, latency=latency or MILAN_LATENCY,
                    l3_bytes_per_chiplet=l3_bytes_per_chiplet, **kwargs)
+
+
+@dataclass(frozen=True)
+class MachineGeometry:
+    """One point in the chiplet design space, as first-class data.
+
+    Where :func:`milan`/:func:`sapphire_rapids` are *fixed* presets,
+    a geometry parameterizes the five axes the DSE sweep
+    (:mod:`repro.bench.dse`) explores: chiplet count, cores per chiplet,
+    L3 slice size, memory channel count, and an inter-chiplet link
+    latency scale.  ``build`` turns it into a runnable :class:`Machine`;
+    ``validate`` rejects nonsensical points before any simulation time
+    is spent on them.
+
+    ``l3_mib_per_chiplet`` is the *full-size* slice; like the named
+    presets, ``build(scale=N)`` divides it so experiments can shrink
+    datasets by the same factor and straddle the same capacity
+    boundaries with far fewer simulated accesses.
+
+    ``link_latency_scale`` multiplies every latency that crosses the
+    inter-chiplet fabric (near/far intra-socket core-to-core, and peer
+    L3 fills both intra- and cross-socket); 1.0 is Milan's Infinity
+    Fabric, <1 models a tighter mesh (Sapphire-Rapids-like), >1 a
+    cheaper/longer-reach interconnect.
+    """
+
+    chiplets_per_socket: int
+    cores_per_chiplet: int
+    l3_mib_per_chiplet: int
+    mem_channels_per_socket: int
+    link_latency_scale: float = 1.0
+    sockets: int = 2
+    name: str = ""
+
+    # sanity bounds: generous enough for any plausible 2026-era part,
+    # tight enough to catch transposed/typo'd axis values
+    _MAX_CHIPLETS_PER_SOCKET = 16
+    _MAX_CORES_PER_CHIPLET = 64
+    _MAX_CHANNELS_PER_SOCKET = 24
+    _MAX_LINK_SCALE = 16.0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` naming every out-of-range axis."""
+        problems = []
+        if self.sockets < 1:
+            problems.append(f"sockets must be >= 1, got {self.sockets}")
+        if not 1 <= self.chiplets_per_socket <= self._MAX_CHIPLETS_PER_SOCKET:
+            problems.append(
+                f"chiplets_per_socket must be in "
+                f"[1, {self._MAX_CHIPLETS_PER_SOCKET}], "
+                f"got {self.chiplets_per_socket}")
+        if not 1 <= self.cores_per_chiplet <= self._MAX_CORES_PER_CHIPLET:
+            problems.append(
+                f"cores_per_chiplet must be in "
+                f"[1, {self._MAX_CORES_PER_CHIPLET}], "
+                f"got {self.cores_per_chiplet}")
+        if self.l3_mib_per_chiplet <= 0:
+            problems.append(
+                f"l3_mib_per_chiplet must be > 0, got {self.l3_mib_per_chiplet}")
+        if not 1 <= self.mem_channels_per_socket <= self._MAX_CHANNELS_PER_SOCKET:
+            problems.append(
+                f"mem_channels_per_socket must be in "
+                f"[1, {self._MAX_CHANNELS_PER_SOCKET}], "
+                f"got {self.mem_channels_per_socket}")
+        if not 0.0 < self.link_latency_scale <= self._MAX_LINK_SCALE:
+            problems.append(
+                f"link_latency_scale must be in (0, {self._MAX_LINK_SCALE}], "
+                f"got {self.link_latency_scale}")
+        if problems:
+            raise ValueError(f"invalid MachineGeometry: {'; '.join(problems)}")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.chiplets_per_socket * self.cores_per_chiplet
+
+    @property
+    def total_l3_mib(self) -> int:
+        return self.sockets * self.chiplets_per_socket * self.l3_mib_per_chiplet
+
+    @property
+    def total_channels(self) -> int:
+        return self.sockets * self.mem_channels_per_socket
+
+    @property
+    def config_id(self) -> str:
+        """Compact stable identity, used as the DSE row/cell key."""
+        return (f"{self.chiplets_per_socket}x{self.cores_per_chiplet}"
+                f"-l3_{self.l3_mib_per_chiplet}m"
+                f"-ch{self.mem_channels_per_socket}"
+                f"-lk{self.link_latency_scale:g}")
+
+    def scaled_latency(self, base: LatencyModel = MILAN_LATENCY) -> LatencyModel:
+        s = self.link_latency_scale
+        if s == 1.0:
+            return base
+        return replace(
+            base,
+            c2c_same_socket_near=base.c2c_same_socket_near * s,
+            c2c_same_socket_far=base.c2c_same_socket_far * s,
+            fill_same_socket=base.fill_same_socket * s,
+            fill_cross_socket=base.fill_cross_socket * s,
+        )
+
+    def build(self, scale: int = 1, block_bytes: int = 4 * KIB) -> Machine:
+        """Materialize the geometry as a runnable :class:`Machine`.
+
+        Bandwidths are held at the Milan baseline across the whole design
+        space so the sweep isolates the *geometry* axes; latency scaling
+        follows ``link_latency_scale``.
+        """
+        self.validate()
+        topo = Topology(
+            sockets=self.sockets,
+            chiplets_per_socket=self.chiplets_per_socket,
+            cores_per_chiplet=self.cores_per_chiplet,
+            name=self.name or f"dse-{self.config_id}",
+        )
+        return Machine(
+            topo=topo,
+            latency=self.scaled_latency(),
+            l3_bytes_per_chiplet=max(
+                self.l3_mib_per_chiplet * MIB // scale, block_bytes),
+            block_bytes=block_bytes,
+            mem_channels_per_socket=self.mem_channels_per_socket,
+            channel_bytes_per_ns=25.6,
+            link_bytes_per_ns=47.0,
+        )
+
+
+#: The EPYC Milan testbed expressed as a geometry: 8 CCDs × 8 cores,
+#: 32 MiB L3/CCD, 8 DDR4 channels/socket, Infinity-Fabric latency.
+GEOMETRY_EPYC_MILAN = MachineGeometry(
+    chiplets_per_socket=8, cores_per_chiplet=8, l3_mib_per_chiplet=32,
+    mem_channels_per_socket=8, link_latency_scale=1.0,
+    name="epyc-milan-anchor")
+
+#: The Xeon Sapphire Rapids testbed as a geometry: 4 tiles × 12 cores,
+#: ~26 MiB L3/tile, 8 DDR5 channels/socket; the 0.5 link scale stands in
+#: for the mesh's much cheaper inter-tile hops (SPR_LATENCY's
+#: fill_same_socket is ~half of Milan's).
+GEOMETRY_XEON_SPR = MachineGeometry(
+    chiplets_per_socket=4, cores_per_chiplet=12, l3_mib_per_chiplet=26,
+    mem_channels_per_socket=8, link_latency_scale=0.5,
+    name="xeon-spr-anchor")
+
+#: real-hardware anchor points always included in a DSE lattice sample
+GEOMETRY_ANCHORS = (GEOMETRY_EPYC_MILAN, GEOMETRY_XEON_SPR)
 
 
 def small_test_machine(

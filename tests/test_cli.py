@@ -89,7 +89,7 @@ def test_trace_verb_unknown_experiment(capsys):
 
 
 def test_run_telemetry_attaches_and_survives_cache(tmp_path, monkeypatch, capsys):
-    import json
+    from repro.bench import sweep
 
     cache = tmp_path / "cache"
     monkeypatch.setenv("REPRO_SWEEP_CACHE", str(cache))
@@ -97,13 +97,17 @@ def test_run_telemetry_attaches_and_survives_cache(tmp_path, monkeypatch, capsys
     # fig05's cells return dict results, which carry the summary.
     assert main(["run", "fig05_local_vs_distributed", "--telemetry"]) == 0
     assert "executed" in capsys.readouterr().err
-    cached = list(cache.glob("*.json"))
-    assert cached
-    for path in cached:
-        doc = json.loads(path.read_text())
-        assert doc["telemetry"] is True
-        assert doc["result"]["telemetry"]["mode"] == "full"
-        assert doc["result"]["telemetry"]["wall_ns"] > 0
+    store = sweep.get_store()
+    keys = store.keys()
+    assert keys
+    for key in keys:
+        hit, result = store.get(key)
+        assert hit
+        assert result["telemetry"]["mode"] == "full"
+        assert result["telemetry"]["wall_ns"] > 0
+    row = store.conn.execute(
+        "SELECT telemetry FROM results LIMIT 1").fetchone()
+    assert row[0] == 1
     # round trip: the second run resolves from cache, summaries intact
     assert main(["run", "fig05_local_vs_distributed", "--telemetry"]) == 0
     assert "from cache" in capsys.readouterr().err.splitlines()[-1]

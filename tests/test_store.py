@@ -1,0 +1,113 @@
+"""SQLite result store: round-trip, LRU bound, gc, migration, recovery."""
+
+import json
+import time
+
+from repro.bench.store import ResultStore
+
+
+def _put(store, key, result, version="v1", **kw):
+    store.put(key, cell_id=f"cell-{key}", experiment=kw.pop("experiment", "e"),
+              code_version=version, result=result, **kw)
+
+
+def test_round_trip_and_hit_counter(tmp_path):
+    store = ResultStore.open(tmp_path)
+    _put(store, "k1", {"metric": 0.1 + 0.2, "xs": [1, 2.5]})
+    hit, result = store.get("k1")
+    assert hit
+    assert result == {"metric": 0.30000000000000004, "xs": [1, 2.5]}
+    assert not store.get("missing")[0]
+    store.get("k1")
+    assert store.stats()["hits_total"] == 2
+
+
+def test_put_is_replace(tmp_path):
+    store = ResultStore.open(tmp_path)
+    _put(store, "k1", {"v": 1})
+    _put(store, "k1", {"v": 2})
+    assert store.count() == 1
+    assert store.get("k1")[1] == {"v": 2}
+
+
+def test_lru_eviction_keeps_recently_used(tmp_path):
+    # ~60-byte payloads, bound that fits only a handful
+    store = ResultStore.open(tmp_path, max_bytes=300)
+    for i in range(10):
+        _put(store, f"k{i}", {"pad": "x" * 40, "i": i})
+    store.get("k0")  # refresh k0's LRU clock
+    time.sleep(0.01)
+    evicted = store.evict_lru()
+    assert evicted > 0
+    assert store.count() < 10
+    assert store.get("k0")[0]  # recently used survives
+    total = store.conn.execute(
+        "SELECT SUM(nbytes) FROM results").fetchone()[0]
+    assert total <= 300
+
+
+def test_gc_removes_stale_code_versions(tmp_path):
+    store = ResultStore.open(tmp_path)
+    _put(store, "old", {"v": 1}, version="v1")
+    _put(store, "new", {"v": 2}, version="v2")
+    out = store.gc(current_version="v2")
+    assert out["stale_removed"] == 1
+    assert out["remaining"] == 1
+    assert store.get("new")[0] and not store.get("old")[0]
+
+
+def test_gc_older_than_filter(tmp_path):
+    store = ResultStore.open(tmp_path)
+    _put(store, "stale-recent", {"v": 1}, version="v1")
+    _put(store, "live-old", {"v": 2}, version="v2")
+    # age only "live-old" beyond the cutoff
+    store.conn.execute(
+        "UPDATE results SET last_used = last_used - 3600 WHERE key = 'live-old'")
+    store.conn.commit()
+    out = store.gc(current_version="v2", older_than_s=1800)
+    # recent stale entry survives the age filter; old live entry trimmed
+    assert out["stale_removed"] == 0 and out["aged_removed"] == 1
+    assert store.get("stale-recent")[0] and not store.get("live-old")[0]
+
+
+def test_stats_shape(tmp_path):
+    store = ResultStore.open(tmp_path)
+    _put(store, "a", {"v": 1}, experiment="fig04")
+    _put(store, "b", {"v": 2}, experiment="dse", version="v9")
+    stats = store.stats(current_version="v1")
+    assert stats["entries"] == 2
+    assert stats["stale_entries"] == 1
+    assert stats["by_experiment"] == {"dse": 1, "fig04": 1}
+    assert stats["bytes"] > 0 and stats["file_bytes"] > 0
+
+
+def test_calibration_samples(tmp_path):
+    store = ResultStore.open(tmp_path)
+    _put(store, "a", {"v": 1}, wall_s=0.5, work_units=100.0)
+    _put(store, "b", {"v": 2}, wall_s=None, work_units=None)  # excluded
+    samples = store.calibration_samples()
+    assert samples == [("e", 100.0, 0.5)]
+
+
+def test_corrupt_db_recreated_on_open(tmp_path):
+    (tmp_path / "store.sqlite").write_text("garbage, not a database")
+    store = ResultStore.open(tmp_path)
+    assert store.count() == 0
+    _put(store, "k", {"v": 1})
+    assert store.get("k")[0]
+
+
+def test_migration_imports_and_removes_legacy_files(tmp_path):
+    legacy = {"cell_id": "e/c8/s7", "cell": {"experiment": "fig04"},
+              "code_version": "v1", "result": {"metric": 3.5}}
+    (tmp_path / "abc123.json").write_text(json.dumps(legacy))
+    (tmp_path / "broken.json").write_text("{nope")
+    store = ResultStore.open(tmp_path)
+    assert store.migrated == 1
+    hit, result = store.get("abc123")
+    assert hit and result == {"metric": 3.5}
+    assert not (tmp_path / "abc123.json").exists()
+    assert (tmp_path / "broken.json").exists()  # left for inspection
+    # reopening doesn't double-import
+    store2 = ResultStore.open(tmp_path)
+    assert store2.count() == 1

@@ -57,12 +57,19 @@ def test_cache_round_trip_preserves_result_exactly(cache):
     assert isinstance(loaded["metric"], float) and loaded["metric"] == 0.30000000000000004
 
 
-def test_corrupt_cache_entry_is_a_miss(cache):
+def test_corrupt_store_file_is_a_miss_and_recovers(cache):
     cell = _cell()
     sweep.store_cached(cell, {"v": 1})
-    next(cache.glob("*.json")).write_text("{not json")
+    # trash the SQLite file behind the store's back, drop the open handle
+    sweep.get_store().close()
+    sweep._STORE = None
+    (cache / "store.sqlite").write_text("this is not a database")
     hit, _ = sweep.load_cached(cell)
     assert not hit
+    # the store recreated itself: writes work again
+    sweep.store_cached(cell, {"v": 2})
+    hit, loaded = sweep.load_cached(cell)
+    assert hit and loaded == {"v": 2}
 
 
 def test_run_cells_executes_caches_and_resumes(cache):
@@ -95,7 +102,7 @@ def test_run_cells_dedupes_by_cell_id(cache):
 def test_no_cache_mode_writes_nothing(cache):
     cells = REGISTRY["fig04_channels"].cells(True)
     sweep.run_cells(cells, jobs=1, use_cache=False)
-    assert not cache.exists() or not list(cache.glob("*.json"))
+    assert not cache.exists()
 
 
 def test_resolve_jobs():
@@ -103,6 +110,90 @@ def test_resolve_jobs():
     assert sweep.resolve_jobs(0) >= 1
     with pytest.raises(ValueError):
         sweep.resolve_jobs(-1)
+
+
+def test_resolve_jobs_uses_cpu_affinity(monkeypatch):
+    # cgroup-pinned host: 16 installed CPUs but only 4 runnable — the
+    # auto pool must size from affinity, not cpu_count
+    monkeypatch.setattr(sweep.os, "sched_getaffinity",
+                        lambda pid: {0, 1, 2, 3}, raising=False)
+    monkeypatch.setattr(sweep.os, "cpu_count", lambda: 16)
+    assert sweep.resolve_jobs(0) == 3
+
+
+def test_resolve_jobs_falls_back_without_affinity(monkeypatch):
+    monkeypatch.delattr(sweep.os, "sched_getaffinity", raising=False)
+    monkeypatch.setattr(sweep.os, "cpu_count", lambda: 5)
+    assert sweep.resolve_jobs(0) == 4
+
+
+def test_ljf_orders_by_estimated_cost():
+    from repro.bench.cost import CostModel
+
+    small = _cell(cores=2)
+    big = _cell(cores=64)
+    model = CostModel()  # uncalibrated: falls back to the work hint
+    ordered = sweep._order_cells([small, big], model, "ljf")
+    assert ordered == [big, small]
+    # fifo keeps caller order
+    assert sweep._order_cells([small, big], model, "fifo") == [small, big]
+    with pytest.raises(ValueError):
+        sweep._order_cells([small], model, "sjf")
+
+
+def test_chunk_packing_covers_all_cells_once():
+    from repro.bench.cost import CostModel
+
+    cells = [_cell(cores=c) for c in range(1, 41)]
+    model = CostModel()
+    ordered = sweep._order_cells(cells, model, "ljf")
+    chunks = sweep._pack_chunks(ordered, model, jobs=4)
+    flat = [c.cell_id for chunk in chunks for c in chunk]
+    assert sorted(flat) == sorted(c.cell_id for c in cells)
+    assert len(chunks) > 1
+    assert all(len(chunk) <= sweep.MAX_CHUNK_CELLS for chunk in chunks)
+
+
+def test_parallel_chunked_matches_serial(cache):
+    cells = REGISTRY["fig04_channels"].cells(True) + \
+        REGISTRY["fig03_latency_cdf"].cells(True)
+    serial, s_stats = sweep.run_cells(cells, jobs=1, use_cache=False)
+    parallel, p_stats = sweep.run_cells(cells, jobs=2, use_cache=False)
+    assert parallel == serial
+    assert p_stats.chunks >= 1
+    fifo, _ = sweep.run_cells(cells, jobs=2, use_cache=False,
+                              order="fifo", chunked=False)
+    assert fifo == serial
+
+
+def test_stats_throughput_properties():
+    stats = sweep.SweepStats(total=10, executed=8, cache_hits=2, jobs=2,
+                             wall_s=4.0, busy_s=6.0)
+    assert stats.cells_per_sec == 2.0
+    assert stats.efficiency == 0.75
+    assert stats.cache_hit_ratio == 0.2
+    d = stats.as_dict()
+    assert d["cells_per_sec"] == 2.0 and d["pool_efficiency"] == 0.75
+
+
+def test_legacy_json_cache_migrates_into_store(cache, tmp_path):
+    import json as _json
+
+    # fabricate a PR 2-era cache: one <key>.json per cell
+    cell = _cell()
+    key = sweep.cache_key(cell)
+    cache.mkdir(parents=True)
+    legacy_doc = {"cell_id": cell.cell_id, "cell": cell.config(),
+                  "code_version": sweep.code_version(),
+                  "result": {"metric": 1.25}}
+    (cache / f"{key}.json").write_text(_json.dumps(legacy_doc))
+    (cache / "garbage.json").write_text("{not json")
+    sweep._STORE = None  # force a fresh open → migration
+    hit, result = sweep.load_cached(cell)
+    assert hit and result == {"metric": 1.25}
+    assert not (cache / f"{key}.json").exists()  # imported and removed
+    assert (cache / "garbage.json").exists()     # unparsable: left alone
+    assert sweep.get_store().migrated == 1
 
 
 def test_run_many_pools_cells_across_experiments(cache):

@@ -1,0 +1,416 @@
+"""Load generator for the placement-advisor service (``repro serve``).
+
+Drives an advisor server with a reproducible stream of what-if queries
+and reports the numbers the ROADMAP's "heavy traffic" goal is tracked
+by: sustained requests/sec, p50/p99 latency, and the per-tier
+cache-hit/coalesce ratios the server accumulated during the run.
+
+Traffic model
+-------------
+
+- **query mix** — a seeded generator draws distinct queries over the
+  DSE geometry axes and both workloads (weights configurable via
+  ``--mix``), sized so one cold cell simulates in tens of milliseconds;
+  a configurable fraction of queries asks for all three policies at
+  once (multi-cell requests exercise cell batching).
+- **duplicate ratio** — with probability ``--dup-ratio`` a request
+  re-issues a previously issued query instead of a fresh one: the
+  "many clients ask the same what-if" regime the coalescer and hot
+  cache exist for.  At ``--dup-ratio 0.5+`` a healthy server answers
+  the large majority of cells without fresh simulation.
+- **open vs closed loop** — with ``--rate R`` arrivals are scheduled at
+  R requests/sec regardless of completions (open loop; latency is
+  measured from the *scheduled* arrival, so queueing delay counts).
+  Without ``--rate``, ``--concurrency`` workers issue back-to-back
+  requests over keep-alive connections (closed loop).
+
+Usage::
+
+    python -m repro.bench.loadgen --url http://127.0.0.1:8077 \\
+        --requests 200 --concurrency 16 --dup-ratio 0.6
+    python -m repro.bench.loadgen --self-host --jobs 2 --requests 100
+    python -m repro.bench.loadgen --bench   # record the BENCH serve section
+
+``--bench`` self-hosts a server on a fresh temporary store, runs a
+duplicate-heavy load, and writes the gated ``serve`` section of
+``BENCH_simperf.json`` (consumed by ``repro.bench.perf --check/--gate``).
+"""
+
+import argparse
+import asyncio
+import contextlib
+import json
+import os
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.serve.client import AdvisorClient, parse_base_url
+from repro.serve.query import POLICIES
+
+__all__ = ["QueryStream", "run_load", "measure_check", "main"]
+
+#: default request count / concurrency of a CLI run
+DEFAULT_REQUESTS = 200
+DEFAULT_CONCURRENCY = 16
+DEFAULT_DUP_RATIO = 0.5
+
+#: fraction of distinct queries that ask for every policy at once
+ALL_POLICY_FRACTION = 0.25
+
+#: geometry axis pools the distinct-query generator draws from (a
+#: subset of the DSE lattice — enough spread to defeat any cache by
+#: accident-free distinctness, small enough to stay realistic)
+_AXIS_CPS = (2, 4, 8)
+_AXIS_CPC = (4, 8)
+_AXIS_L3 = (4, 8, 16)
+_AXIS_CH = (4, 8)
+_AXIS_LINK = (0.5, 1.0, 2.0)
+
+#: per-workload size parameters the generator uses: small enough that a
+#: cold cell simulates in tens of ms (loadgen measures the *service*,
+#: not how long one big simulation takes)
+_QUICK_PARAMS = {
+    "gups": {"table_bytes": 1 << 20, "updates_per_worker": 128},
+    "pagerank": {"graph_scale": 10, "edgefactor": 8,
+                 "pagerank_iterations": 1},
+}
+
+
+def parse_mix(spec: str) -> Dict[str, float]:
+    """``"gups=0.7,pagerank=0.3"`` → normalized weight dict."""
+    weights: Dict[str, float] = {}
+    for part in spec.split(","):
+        name, _, value = part.partition("=")
+        name = name.strip()
+        if name not in _QUICK_PARAMS:
+            raise ValueError(f"unknown workload {name!r} in --mix")
+        weights[name] = float(value) if value else 1.0
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError("--mix weights must sum to > 0")
+    return {k: v / total for k, v in weights.items()}
+
+
+class QueryStream:
+    """Seeded stream of advisor queries with a controlled duplicate ratio."""
+
+    def __init__(self, seed: int = 7, dup_ratio: float = DEFAULT_DUP_RATIO,
+                 mix: Optional[Dict[str, float]] = None):
+        if not 0.0 <= dup_ratio < 1.0:
+            raise ValueError(f"dup_ratio must be in [0, 1), got {dup_ratio}")
+        self._rng = random.Random(seed)
+        self.dup_ratio = dup_ratio
+        self.mix = mix or {"gups": 0.7, "pagerank": 0.3}
+        self._issued: List[Dict[str, Any]] = []
+        self.duplicates_issued = 0
+
+    def _distinct(self) -> Dict[str, Any]:
+        rng = self._rng
+        workloads, weights = zip(*sorted(self.mix.items()))
+        workload = rng.choices(workloads, weights=weights)[0]
+        query: Dict[str, Any] = {
+            "workload": workload,
+            "geometry": {
+                "cps": rng.choice(_AXIS_CPS),
+                "cpc": rng.choice(_AXIS_CPC),
+                "l3_mib": rng.choice(_AXIS_L3),
+                "channels": rng.choice(_AXIS_CH),
+                "link_scale": rng.choice(_AXIS_LINK),
+            },
+            "params": dict(_QUICK_PARAMS[workload]),
+        }
+        if rng.random() >= ALL_POLICY_FRACTION:
+            query["policy"] = rng.choice(POLICIES)
+        return query
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        while True:
+            if self._issued and self._rng.random() < self.dup_ratio:
+                self.duplicates_issued += 1
+                yield self._rng.choice(self._issued)
+            else:
+                query = self._distinct()
+                self._issued.append(query)
+                yield query
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+async def run_load(url: str, requests: int = DEFAULT_REQUESTS,
+                   concurrency: int = DEFAULT_CONCURRENCY,
+                   dup_ratio: float = DEFAULT_DUP_RATIO,
+                   rate: Optional[float] = None, seed: int = 7,
+                   mix: Optional[Dict[str, float]] = None) -> Dict[str, Any]:
+    """Drive one load run against a live server; return the report dict."""
+    host, port = parse_base_url(url)
+    stream = QueryStream(seed=seed, dup_ratio=dup_ratio, mix=mix)
+    queries = [q for q, _ in zip(iter(stream), range(requests))]
+
+    probe = AdvisorClient(host, port)
+    status, health = await probe.get("/healthz")
+    if status != 200:
+        raise RuntimeError(f"/healthz answered {status}: {health}")
+    _, stats_before = await probe.get("/stats")
+
+    loop = asyncio.get_running_loop()
+    queue: "asyncio.Queue[Optional[Tuple[int, Dict[str, Any], Optional[float]]]]" \
+        = asyncio.Queue()
+    latencies_s: List[float] = [0.0] * requests
+    errors = 0
+    t0 = loop.time()
+
+    async def feeder() -> None:
+        for i, query in enumerate(queries):
+            if rate is not None:
+                arrival = i / rate
+                delay = (t0 + arrival) - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                queue.put_nowait((i, query, t0 + arrival))
+            else:
+                queue.put_nowait((i, query, None))
+        for _ in range(concurrency):
+            queue.put_nowait(None)
+
+    async def worker() -> int:
+        nonlocal errors
+        client = AdvisorClient(host, port)
+        try:
+            while True:
+                item = await queue.get()
+                if item is None:
+                    return 0
+                i, query, scheduled = item
+                start = scheduled if scheduled is not None else loop.time()
+                status, _doc = await client.post("/advise", query)
+                latencies_s[i] = loop.time() - start
+                if status != 200:
+                    errors += 1
+        finally:
+            await client.close()
+
+    feed = asyncio.create_task(feeder())
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    await feed
+    wall_s = loop.time() - t0
+
+    _, stats_after = await probe.get("/stats")
+    status, health = await probe.get("/healthz")
+    await probe.close()
+
+    before, after = stats_before.get("cells", {}), stats_after.get("cells", {})
+    delta = {k: after.get(k, 0) - before.get(k, 0)
+             for k in ("total", "hot_hits", "store_hits", "coalesced", "computed")}
+    answered_cached = delta["hot_hits"] + delta["store_hits"] + delta["coalesced"]
+    ordered = sorted(latencies_s)
+    return {
+        "url": url,
+        "requests": requests,
+        "concurrency": concurrency,
+        "dup_ratio": dup_ratio,
+        "duplicates_issued": stream.duplicates_issued,
+        "rate": rate,
+        "loop": "open" if rate is not None else "closed",
+        "seed": seed,
+        "errors": errors,
+        "wall_s": round(wall_s, 3),
+        "req_per_sec": round(requests / wall_s, 2) if wall_s > 0 else 0.0,
+        "latency_ms": {
+            "p50": round(_quantile(ordered, 0.50) * 1e3, 3),
+            "p90": round(_quantile(ordered, 0.90) * 1e3, 3),
+            "p99": round(_quantile(ordered, 0.99) * 1e3, 3),
+            "max": round(ordered[-1] * 1e3, 3) if ordered else 0.0,
+            "mean": round(sum(ordered) / len(ordered) * 1e3, 3) if ordered else 0.0,
+        },
+        "cells": delta,
+        "cache_hit_ratio": round(answered_cached / delta["total"], 4)
+                           if delta["total"] else 0.0,
+        "coalesce_count": delta["coalesced"],
+        "healthz_ok": status == 200 and health.get("status") == "ok",
+        "server_stats": stats_after,
+    }
+
+
+# -- self-hosting (bench / gate / CI) ------------------------------------------
+
+
+@contextlib.contextmanager
+def _temp_store() -> Iterator[str]:
+    """Point REPRO_SWEEP_CACHE at a throwaway dir (cold-store runs)."""
+    prev = os.environ.get("REPRO_SWEEP_CACHE")
+    with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as td:
+        os.environ["REPRO_SWEEP_CACHE"] = td
+        try:
+            yield td
+        finally:
+            if prev is None:
+                os.environ.pop("REPRO_SWEEP_CACHE", None)
+            else:
+                os.environ["REPRO_SWEEP_CACHE"] = prev
+
+
+def _self_hosted(run, jobs: int, fresh_store: bool) -> Dict[str, Any]:
+    """Start an in-process server, run ``run(url)``, stop it cleanly."""
+    from repro.serve.app import ServerThread
+
+    ctx = _temp_store() if fresh_store else contextlib.nullcontext()
+    with ctx:
+        with ServerThread(jobs=jobs) as server:
+            return asyncio.run(run(server.url))
+
+
+def measure_check(requests: int = 60, concurrency: int = 8,
+                  dup_ratio: float = 0.6, jobs: int = 2,
+                  seed: int = 7) -> Dict[str, Any]:
+    """Small self-contained serve measurement for the perf gate.
+
+    Self-hosts a server on a fresh temporary store and drives the same
+    duplicate-heavy closed-loop stream twice (same seed → identical
+    queries): the cold pass pays for simulation and must show request
+    coalescing; the warm pass is the cache-dominated steady state the
+    gate asserts — req/s against the recorded floor and cache-hit
+    ratio against 0.9.
+    """
+    async def both(url: str) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        cold = await run_load(url, requests=requests, concurrency=concurrency,
+                              dup_ratio=dup_ratio, seed=seed)
+        warm = await run_load(url, requests=requests, concurrency=concurrency,
+                              dup_ratio=dup_ratio, seed=seed)
+        return cold, warm
+
+    cold, warm = _self_hosted(both, jobs=jobs, fresh_store=True)
+    return {
+        "requests": requests,
+        "concurrency": concurrency,
+        "dup_ratio": dup_ratio,
+        "jobs": jobs,
+        "req_per_sec": warm["req_per_sec"],
+        "p50_ms": warm["latency_ms"]["p50"],
+        "p99_ms": warm["latency_ms"]["p99"],
+        "cache_hit_ratio": warm["cache_hit_ratio"],
+        "coalesce_count": cold["coalesce_count"] + warm["coalesce_count"],
+        "cold_req_per_sec": cold["req_per_sec"],
+        "cold_cache_hit_ratio": cold["cache_hit_ratio"],
+        "errors": cold["errors"] + warm["errors"],
+        "healthz_ok": cold["healthz_ok"] and warm["healthz_ok"],
+    }
+
+
+def _bench(args: argparse.Namespace) -> int:
+    """Measure serve throughput; record under ``serve`` in
+    BENCH_simperf.json (the rest of the report is left untouched)."""
+    report = _self_hosted(
+        lambda url: run_load(url, requests=args.requests,
+                             concurrency=args.concurrency,
+                             dup_ratio=args.dup_ratio, rate=args.rate,
+                             seed=args.seed, mix=parse_mix(args.mix)),
+        jobs=args.jobs, fresh_store=True)
+    check = measure_check(jobs=args.jobs)
+    section = {
+        "suite": (f"python -m repro.bench.loadgen --bench "
+                  f"--requests {args.requests} "
+                  f"--concurrency {args.concurrency} "
+                  f"--dup-ratio {args.dup_ratio}"),
+        "host_cpus": os.cpu_count(),
+        "jobs": args.jobs,
+        "requests": args.requests,
+        "concurrency": args.concurrency,
+        "dup_ratio": args.dup_ratio,
+        "req_per_sec": report["req_per_sec"],
+        "p50_ms": report["latency_ms"]["p50"],
+        "p99_ms": report["latency_ms"]["p99"],
+        "cells": report["cells"],
+        "cache_hit_ratio": report["cache_hit_ratio"],
+        "coalesce_count": report["coalesce_count"],
+        "errors": report["errors"],
+        "check": check,
+    }
+    out = args.bench_out
+    doc: Dict[str, Any] = {}
+    if out.exists():
+        try:
+            doc = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            pass
+    doc["serve"] = section
+    out.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    print(f"updated {out} (serve section); "
+          f"{section['req_per_sec']} req/s, "
+          f"p50 {section['p50_ms']}ms p99 {section['p99_ms']}ms, "
+          f"cache-hit {section['cache_hit_ratio']}, "
+          f"coalesced {section['coalesce_count']}")
+    return 0
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default=None,
+                        help="advisor base url (e.g. http://127.0.0.1:8077); "
+                             "omit with --self-host/--bench")
+    parser.add_argument("--self-host", action="store_true",
+                        help="start an in-process server for the duration "
+                             "of the run")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="simulation workers for --self-host/--bench")
+    parser.add_argument("--fresh-store", action="store_true",
+                        help="with --self-host: use a throwaway result store")
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS)
+    parser.add_argument("--concurrency", type=int, default=DEFAULT_CONCURRENCY)
+    parser.add_argument("--dup-ratio", type=float, default=DEFAULT_DUP_RATIO,
+                        help="fraction of requests repeating an earlier query")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="open-loop arrival rate in req/s (default: "
+                             "closed loop at --concurrency)")
+    parser.add_argument("--mix", default="gups=0.7,pagerank=0.3",
+                        help="workload mix weights, e.g. gups=0.7,pagerank=0.3")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--report", type=Path, default=None,
+                        help="write the full JSON report here")
+    parser.add_argument("--bench", action="store_true",
+                        help="self-host on a fresh store, run a duplicate-"
+                             "heavy load, update the serve section of "
+                             "BENCH_simperf.json")
+    parser.add_argument("--bench-out", type=Path,
+                        default=Path("BENCH_simperf.json"))
+    args = parser.parse_args(argv)
+
+    if args.bench:
+        return _bench(args)
+
+    runner = lambda url: run_load(  # noqa: E731
+        url, requests=args.requests, concurrency=args.concurrency,
+        dup_ratio=args.dup_ratio, rate=args.rate, seed=args.seed,
+        mix=parse_mix(args.mix))
+    if args.self_host:
+        report = _self_hosted(runner, jobs=args.jobs,
+                              fresh_store=args.fresh_store)
+    elif args.url:
+        report = asyncio.run(runner(args.url))
+    else:
+        parser.error("give --url, or use --self-host / --bench")
+
+    summary = {k: report[k] for k in
+               ("requests", "errors", "wall_s", "req_per_sec", "latency_ms",
+                "cells", "cache_hit_ratio", "coalesce_count", "healthz_ok")}
+    print(json.dumps(summary, indent=2))
+    if args.report:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report -> {args.report}", file=sys.stderr)
+    return 0 if report["errors"] == 0 and report["healthz_ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -481,15 +481,16 @@ def write_report(results: Dict[str, Dict[str, float]], path: Path) -> Dict:
             for name in results
             if name in RECORDED_BASELINE and RECORDED_BASELINE[name] > 0
         }
-    # The sweep section is owned by `python -m repro.bench.sweep --bench`
-    # and the dse section by `python -m repro.bench.dse --bench`; carry
-    # both across rewrites of the simulator-throughput sections.
+    # The sweep section is owned by `python -m repro.bench.sweep --bench`,
+    # the dse section by `python -m repro.bench.dse --bench`, and the
+    # serve section by `python -m repro.bench.loadgen --bench`; carry
+    # them all across rewrites of the simulator-throughput sections.
     if path.exists():
         try:
             prev = json.loads(path.read_text())
         except json.JSONDecodeError:
             prev = {}
-        for owned_elsewhere in ("sweep", "dse"):
+        for owned_elsewhere in ("sweep", "dse", "serve"):
             if owned_elsewhere in prev:
                 doc[owned_elsewhere] = prev[owned_elsewhere]
     path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
@@ -525,6 +526,7 @@ def run_gate(record_path: Path, factor: float) -> int:
         if status == "FAIL":
             failures.append(name)
     failures.extend(run_dse_gate(doc.get("dse"), factor))
+    failures.extend(run_serve_gate(doc.get("serve"), factor))
     if failures:
         print(f"FAIL: below {factor:.2f}x recorded throughput: "
               f"{failures}", file=sys.stderr)
@@ -565,6 +567,49 @@ def run_dse_gate(dse_section: Optional[Dict], factor: float) -> List[str]:
           f"(floor 0.90)  {status}")
     if status == "FAIL":
         failures.append("dse:resume_hit_ratio")
+    return failures
+
+
+def run_serve_gate(serve_section: Optional[Dict], factor: float) -> List[str]:
+    """Advisor-service leg of the perf gate.
+
+    Re-measures the recorded ``serve.check`` configuration — a
+    self-hosted advisor on a fresh store driven with a duplicate-heavy
+    closed loop — and fails on req/s below ``factor`` × recorded, or on
+    a cache-hit ratio below 0.90 on that duplicate-heavy stream (the
+    coalescer + hot cache + store must absorb repeats without fresh
+    simulation).  Returns failure labels (empty = ok).
+    """
+    rec = (serve_section or {}).get("check")
+    if not rec:
+        print(f"{'serve':12s} (no recorded serve.check section — skipped)")
+        return []
+    from repro.bench import loadgen as loadgen_mod
+
+    meas = loadgen_mod.measure_check(
+        requests=rec.get("requests", 60),
+        concurrency=rec.get("concurrency", 8),
+        dup_ratio=rec.get("dup_ratio", 0.6),
+        jobs=rec.get("jobs", 2))
+    failures = []
+    rec_rps = rec.get("req_per_sec", 0)
+    if rec_rps:
+        ratio = meas["req_per_sec"] / rec_rps
+        status = "ok" if ratio >= factor else "FAIL"
+        print(f"{'serve':12s} {meas['req_per_sec']:>12,.2f} req/s   "
+              f"recorded {rec_rps:>12,.2f}  ratio {ratio:.2f}  {status}")
+        if status == "FAIL":
+            failures.append("serve:req_per_sec")
+    hit_ratio = meas["cache_hit_ratio"]
+    status = "ok" if hit_ratio >= 0.9 else "FAIL"
+    print(f"{'serve-cache':12s} cache hit ratio {hit_ratio:.2f} "
+          f"(floor 0.90, dup-heavy stream)  {status}")
+    if status == "FAIL":
+        failures.append("serve:cache_hit_ratio")
+    if meas["errors"] or not meas["healthz_ok"]:
+        print(f"{'serve-health':12s} errors={meas['errors']} "
+              f"healthz_ok={meas['healthz_ok']}  FAIL")
+        failures.append("serve:health")
     return failures
 
 
@@ -672,6 +717,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         if meas["resume_hit_ratio"] < 1.0:
             print("FAIL: dse resume did not answer every cell from the "
                   "result store", file=sys.stderr)
+            return 1
+        # Advisor-service smoke: a self-hosted server must answer a
+        # duplicate-heavy burst with >=90% of cells from cache tiers.
+        from repro.bench import loadgen as loadgen_mod
+
+        serve = loadgen_mod.measure_check()
+        print(f"{'serve':12s} {serve['requests']:>5d} reqs      "
+              f"{serve['req_per_sec']:>8.1f} req/s    "
+              f"cache hit ratio {serve['cache_hit_ratio']:.2f}  "
+              f"coalesced {serve['coalesce_count']}")
+        if serve["errors"] or not serve["healthz_ok"]:
+            print("FAIL: advisor service answered errors during the check "
+                  "burst", file=sys.stderr)
+            return 1
+        if serve["cache_hit_ratio"] < 0.9:
+            print("FAIL: duplicate-heavy serve check answered < 90% of "
+                  "cells from cache tiers", file=sys.stderr)
             return 1
         print(f"perf check OK in {elapsed:.1f}s (determinism + throughput floor)")
         return 0

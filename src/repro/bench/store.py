@@ -13,6 +13,17 @@ content-addressed entries into one SQLite file:
 - **atomic** — each ``put`` is one SQLite transaction; a killed sweep
   never leaves a torn entry, and concurrent sweeps sharing the store
   serialize on SQLite's own locking (``busy_timeout``);
+- **concurrent** — the store runs in WAL journal mode (when the
+  filesystem supports it), so readers never block the writer and
+  multiple *processes* — a long-running advisor server plus batch
+  sweeps, say — can share one store file: writers queue on the WAL
+  write lock (30 s ``busy_timeout``), readers see consistent
+  snapshots, and ``INSERT OR REPLACE`` makes racing same-key puts
+  idempotent.  Within one process the connection is shared across
+  threads behind an internal lock (``check_same_thread=False``), so
+  async servers may probe it from worker threads.
+  ``tests/test_store.py`` proves no lost puts or torn reads under
+  multi-process contention;
 - **LRU-bounded** — every entry tracks ``last_used``; when the store
   exceeds ``max_bytes`` (``REPRO_STORE_MAX_MB``, default 1024) the
   least-recently-used entries are evicted, so the store is safe to leave
@@ -26,13 +37,15 @@ content-addressed entries into one SQLite file:
   next to the store (the PR 2 layout under ``results/.sweep-cache/``)
   are imported and removed, so existing caches survive the switch.
 
-The store is only ever written by the sweep *parent* process (workers
-return results over the pool), so there is exactly one writer per run.
+Within one sweep the store is only ever written by the *parent* process
+(workers return results over the pool); across runs, any number of
+sweeps and advisor servers may read and write it concurrently.
 """
 
 import json
 import os
 import sqlite3
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple
@@ -85,6 +98,12 @@ class ResultStore:
         self._pid = os.getpid()
         self._puts_since_check = 0
         self.migrated = 0
+        # one connection shared across this process's threads; every
+        # transaction holds this lock (SQLite connections serialize
+        # internally, but our read-modify-write sequences must not
+        # interleave between threads)
+        self._lock = threading.RLock()
+        self.journal_mode = "?"
         self._conn = self._connect()
 
     # -- lifecycle -------------------------------------------------------------
@@ -101,11 +120,7 @@ class ResultStore:
 
     def _connect(self) -> sqlite3.Connection:
         try:
-            conn = sqlite3.connect(self.path, timeout=30.0)
-            conn.execute("PRAGMA busy_timeout=30000")
-            conn.executescript(_SCHEMA)
-            conn.commit()
-            return conn
+            return self._connect_once()
         except sqlite3.DatabaseError:
             # A corrupt/garbage store file is a cache, not data: recreate
             # it empty rather than failing the sweep.
@@ -113,19 +128,39 @@ class ResultStore:
                 self.path.unlink()
             except OSError:
                 pass
-            conn = sqlite3.connect(self.path, timeout=30.0)
-            conn.execute("PRAGMA busy_timeout=30000")
-            conn.executescript(_SCHEMA)
-            conn.commit()
-            return conn
+            return self._connect_once()
+
+    def _connect_once(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=30.0,
+                               check_same_thread=False)
+        conn.execute("PRAGMA busy_timeout=30000")
+        # WAL lets concurrent readers (other sweeps, a running advisor
+        # server) proceed while a writer commits; some filesystems
+        # (network mounts) refuse it, in which case SQLite stays on the
+        # rollback journal and concurrency degrades to coarse locking
+        # rather than failing.
+        try:
+            mode = conn.execute("PRAGMA journal_mode=WAL").fetchone()[0]
+        except sqlite3.DatabaseError:  # pragma: no cover - exotic fs
+            mode = "delete"
+        self.journal_mode = str(mode).lower()
+        if self.journal_mode == "wal":
+            # fsync on WAL checkpoints only: a power-cut may lose the
+            # last results (they re-simulate) but never corrupts
+            conn.execute("PRAGMA synchronous=NORMAL")
+        conn.executescript(_SCHEMA)
+        conn.commit()
+        return conn
 
     @property
     def conn(self) -> sqlite3.Connection:
         # A forked worker inheriting this object must not reuse the
         # parent's connection (SQLite connections are not fork-safe).
         if os.getpid() != self._pid:
-            self._pid = os.getpid()
-            self._conn = self._connect()
+            with self._lock:
+                if os.getpid() != self._pid:
+                    self._pid = os.getpid()
+                    self._conn = self._connect()
         return self._conn
 
     def close(self) -> None:
@@ -139,29 +174,36 @@ class ResultStore:
     def get(self, key: str) -> Tuple[bool, Any]:
         """Return ``(hit, result)``; a hit bumps the LRU clock and the
         entry's hit counter.  Corrupt rows count as misses."""
-        try:
-            row = self.conn.execute(
-                "SELECT result FROM results WHERE key = ?", (key,)).fetchone()
-        except sqlite3.DatabaseError:
-            return False, None
-        if row is None:
-            return False, None
-        try:
-            result = json.loads(row[0])
-        except json.JSONDecodeError:
-            with self.conn:
-                self.conn.execute("DELETE FROM results WHERE key = ?", (key,))
-            return False, None
-        with self.conn:
-            self.conn.execute(
-                "UPDATE results SET last_used = ?, hits = hits + 1 WHERE key = ?",
-                (time.time(), key))
+        with self._lock:
+            try:
+                row = self.conn.execute(
+                    "SELECT result FROM results WHERE key = ?", (key,)).fetchone()
+            except sqlite3.DatabaseError:
+                return False, None
+            if row is None:
+                return False, None
+            try:
+                result = json.loads(row[0])
+            except json.JSONDecodeError:
+                with self.conn:
+                    self.conn.execute("DELETE FROM results WHERE key = ?", (key,))
+                return False, None
+            try:
+                with self.conn:
+                    self.conn.execute(
+                        "UPDATE results SET last_used = ?, hits = hits + 1 "
+                        "WHERE key = ?", (time.time(), key))
+            except sqlite3.OperationalError:
+                # a concurrent writer held the lock past the busy
+                # timeout; the LRU bump is advisory, the hit is real
+                pass
         return True, result
 
     def wall_of(self, key: str) -> Optional[float]:
         """Recorded execution wall-clock of one entry (or None)."""
-        row = self.conn.execute(
-            "SELECT wall_s FROM results WHERE key = ?", (key,)).fetchone()
+        with self._lock:
+            row = self.conn.execute(
+                "SELECT wall_s FROM results WHERE key = ?", (key,)).fetchone()
         return None if row is None else row[0]
 
     def put(self, key: str, *, cell_id: str, experiment: str,
@@ -171,37 +213,39 @@ class ResultStore:
         """Insert or replace one entry (one transaction: atomic)."""
         payload = json.dumps(result, sort_keys=True, separators=(",", ":"))
         now = time.time()
-        with self.conn:
-            self.conn.execute(
-                "INSERT OR REPLACE INTO results "
-                "(key, cell_id, experiment, code_version, telemetry, result, "
-                " wall_s, work_units, nbytes, created_at, last_used, hits) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 0)",
-                (key, cell_id, experiment, code_version, int(telemetry),
-                 payload, wall_s, work_units, len(payload), now, now))
-        self._puts_since_check += 1
-        if self._puts_since_check >= _EVICT_CHECK_EVERY:
-            self._puts_since_check = 0
-            self.evict_lru()
+        with self._lock:
+            with self.conn:
+                self.conn.execute(
+                    "INSERT OR REPLACE INTO results "
+                    "(key, cell_id, experiment, code_version, telemetry, result, "
+                    " wall_s, work_units, nbytes, created_at, last_used, hits) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 0)",
+                    (key, cell_id, experiment, code_version, int(telemetry),
+                     payload, wall_s, work_units, len(payload), now, now))
+            self._puts_since_check += 1
+            if self._puts_since_check >= _EVICT_CHECK_EVERY:
+                self._puts_since_check = 0
+                self.evict_lru()
 
     # -- maintenance -----------------------------------------------------------
 
     def evict_lru(self) -> int:
         """Drop least-recently-used entries until under ``max_bytes``."""
-        total = self.conn.execute(
-            "SELECT COALESCE(SUM(nbytes), 0) FROM results").fetchone()[0]
-        if total <= self.max_bytes:
-            return 0
-        evicted = 0
-        with self.conn:
-            for key, nbytes in self.conn.execute(
-                    "SELECT key, nbytes FROM results ORDER BY last_used ASC"
-            ).fetchall():
-                if total <= self.max_bytes:
-                    break
-                self.conn.execute("DELETE FROM results WHERE key = ?", (key,))
-                total -= nbytes
-                evicted += 1
+        with self._lock:
+            total = self.conn.execute(
+                "SELECT COALESCE(SUM(nbytes), 0) FROM results").fetchone()[0]
+            if total <= self.max_bytes:
+                return 0
+            evicted = 0
+            with self.conn:
+                for key, nbytes in self.conn.execute(
+                        "SELECT key, nbytes FROM results ORDER BY last_used ASC"
+                ).fetchall():
+                    if total <= self.max_bytes:
+                        break
+                    self.conn.execute("DELETE FROM results WHERE key = ?", (key,))
+                    total -= nbytes
+                    evicted += 1
         return evicted
 
     def gc(self, current_version: str,
@@ -216,7 +260,7 @@ class ResultStore:
         too (an age-based trim of live entries).
         """
         cutoff = None if older_than_s is None else time.time() - older_than_s
-        with self.conn:
+        with self._lock, self.conn:
             if cutoff is None:
                 cur = self.conn.execute(
                     "DELETE FROM results WHERE code_version != ?",
@@ -231,27 +275,31 @@ class ResultStore:
                     "DELETE FROM results WHERE code_version = ? AND last_used < ?",
                     (current_version, cutoff))
                 aged_removed = cur.rowcount
-        self.conn.execute("VACUUM")
+        with self._lock:
+            self.conn.execute("VACUUM")
         return {"stale_removed": stale_removed, "aged_removed": aged_removed,
                 "remaining": self.count()}
 
     def count(self) -> int:
-        return self.conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        with self._lock:
+            return self.conn.execute(
+                "SELECT COUNT(*) FROM results").fetchone()[0]
 
     def stats(self, current_version: Optional[str] = None) -> Dict[str, Any]:
         """Describe the store (for ``repro cache stats`` and CI artifacts)."""
-        conn = self.conn
-        entries, payload_bytes, hits_total = conn.execute(
-            "SELECT COUNT(*), COALESCE(SUM(nbytes), 0), COALESCE(SUM(hits), 0) "
-            "FROM results").fetchone()
-        by_experiment = dict(conn.execute(
-            "SELECT experiment, COUNT(*) FROM results "
-            "GROUP BY experiment ORDER BY experiment").fetchall())
-        stale = 0
-        if current_version is not None:
-            stale = conn.execute(
-                "SELECT COUNT(*) FROM results WHERE code_version != ?",
-                (current_version,)).fetchone()[0]
+        with self._lock:
+            conn = self.conn
+            entries, payload_bytes, hits_total = conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(nbytes), 0), COALESCE(SUM(hits), 0) "
+                "FROM results").fetchone()
+            by_experiment = dict(conn.execute(
+                "SELECT experiment, COUNT(*) FROM results "
+                "GROUP BY experiment ORDER BY experiment").fetchall())
+            stale = 0
+            if current_version is not None:
+                stale = conn.execute(
+                    "SELECT COUNT(*) FROM results WHERE code_version != ?",
+                    (current_version,)).fetchone()[0]
         try:
             file_bytes = self.path.stat().st_size
         except OSError:
@@ -264,6 +312,7 @@ class ResultStore:
             "hits_total": hits_total,
             "stale_entries": stale,
             "max_bytes": self.max_bytes,
+            "journal_mode": self.journal_mode,
             "migrated_legacy_entries": self.migrated,
             "by_experiment": by_experiment,
         }
@@ -275,10 +324,11 @@ class ResultStore:
         Most-recently-used first, capped at ``limit``; spans code
         versions on purpose (see module docstring).
         """
-        return self.conn.execute(
-            "SELECT experiment, work_units, wall_s FROM results "
-            "WHERE wall_s IS NOT NULL AND work_units IS NOT NULL "
-            "ORDER BY last_used DESC LIMIT ?", (limit,)).fetchall()
+        with self._lock:
+            return self.conn.execute(
+                "SELECT experiment, work_units, wall_s FROM results "
+                "WHERE wall_s IS NOT NULL AND work_units IS NOT NULL "
+                "ORDER BY last_used DESC LIMIT ?", (limit,)).fetchall()
 
     # -- legacy migration ------------------------------------------------------
 
@@ -293,6 +343,13 @@ class ResultStore:
         directory = Path(directory)
         if not directory.is_dir():
             return 0
+        imported = 0
+        with self._lock:
+            imported = self._migrate_locked(directory)
+        self.migrated += imported
+        return imported
+
+    def _migrate_locked(self, directory: Path) -> int:
         imported = 0
         for path in sorted(directory.glob("*.json")):
             try:
@@ -315,11 +372,11 @@ class ResultStore:
             except OSError:  # pragma: no cover - defensive
                 continue
             imported += 1
-        self.migrated += imported
         return imported
 
     # -- introspection helpers (tests) ----------------------------------------
 
     def keys(self) -> Iterable[str]:
-        return [r[0] for r in self.conn.execute(
-            "SELECT key FROM results ORDER BY key").fetchall()]
+        with self._lock:
+            return [r[0] for r in self.conn.execute(
+                "SELECT key FROM results ORDER BY key").fetchall()]

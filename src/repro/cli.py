@@ -15,6 +15,10 @@ Commands
 - ``dse [--budget N]``          — budget-driven design-space exploration
   over machine geometry, reduced to Pareto frontiers and a CHARM-vs-
   baselines summary (:mod:`repro.bench.dse`);
+- ``serve [--port P --jobs N]`` — the placement-advisor service: an
+  asyncio HTTP/JSON server answering what-if placement queries through
+  a hot cache, the shared result store, and a warm simulation pool
+  (:mod:`repro.serve.app`);
 - ``cache stats|gc``            — inspect or garbage-collect the sweep
   result store (``gc --older-than DAYS`` also age-trims live entries).
 
@@ -287,6 +291,14 @@ def _add_sweep_args(p) -> None:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # the advisor service owns its own argparse (--port/--jobs/--store/...);
+    # hand everything after `serve` straight through
+    if argv and argv[0] == "serve":
+        from repro.serve import app
+
+        return app.main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro", description="CHARM reproduction experiment runner")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -321,6 +333,13 @@ def main(argv=None) -> int:
     dse_p.add_argument("--no-cache", action="store_true",
                        help="ignore and don't write the result store")
     dse_p.set_defaults(fn=cmd_dse)
+
+    # `serve` is dispatched before parsing (its flags are owned by
+    # repro.serve.app); registered here only so `repro -h` lists it
+    sub.add_parser(
+        "serve", help="run the placement-advisor HTTP service "
+                      "(hot cache + result store + warm simulation pool); "
+                      "see `python -m repro serve --help`")
 
     cache_p = sub.add_parser(
         "cache", help="inspect or garbage-collect the sweep result store")

@@ -1,0 +1,43 @@
+"""Placement-advisor service: the sweep engine as a long-running server.
+
+``python -m repro serve`` stands up an asyncio HTTP/JSON server that
+answers *what-if placement queries* — "this workload at this size on
+this machine geometry under these policies" — through a three-tier
+answer path:
+
+1. an in-process **hot cache** (LRU over deserialized results),
+2. the shared persistent **result store** of :mod:`repro.bench.store`
+   (content-addressed, survives restarts, shared with batch sweeps),
+3. **simulation** on a persistent warm :class:`ProcessPoolExecutor`,
+   reusing the exact cell machinery of :mod:`repro.bench.sweep` with
+   cost-model-aware longest-job-first dispatch.
+
+Concurrent identical queries coalesce onto one in-flight future
+(single-flight, :mod:`repro.serve.coalesce`); independent cells from
+different requests batch into packed chunks (:mod:`repro.serve.pool`).
+Answers are bit-identical to ``python -m repro run`` for the same cells
+— every tier returns the same JSON-native result the serial path
+computes.
+
+Modules
+-------
+
+- :mod:`repro.serve.query`    — request normalization to canonical
+  :class:`~repro.bench.cells.ExperimentCell` s (and therefore canonical
+  content-addressed keys);
+- :mod:`repro.serve.coalesce` — the single-flight table;
+- :mod:`repro.serve.stats`    — tier/coalesce counters and latency
+  quantiles behind ``/stats``;
+- :mod:`repro.serve.pool`     — hot cache + store + warm pool, the
+  three-tier cell answerer;
+- :mod:`repro.serve.app`      — the HTTP server itself (``/advise``,
+  ``/healthz``, ``/stats``) and the CLI entry point;
+- :mod:`repro.serve.client`   — a small asyncio HTTP/JSON client used
+  by the load generator, the CI smoke, and the tests.
+"""
+
+from repro.serve.coalesce import SingleFlight
+from repro.serve.query import QueryError, normalize_query
+from repro.serve.stats import ServerStats
+
+__all__ = ["QueryError", "ServerStats", "SingleFlight", "normalize_query"]

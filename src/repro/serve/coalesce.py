@@ -1,0 +1,76 @@
+"""Single-flight coalescing: one in-flight computation per cell key.
+
+Under duplicate-heavy traffic ("is CHARM still winning on this
+geometry?" asked by many clients at once) the expensive tier of the
+answer path — simulation — must run **once** per distinct cell no
+matter how many requests are waiting on it.  The classic single-flight
+table does exactly that: the first requester of a key creates and owns
+the in-flight future; every concurrent duplicate awaits the same
+future; the owner resolves it for everyone and removes the entry.
+
+This runs entirely on the server's event loop (no locks needed —
+``start``/``wait_for``/``resolve`` are plain synchronous calls between
+awaits), which is also what makes the accounting exact: a key is either
+absent, or in flight with ``waiters(key)`` duplicates attached.
+"""
+
+import asyncio
+from typing import Any, Dict, Optional
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """In-flight futures keyed by cell key, with duplicate accounting."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._waiters: Dict[str, int] = {}
+        #: total duplicates that attached to an existing flight (ever)
+        self.coalesced_total = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def leader(self, key: str) -> Optional[asyncio.Future]:
+        """Claim ``key``: returns a fresh future to resolve if this
+        caller is the flight's leader, else ``None`` (a flight exists —
+        await :meth:`wait_for` instead)."""
+        if key in self._inflight:
+            return None
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = fut
+        self._waiters[key] = 0
+        return fut
+
+    def wait_for(self, key: str) -> Optional[asyncio.Future]:
+        """The in-flight future for ``key`` (counts this caller as a
+        coalesced duplicate), or ``None`` if nothing is in flight."""
+        fut = self._inflight.get(key)
+        if fut is not None:
+            self._waiters[key] += 1
+            self.coalesced_total += 1
+        return fut
+
+    def waiters(self, key: str) -> int:
+        return self._waiters.get(key, 0)
+
+    def resolve(self, key: str, result: Any = None,
+                error: Optional[BaseException] = None) -> None:
+        """Leader-side: complete the flight and drop the table entry.
+
+        Every waiter wakes with ``result`` (or ``error``); late callers
+        start a fresh flight — by then the result is in a cache tier, so
+        they resolve there instead of re-simulating.
+        """
+        fut = self._inflight.pop(key, None)
+        self._waiters.pop(key, None)
+        if fut is None or fut.done():
+            return
+        if error is not None:
+            fut.set_exception(error)
+            # awaited by every waiter; if all of them are gone the loop
+            # would log "exception never retrieved" — mark it handled
+            fut.exception()
+        else:
+            fut.set_result(result)

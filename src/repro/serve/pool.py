@@ -1,0 +1,272 @@
+"""The three-tier cell answerer: hot cache → result store → warm pool.
+
+One :class:`CellAnswerer` owns everything below the HTTP layer:
+
+- **tier 1, hot cache** — an in-process LRU of deserialized results
+  keyed by the content-addressed cell key.  Repeats of a recently
+  answered cell never touch SQLite, let alone a worker process.
+- **tier 2, result store** — the shared persistent
+  :class:`~repro.bench.store.ResultStore` (the same file batch sweeps
+  write), probed on a small thread pool so SQLite I/O never stalls the
+  event loop.  A server restart, or a sweep that already ran this
+  configuration, answers from here.
+- **tier 3, simulation** — a persistent warm
+  :class:`~concurrent.futures.ProcessPoolExecutor` running the exact
+  ``run_cell`` machinery of the sweep engine.  Cells queue into a short
+  batching window, are ordered longest-job-first by the sweep's cost
+  model, packed into chunks (amortizing executor IPC exactly like
+  ``repro.bench.sweep``), and fanned across the pool.
+
+A :class:`~repro.serve.coalesce.SingleFlight` table sits in front of
+tiers 2–3: the first request for a key becomes the flight leader and
+every concurrent duplicate — same cell from another request — awaits
+the leader's future instead of re-probing or re-simulating.
+
+Every tier returns the identical JSON-native result the serial path
+computes (store round-trips preserve every bit; the pool runs the same
+``run_cell``), which is what makes service answers bit-identical to
+``python -m repro run`` — pinned by ``tests/test_serve.py``.
+"""
+
+import asyncio
+import multiprocessing
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.bench.cells import ExperimentCell
+from repro.bench.cost import CostModel
+from repro.bench import sweep
+from repro.serve.coalesce import SingleFlight
+from repro.serve.stats import ServerStats
+
+__all__ = ["CellAnswerer", "HOT_CACHE_SIZE", "BATCH_WINDOW_S"]
+
+#: default hot-cache capacity (entries, not bytes — results are small)
+HOT_CACHE_SIZE = 4096
+
+#: how long the dispatcher waits after the first queued cell before
+#: packing a batch: long enough for concurrent requests' cells to land
+#: in the same chunk, short enough to be invisible next to simulation
+BATCH_WINDOW_S = 0.005
+
+#: hard cap on cells drained into one batching round
+MAX_BATCH_CELLS = 1024
+
+#: recalibrate the cost model from the store every this many batches
+_COST_REFRESH_EVERY = 64
+
+
+def _warm_worker() -> str:
+    """Pool warm-up: import the experiment registry in each worker so
+    the first real chunk pays no import latency (and spawn-start
+    platforms learn the ``dse`` experiment before they need it)."""
+    from repro.bench import dse, experiments  # noqa: F401
+
+    return "warm"
+
+
+class CellAnswerer:
+    """Answer experiment cells through hot cache, store, and warm pool."""
+
+    def __init__(self, jobs: int = 0, use_store: bool = True,
+                 hot_cache_size: int = HOT_CACHE_SIZE,
+                 batch_window_s: float = BATCH_WINDOW_S,
+                 stats: Optional[ServerStats] = None):
+        self.jobs = sweep.resolve_jobs(jobs)
+        self.use_store = use_store
+        self.batch_window_s = batch_window_s
+        self.stats = stats or ServerStats()
+        self._hot: "OrderedDict[str, Any]" = OrderedDict()
+        self._hot_capacity = hot_cache_size
+        self._flight = SingleFlight()
+        self._queue: "asyncio.Queue[Tuple[ExperimentCell, str]]" = asyncio.Queue()
+        self._store = None
+        self._io: Optional[ThreadPoolExecutor] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._chunk_tasks: "set[asyncio.Task]" = set()
+        self._cost = CostModel()
+        self._batches_since_calibration = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Open the store, spin up (and warm) the pool, start dispatching."""
+        self._loop = asyncio.get_running_loop()
+        self._io = ThreadPoolExecutor(max_workers=2, thread_name_prefix="store-io")
+        # the first cache_key() hashes every source file; pay that once,
+        # off the event loop, before traffic arrives
+        await self._loop.run_in_executor(self._io, sweep.code_version)
+        if self.use_store:
+            self._store = sweep.get_store()
+            self._cost = await self._loop.run_in_executor(
+                self._io, CostModel.from_store, self._store)
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
+        warmups = [self._loop.run_in_executor(self._pool, _warm_worker)
+                   for _ in range(self.jobs)]
+        await asyncio.gather(*warmups)
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Fail pending flights, flush queued persists, release executors."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for task in list(self._chunk_tasks):
+            task.cancel()
+        if self._chunk_tasks:
+            await asyncio.gather(*self._chunk_tasks, return_exceptions=True)
+        while not self._queue.empty():
+            _, key = self._queue.get_nowait()
+            self._flight.resolve(key, error=RuntimeError("server shutting down"))
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._io is not None:
+            # wait=True: results already handed to clients have their
+            # store writes queued here; flush them before the process
+            # can exit so a restarted server answers from the store tier
+            self._io.shutdown(wait=True)
+            self._io = None
+
+    # -- the answer path --------------------------------------------------------
+
+    def _hot_get(self, key: str) -> Tuple[bool, Any]:
+        try:
+            result = self._hot[key]
+        except KeyError:
+            return False, None
+        self._hot.move_to_end(key)
+        return True, result
+
+    def _hot_put(self, key: str, result: Any) -> None:
+        self._hot[key] = result
+        self._hot.move_to_end(key)
+        while len(self._hot) > self._hot_capacity:
+            self._hot.popitem(last=False)
+
+    async def answer(self, cell: ExperimentCell) -> Tuple[Any, str]:
+        """Answer one cell: ``(result, tier)``.
+
+        ``tier`` is ``"hot"`` / ``"store"`` / ``"computed"`` for flight
+        leaders and ``"coalesced"`` for duplicates that attached to an
+        existing flight.  The stats object is updated here, so every
+        cell of every request is accounted exactly once.
+        """
+        key = sweep.cache_key(cell)
+        hit, result = self._hot_get(key)
+        if hit:
+            self.stats.cell_answered("hot")
+            return result, "hot"
+
+        waiting = self._flight.wait_for(key)
+        if waiting is not None:
+            result = await waiting
+            self.stats.cell_answered("coalesced")
+            return result, "coalesced"
+
+        leader_future = self._flight.leader(key)
+        try:
+            if self._store is not None:
+                hit, result = await self._loop.run_in_executor(
+                    self._io, self._store.get, key)
+                if hit:
+                    self._hot_put(key, result)
+                    self._flight.resolve(key, result)
+                    self.stats.cell_answered("store")
+                    return result, "store"
+            self._queue.put_nowait((cell, key))
+        except BaseException as exc:
+            self._flight.resolve(key, error=exc)
+            raise
+        result = await leader_future
+        self.stats.cell_answered("computed")
+        return result, "computed"
+
+    # -- tier 3: batching dispatcher -------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Drain queued cells into LJF-ordered packed chunks, forever."""
+        while True:
+            batch = [await self._queue.get()]
+            if self.batch_window_s > 0:
+                await asyncio.sleep(self.batch_window_s)
+            while len(batch) < MAX_BATCH_CELLS and not self._queue.empty():
+                batch.append(self._queue.get_nowait())
+            self._submit_batch(batch)
+            self._batches_since_calibration += 1
+            if (self._store is not None
+                    and self._batches_since_calibration >= _COST_REFRESH_EVERY):
+                self._batches_since_calibration = 0
+                self._cost = await self._loop.run_in_executor(
+                    self._io, CostModel.from_store, self._store)
+
+    def _submit_batch(self, batch: List[Tuple[ExperimentCell, str]]) -> None:
+        """LJF-order one batch, pack it into chunks, fan out to the pool."""
+        key_of: Dict[str, str] = {cell.cell_id: key for cell, key in batch}
+        ordered = sweep._order_cells([cell for cell, _ in batch],
+                                     self._cost, "ljf")
+        for chunk in sweep._pack_chunks(ordered, self._cost, self.jobs):
+            pairs = [(cell, key_of[cell.cell_id]) for cell in chunk]
+            task = asyncio.create_task(self._run_chunk(pairs))
+            self._chunk_tasks.add(task)
+            task.add_done_callback(self._chunk_tasks.discard)
+
+    async def _run_chunk(self, pairs: List[Tuple[ExperimentCell, str]]) -> None:
+        """Run one packed chunk on the pool; resolve and persist results."""
+        cells = [cell for cell, _ in pairs]
+        try:
+            outs = await self._loop.run_in_executor(
+                self._pool, sweep._execute_chunk, cells, False)
+        except asyncio.CancelledError:
+            for _, key in pairs:
+                self._flight.resolve(
+                    key, error=RuntimeError("server shutting down"))
+            raise
+        except BaseException as exc:
+            for _, key in pairs:
+                self._flight.resolve(key, error=exc)
+            return
+        for (cell, key), (result, wall_s) in zip(pairs, outs):
+            # persist first, fire-and-forget on the io pool: by the time
+            # any waiter can observe the answer the store write is already
+            # queued, and stop() flushes the io pool before releasing it —
+            # a client that got an answer can rely on a restarted server
+            # finding it in the store
+            if self._store is not None and self._io is not None:
+                try:
+                    self._io.submit(self._persist, cell, result, wall_s)
+                except RuntimeError:  # raced with shutdown
+                    pass
+            # hot-insert before resolving so a request arriving between
+            # the two never misses both the flight and the cache
+            self._hot_put(key, result)
+            self._flight.resolve(key, result)
+
+    def _persist(self, cell: ExperimentCell, result: Any, wall_s: float) -> None:
+        """Thread-side: write one computed result through the store."""
+        self._store.put(
+            sweep.cache_key(cell), cell_id=cell.cell_id,
+            experiment=cell.experiment, code_version=sweep.code_version(),
+            result=result, wall_s=wall_s, work_units=cell.work_hint())
+
+    # -- introspection ----------------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "hot_cache_entries": len(self._hot),
+            "hot_cache_capacity": self._hot_capacity,
+            "inflight_keys": len(self._flight),
+            "queued_cells": self._queue.qsize(),
+            "batch_window_ms": self.batch_window_s * 1e3,
+            "store": self.use_store,
+        }

@@ -1,0 +1,282 @@
+"""What-if query normalization: JSON request → canonical experiment cells.
+
+The advisor service answers queries of the form *"this workload at this
+size on this machine geometry under these policies"*.  Everything the
+server does downstream — single-flight coalescing, hot-cache lookups,
+result-store hits — keys on the content-addressed cell key of
+:func:`repro.bench.sweep.cache_key`, so **semantically identical queries
+must normalize to the identical cells**:
+
+- JSON key order never matters (objects are parsed to dicts);
+- every field has a default, and supplying a field *at* its default
+  value yields the same cells as omitting it;
+- geometry axes accept both their full names
+  (``chiplets_per_socket``, …) and the compact DSE aliases (``cps``,
+  ``cpc``, ``l3_mib``, ``channels``, ``link_scale``), and a geometry may
+  be given as a preset name (``"milan"``, ``"sapphire-rapids"``) whose
+  expansion equals spelling the axes out;
+- integral floats (``8.0``) canonicalize to ints for integer axes, and
+  the link scale to float, so JSON number-type wobble cannot split the
+  cache;
+- ``policies`` deduplicates and canonicalizes to the fixed policy
+  order, and the singular ``policy`` form equals a one-element list.
+
+``tests/test_serve_query.py`` pins this with a property test over the
+query schema.
+
+The cells a query produces are exactly the DSE cells of
+:mod:`repro.bench.dse` (experiment ``"dse"``, one cell per policy), so
+service answers are bit-identical to a batch ``repro dse`` / serial
+``run_cell`` of the same configuration.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.bench.cells import ExperimentCell
+from repro.hw.machine import (
+    GEOMETRY_EPYC_MILAN,
+    GEOMETRY_XEON_SPR,
+    MIB,
+    MachineGeometry,
+)
+
+__all__ = [
+    "AdviseQuery",
+    "QueryError",
+    "GEOMETRY_PRESETS",
+    "PARAM_DEFAULTS",
+    "POLICIES",
+    "WORKLOADS",
+    "normalize_query",
+]
+
+
+class QueryError(ValueError):
+    """A malformed or out-of-range query (HTTP 400 at the server)."""
+
+
+#: the policies a query may ask for, in canonical answer order
+POLICIES: Tuple[str, ...] = ("charm", "ring", "static-2")
+
+#: workloads a query may name (the DSE cell runners)
+WORKLOADS: Tuple[str, ...] = ("pagerank", "gups")
+
+#: geometry presets addressable by name; expansion is axis-identical to
+#: spelling the anchor's axes out (the preset's ``name`` field does not
+#: reach the cell, so the two forms share one cache key)
+GEOMETRY_PRESETS: Dict[str, MachineGeometry] = {
+    "milan": GEOMETRY_EPYC_MILAN,
+    "epyc-milan": GEOMETRY_EPYC_MILAN,
+    "sapphire-rapids": GEOMETRY_XEON_SPR,
+    "xeon-spr": GEOMETRY_XEON_SPR,
+}
+
+#: default geometry when a query names none: the Milan anchor
+DEFAULT_GEOMETRY = GEOMETRY_EPYC_MILAN
+
+#: geometry axes: canonical name → (aliases, kind); every axis accepts
+#: its full name or its compact DSE alias, never both in one query
+_GEOMETRY_AXES: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "chiplets_per_socket": (("cps",), "int"),
+    "cores_per_chiplet": (("cpc",), "int"),
+    "l3_mib_per_chiplet": (("l3_mib",), "int"),
+    "mem_channels_per_socket": (("channels",), "int"),
+    "link_latency_scale": (("link_scale",), "float"),
+}
+
+#: per-workload size parameters and their defaults (the DSE cell shape)
+PARAM_DEFAULTS: Dict[str, Dict[str, Any]] = {
+    "pagerank": {"graph_scale": 12, "edgefactor": 8, "graph_seed": 2,
+                 "pagerank_iterations": 3},
+    "gups": {"table_bytes": 4 * MIB, "updates_per_worker": 512},
+}
+
+#: hard ceilings on query-supplied sizes: one mistyped exponent must not
+#: turn an interactive what-if into an hour of simulation
+PARAM_CEILINGS: Dict[str, float] = {
+    "graph_scale": 18, "edgefactor": 32, "graph_seed": 2**31,
+    "pagerank_iterations": 16,
+    "table_bytes": 256 * MIB, "updates_per_worker": 65536,
+}
+
+DEFAULT_SEED = 7
+
+#: worker cap per cell — mirrors repro.bench.dse.MAX_WORKERS
+MAX_WORKERS = 48
+
+_TOP_LEVEL_KEYS = frozenset(
+    {"workload", "geometry", "policy", "policies", "cores", "seed", "params"})
+
+
+def _as_int(value: Any, field: str) -> int:
+    """Canonicalize a JSON number to int (8 and 8.0 are the same query)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise QueryError(f"{field} must be a number, got {value!r}")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise QueryError(f"{field} must be an integer, got {value!r}")
+        value = int(value)
+    return value
+
+
+def _as_float(value: Any, field: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise QueryError(f"{field} must be a number, got {value!r}")
+    return float(value)
+
+
+def _normalize_geometry(spec: Any) -> MachineGeometry:
+    """Resolve a geometry spec (preset name, axis dict, or None)."""
+    if spec is None:
+        return DEFAULT_GEOMETRY
+    if isinstance(spec, str):
+        try:
+            return GEOMETRY_PRESETS[spec]
+        except KeyError:
+            raise QueryError(
+                f"unknown geometry preset {spec!r}; "
+                f"have {sorted(set(GEOMETRY_PRESETS))}") from None
+    if not isinstance(spec, Mapping):
+        raise QueryError(f"geometry must be a preset name or an object, "
+                         f"got {type(spec).__name__}")
+    preset = DEFAULT_GEOMETRY
+    spec = dict(spec)
+    if "preset" in spec:
+        preset = _normalize_geometry(spec.pop("preset"))
+    values: Dict[str, Any] = {}
+    for canonical, (aliases, kind) in _GEOMETRY_AXES.items():
+        present = [k for k in (canonical, *aliases) if k in spec]
+        if len(present) > 1:
+            raise QueryError(f"geometry gives {canonical} twice (as {present})")
+        if not present:
+            values[canonical] = getattr(preset, canonical)
+            continue
+        raw = spec.pop(present[0])
+        coerce = _as_int if kind == "int" else _as_float
+        values[canonical] = coerce(raw, f"geometry.{canonical}")
+    if spec:
+        raise QueryError(f"unknown geometry field(s): {sorted(spec)}")
+    geo = MachineGeometry(**values)
+    try:
+        geo.validate()
+    except ValueError as exc:
+        raise QueryError(str(exc)) from None
+    return geo
+
+
+def _normalize_policies(doc: Mapping[str, Any]) -> Tuple[str, ...]:
+    if "policy" in doc and "policies" in doc:
+        raise QueryError("give either 'policy' or 'policies', not both")
+    raw = doc.get("policies", doc.get("policy"))
+    if raw is None:
+        return POLICIES
+    if isinstance(raw, str):
+        raw = [raw]
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise QueryError("policies must be a non-empty list of policy names")
+    unknown = sorted(set(raw) - set(POLICIES))
+    if unknown:
+        raise QueryError(f"unknown policy(ies) {unknown}; have {list(POLICIES)}")
+    # dedupe + canonical order: {ring, charm} and [charm, ring, charm]
+    # are the same query
+    chosen = set(raw)
+    return tuple(p for p in POLICIES if p in chosen)
+
+
+def _normalize_params(workload: str, raw: Any) -> Dict[str, Any]:
+    defaults = PARAM_DEFAULTS[workload]
+    if raw is None:
+        return dict(defaults)
+    if not isinstance(raw, Mapping):
+        raise QueryError("params must be an object")
+    unknown = sorted(set(raw) - set(defaults))
+    if unknown:
+        raise QueryError(
+            f"unknown param(s) for {workload}: {unknown}; "
+            f"have {sorted(defaults)}")
+    params = dict(defaults)
+    for key, value in raw.items():
+        value = _as_int(value, f"params.{key}")
+        if value <= 0:
+            raise QueryError(f"params.{key} must be > 0, got {value}")
+        if value > PARAM_CEILINGS[key]:
+            raise QueryError(
+                f"params.{key} = {value} exceeds the service ceiling "
+                f"{int(PARAM_CEILINGS[key])}")
+        params[key] = value
+    return params
+
+
+@dataclass(frozen=True)
+class AdviseQuery:
+    """One normalized what-if query (canonical: equal queries compare equal)."""
+
+    workload: str
+    geometry: MachineGeometry
+    policies: Tuple[str, ...]
+    cores: int
+    seed: int
+    params: Tuple[Tuple[str, Any], ...]
+
+    def canonical(self) -> Dict[str, Any]:
+        """The fully-defaulted JSON form echoed back by ``/advise``."""
+        return {
+            "workload": self.workload,
+            "geometry": {axis: getattr(self.geometry, axis)
+                         for axis in _GEOMETRY_AXES},
+            "policies": list(self.policies),
+            "cores": self.cores,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    def cells(self) -> List[ExperimentCell]:
+        """One DSE cell per policy, in canonical policy order."""
+        geo = self.geometry
+        base: Dict[str, Any] = {
+            "workload": self.workload,
+            "cps": geo.chiplets_per_socket,
+            "cpc": geo.cores_per_chiplet,
+            "l3_mib": geo.l3_mib_per_chiplet,
+            "channels": geo.mem_channels_per_socket,
+            "link_scale": geo.link_latency_scale,
+        }
+        base.update(self.params)
+        return [
+            ExperimentCell.make("dse", machine_preset="dse", strategy=policy,
+                                cores=self.cores, seed=self.seed, **base)
+            for policy in self.policies
+        ]
+
+
+def normalize_query(doc: Any) -> AdviseQuery:
+    """Validate and canonicalize one ``/advise`` request body.
+
+    Raises :class:`QueryError` (→ HTTP 400) on anything malformed; the
+    error message names the offending field.
+    """
+    if not isinstance(doc, Mapping):
+        raise QueryError("request body must be a JSON object")
+    unknown = sorted(set(doc) - _TOP_LEVEL_KEYS)
+    if unknown:
+        raise QueryError(
+            f"unknown field(s): {unknown}; have {sorted(_TOP_LEVEL_KEYS)}")
+    workload = doc.get("workload", WORKLOADS[0])
+    if workload not in WORKLOADS:
+        raise QueryError(f"unknown workload {workload!r}; have {list(WORKLOADS)}")
+    geometry = _normalize_geometry(doc.get("geometry"))
+    policies = _normalize_policies(doc)
+    params = _normalize_params(workload, doc.get("params"))
+
+    default_cores = min(geometry.total_cores, MAX_WORKERS)
+    cores = _as_int(doc.get("cores", default_cores), "cores")
+    if not 1 <= cores <= geometry.total_cores:
+        raise QueryError(
+            f"cores must be in [1, {geometry.total_cores}] for this "
+            f"geometry, got {cores}")
+    seed = _as_int(doc.get("seed", DEFAULT_SEED), "seed")
+
+    return AdviseQuery(
+        workload=workload, geometry=geometry, policies=policies,
+        cores=cores, seed=seed, params=tuple(sorted(params.items())))

@@ -1,0 +1,223 @@
+"""The placement-advisor service, end to end over real sockets.
+
+One shared server (daemon-thread event loop, 1-worker warm pool, a
+temporary result store) backs the round-trip tests; the restart test
+gets its own store to prove the persistent tier.  The queries are
+deliberately tiny gups cells so a cold simulation costs tens of ms.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+import repro.bench.dse  # noqa: F401 - registers the "dse" experiment
+from repro.bench.cells import execute_cell
+from repro.serve.app import ServerThread
+from repro.serve.client import AdvisorClient, parse_base_url
+from repro.serve.coalesce import SingleFlight
+from repro.serve.query import normalize_query
+from repro.serve.stats import LatencyReservoir, ServerStats
+
+TINY = {
+    "workload": "gups",
+    "geometry": {"cps": 2, "cpc": 2, "l3_mib": 4, "channels": 2,
+                 "link_scale": 1.0},
+    "params": {"table_bytes": 1 << 20, "updates_per_worker": 64},
+}
+
+
+def _query(policy="charm", seed=7, **extra):
+    doc = dict(TINY, policy=policy, seed=seed)
+    doc.update(extra)
+    return doc
+
+
+def _call(server, method, path, payload=None):
+    async def go():
+        host, port = parse_base_url(server.url)
+        client = AdvisorClient(host, port)
+        try:
+            return await client.request(method, path, payload)
+        finally:
+            await client.close()
+
+    return asyncio.run(go())
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("serve-store")
+    import os
+
+    prev = os.environ.get("REPRO_SWEEP_CACHE")
+    os.environ["REPRO_SWEEP_CACHE"] = str(store_dir)
+    try:
+        with ServerThread(jobs=1) as srv:
+            yield srv
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_SWEEP_CACHE", None)
+        else:
+            os.environ["REPRO_SWEEP_CACHE"] = prev
+
+
+# -- routes ---------------------------------------------------------------------
+
+
+def test_healthz(server):
+    status, doc = _call(server, "GET", "/healthz")
+    assert status == 200
+    assert doc["status"] == "ok"
+    assert doc["jobs"] == 1 and doc["store"] is True
+
+
+def test_advise_computes_then_hot_hits(server):
+    status, first = _call(server, "POST", "/advise", _query(seed=11))
+    assert status == 200
+    assert list(first["results"]) == ["charm"]
+    assert first["tiers"]["charm"] in ("computed", "coalesced")
+    status, again = _call(server, "POST", "/advise", _query(seed=11))
+    assert status == 200
+    assert again["tiers"]["charm"] == "hot"
+    assert again["results"] == first["results"]
+
+
+def test_advise_matches_serial_execution(server):
+    # the service contract: bit-identical to running the cell yourself
+    status, doc = _call(server, "POST", "/advise", _query(seed=13))
+    assert status == 200
+    cell = normalize_query(_query(seed=13)).cells()[0]
+    assert doc["cells"]["charm"] == cell.cell_id
+    serial = execute_cell(cell)
+    assert json.loads(json.dumps(serial)) == doc["results"]["charm"]
+
+
+def test_concurrent_duplicates_coalesce(server):
+    query = dict(TINY, seed=17, policies=["charm", "ring"])
+
+    async def burst():
+        host, port = parse_base_url(server.url)
+        clients = [AdvisorClient(host, port) for _ in range(5)]
+        try:
+            return await asyncio.gather(
+                *(c.post("/advise", query) for c in clients))
+        finally:
+            for c in clients:
+                await c.close()
+
+    responses = asyncio.run(burst())
+    assert all(status == 200 for status, _ in responses)
+    docs = [doc for _, doc in responses]
+    assert all(doc["results"] == docs[0]["results"] for doc in docs)
+    tiers = [doc["tiers"][p] for doc in docs for p in ("charm", "ring")]
+    assert "coalesced" in tiers  # duplicates attached to the leader flight
+    assert tiers.count("computed") <= 2  # at most one simulation per policy
+
+
+def test_stats_shape_and_accounting(server):
+    status, doc = _call(server, "GET", "/stats")
+    assert status == 200
+    assert doc["requests"] > 0 and doc["errors"] == 0
+    cells = doc["cells"]
+    assert cells["total"] == (cells["hot_hits"] + cells["store_hits"]
+                              + cells["coalesced"] + cells["computed"])
+    assert 0.0 <= cells["cache_hit_ratio"] <= 1.0
+    assert doc["latency_ms"]["count"] > 0
+    assert doc["latency_ms"]["p99"] >= doc["latency_ms"]["p50"] >= 0
+
+
+def test_error_paths(server):
+    status, doc = _call(server, "POST", "/advise",
+                        {"workload": "matmul"})
+    assert status == 400 and "workload" in doc["error"]
+    status, doc = _call(server, "GET", "/nope")
+    assert status == 404
+    status, doc = _call(server, "POST", "/healthz", {})
+    assert status == 405
+    status, doc = _call(server, "GET", "/advise")
+    assert status == 405
+
+    async def raw_garbage():
+        host, port = parse_base_url(server.url)
+        reader, writer = await asyncio.open_connection(host, port)
+        body = b"{not json"
+        writer.write(b"POST /advise HTTP/1.1\r\nHost: x\r\n"
+                     b"Content-Length: %d\r\n\r\n%s" % (len(body), body))
+        await writer.drain()
+        line = await reader.readline()
+        writer.close()
+        return line
+
+    assert b"400" in asyncio.run(raw_garbage())
+
+
+def test_store_tier_survives_restart(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path))
+    query = _query(seed=23)
+    with ServerThread(jobs=1) as srv:
+        status, doc = _call(srv, "POST", "/advise", query)
+        assert status == 200
+        first = doc["results"]["charm"]
+    # new process-pool, empty hot cache — only the store remembers
+    with ServerThread(jobs=1) as srv:
+        status, doc = _call(srv, "POST", "/advise", query)
+        assert status == 200
+        assert doc["tiers"]["charm"] == "store"
+        assert doc["results"]["charm"] == first
+
+
+# -- units ----------------------------------------------------------------------
+
+
+def test_single_flight_coalesces_and_resolves():
+    async def go():
+        flight = SingleFlight()
+        leader = flight.leader("k")
+        assert leader is not None
+        assert flight.leader("k") is None  # second claim loses
+        dup = flight.wait_for("k")
+        assert dup is not None and flight.waiters("k") == 1
+        assert flight.coalesced_total == 1
+        flight.resolve("k", {"v": 1})
+        assert await leader == {"v": 1} and await dup == {"v": 1}
+        assert len(flight) == 0
+        assert flight.wait_for("k") is None  # flight is gone
+
+    asyncio.run(go())
+
+
+def test_single_flight_propagates_errors():
+    async def go():
+        flight = SingleFlight()
+        leader = flight.leader("k")
+        dup = flight.wait_for("k")
+        flight.resolve("k", error=RuntimeError("boom"))
+        for fut in (leader, dup):
+            with pytest.raises(RuntimeError, match="boom"):
+                await fut
+
+    asyncio.run(go())
+
+
+def test_latency_reservoir_window_quantiles():
+    res = LatencyReservoir(size=4)
+    for v in (0.1, 0.2, 0.3, 0.4):
+        res.record(v)
+    assert res.quantile(0.0) == 0.1 and res.quantile(1.0) == 0.4
+    res.record(9.9)  # overwrites the oldest (0.1)
+    assert res.quantile(1.0) == 9.9
+    assert res.count == 5
+    assert LatencyReservoir().quantile(0.5) == 0.0
+
+
+def test_server_stats_ratios():
+    stats = ServerStats()
+    for tier in ("hot", "store", "coalesced", "computed"):
+        stats.cell_answered(tier)
+    assert stats.cache_hit_ratio == 0.75
+    stats.request_started()
+    stats.request_finished(0.010)
+    snap = stats.snapshot()
+    assert snap["cells"]["cache_hit_ratio"] == 0.75
+    assert snap["latency_ms"]["p50"] == 10.0

@@ -1,0 +1,184 @@
+"""Query normalization: semantically identical queries → identical cells.
+
+The advisor's whole caching story (hot cache, single-flight, result
+store) keys on the content-addressed cell key, so any two spellings of
+the same what-if must produce byte-identical cells.  The property test
+draws one canonical query and two independently mangled spellings —
+reordered keys, axis aliases, default-valued fields supplied or
+omitted, integral floats, shuffled/duplicated policy lists, preset vs
+spelled-out geometry — and asserts the cells (and their cache keys)
+coincide.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import sweep
+from repro.serve.query import (
+    GEOMETRY_PRESETS,
+    PARAM_DEFAULTS,
+    POLICIES,
+    WORKLOADS,
+    QueryError,
+    normalize_query,
+)
+
+# -- canonical query specs -----------------------------------------------------
+
+_AXES_CANONICAL = {
+    "chiplets_per_socket": st.integers(1, 8),
+    "cores_per_chiplet": st.integers(1, 12),
+    "l3_mib_per_chiplet": st.sampled_from([4, 8, 16, 26, 32]),
+    "mem_channels_per_socket": st.integers(1, 8),
+    "link_latency_scale": st.sampled_from([0.5, 1.0, 2.0]),
+}
+
+_ALIAS = {
+    "chiplets_per_socket": "cps",
+    "cores_per_chiplet": "cpc",
+    "l3_mib_per_chiplet": "l3_mib",
+    "mem_channels_per_socket": "channels",
+    "link_latency_scale": "link_scale",
+}
+
+_PARAM_POOLS = {
+    "graph_scale": [8, 10, 12], "edgefactor": [4, 8], "graph_seed": [1, 2],
+    "pagerank_iterations": [1, 3],
+    "table_bytes": [1 << 20, 4 << 20], "updates_per_worker": [64, 512],
+}
+
+
+@st.composite
+def query_specs(draw):
+    workload = draw(st.sampled_from(WORKLOADS))
+    geometry = {axis: draw(strat) for axis, strat in _AXES_CANONICAL.items()}
+    total = 2 * geometry["chiplets_per_socket"] * geometry["cores_per_chiplet"]
+    policies = draw(st.sets(st.sampled_from(POLICIES), min_size=1))
+    params = {
+        key: draw(st.sampled_from(_PARAM_POOLS[key]))
+        for key in PARAM_DEFAULTS[workload]
+        if draw(st.booleans())
+    }
+    return {
+        "workload": workload,
+        "geometry": geometry,
+        "policies": sorted(policies),
+        "cores": draw(st.integers(1, min(total, 48))),
+        "seed": draw(st.integers(0, 99)),
+        "params": params,
+    }
+
+
+def _spell(draw_bool, spec):
+    """One arbitrary spelling of a canonical spec (key order, aliases,
+    default-elision, numeric wobble, policy shapes)."""
+    doc = {"workload": spec["workload"]}
+    geo = {}
+    for axis, value in spec["geometry"].items():
+        name = _ALIAS[axis] if draw_bool() else axis
+        if isinstance(value, int) and draw_bool():
+            value = float(value)  # 8 vs 8.0: same query
+        geo[axis if name == axis else name] = value
+    doc["geometry"] = geo
+    pol = list(spec["policies"])
+    if len(pol) == 1 and draw_bool():
+        doc["policy"] = pol[0]
+    else:
+        if draw_bool():
+            pol = pol[::-1]
+        if draw_bool():
+            pol = pol + [pol[0]]  # duplicates collapse
+        doc["policies"] = pol
+    doc["cores"] = float(spec["cores"]) if draw_bool() else spec["cores"]
+    if spec["seed"] != 7 or draw_bool():  # 7 is the default: may elide
+        doc["seed"] = spec["seed"]
+    params = dict(spec["params"])
+    if draw_bool():  # supplying a default-valued param changes nothing
+        defaults = PARAM_DEFAULTS[spec["workload"]]
+        for key in defaults:
+            if key not in params:
+                params[key] = defaults[key]
+                break
+    if params or draw_bool():
+        doc["params"] = params
+    # reorder keys: JSON object order must never matter
+    items = sorted(doc.items(), reverse=draw_bool())
+    return dict(items)
+
+
+@settings(max_examples=60)
+@given(spec=query_specs(), bools=st.lists(st.booleans(), min_size=40,
+                                          max_size=40))
+def test_equivalent_spellings_share_cells(spec, bools):
+    it = iter(bools)
+    a = _spell(lambda: next(it), spec)
+    b = _spell(lambda: next(it), spec)
+    qa, qb = normalize_query(a), normalize_query(b)
+    assert qa == qb
+    assert qa.cells() == qb.cells()
+    assert [c.cell_id for c in qa.cells()] == [c.cell_id for c in qb.cells()]
+
+
+def test_cells_are_content_addressed_identically():
+    a = normalize_query({"workload": "gups", "geometry": {"cps": 4.0},
+                         "policies": ["ring", "charm", "ring"]})
+    b = normalize_query({"seed": 7, "workload": "gups",
+                         "policies": ["charm", "ring"],
+                         "geometry": {"chiplets_per_socket": 4}})
+    assert a == b
+    keys_a = [sweep.cache_key(c) for c in a.cells()]
+    keys_b = [sweep.cache_key(c) for c in b.cells()]
+    assert keys_a == keys_b
+
+
+def test_preset_equals_spelled_out_axes():
+    for name, geo in GEOMETRY_PRESETS.items():
+        by_name = normalize_query({"geometry": name})
+        by_axes = normalize_query({"geometry": {
+            "chiplets_per_socket": geo.chiplets_per_socket,
+            "cores_per_chiplet": geo.cores_per_chiplet,
+            "l3_mib_per_chiplet": geo.l3_mib_per_chiplet,
+            "mem_channels_per_socket": geo.mem_channels_per_socket,
+            "link_latency_scale": geo.link_latency_scale,
+        }})
+        by_preset_key = normalize_query({"geometry": {"preset": name}})
+        assert by_name.cells() == by_axes.cells() == by_preset_key.cells()
+
+
+def test_preset_with_override():
+    q = normalize_query({"geometry": {"preset": "milan", "cpc": 4}})
+    assert q.geometry.cores_per_chiplet == 4
+    assert q.geometry.chiplets_per_socket == 8  # rest from the preset
+
+
+def test_empty_query_is_fully_defaulted():
+    q = normalize_query({})
+    assert q.workload == WORKLOADS[0]
+    assert q.policies == POLICIES
+    assert q.canonical()["params"] == PARAM_DEFAULTS[q.workload]
+
+
+@pytest.mark.parametrize("doc", [
+    "not an object",
+    {"bogus_field": 1},
+    {"workload": "matmul"},
+    {"policy": "charm", "policies": ["ring"]},
+    {"policies": []},
+    {"policies": ["mystery"]},
+    {"geometry": "threadripper"},
+    {"geometry": {"cps": 4, "chiplets_per_socket": 4}},  # alias twice
+    {"geometry": {"warp_factor": 9}},
+    {"geometry": {"cps": 0}},          # fails MachineGeometry.validate
+    {"geometry": {"cps": 2.5}},        # non-integral float
+    {"geometry": {"cps": True}},       # bool is not a number
+    {"cores": 0},
+    {"cores": 10_000},
+    {"seed": "lucky"},
+    {"workload": "gups", "params": {"graph_scale": 12}},  # wrong workload
+    {"workload": "gups", "params": {"table_bytes": 1 << 40}},  # ceiling
+    {"workload": "gups", "params": {"updates_per_worker": 0}},
+])
+def test_malformed_queries_raise(doc):
+    with pytest.raises(QueryError):
+        normalize_query(doc)

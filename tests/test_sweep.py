@@ -127,6 +127,24 @@ def test_resolve_jobs_falls_back_without_affinity(monkeypatch):
     assert sweep.resolve_jobs(0) == 4
 
 
+def test_resolve_jobs_falls_back_when_affinity_raises(monkeypatch):
+    # some platforms ship the symbol but the syscall fails (e.g. emulated
+    # or restricted kernels raise OSError) — same cpu_count fallback
+    def _raises(pid):
+        raise OSError("sched_getaffinity not supported")
+
+    monkeypatch.setattr(sweep.os, "sched_getaffinity", _raises, raising=False)
+    monkeypatch.setattr(sweep.os, "cpu_count", lambda: 5)
+    assert sweep.resolve_jobs(0) == 4
+
+
+def test_resolve_jobs_survives_unknown_cpu_count(monkeypatch):
+    # cpu_count() may return None; auto mode must still yield >= 1
+    monkeypatch.delattr(sweep.os, "sched_getaffinity", raising=False)
+    monkeypatch.setattr(sweep.os, "cpu_count", lambda: None)
+    assert sweep.resolve_jobs(0) >= 1
+
+
 def test_ljf_orders_by_estimated_cost():
     from repro.bench.cost import CostModel
 

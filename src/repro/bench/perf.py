@@ -57,8 +57,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.hw.machine import Machine, milan
-from repro.runtime.ops import AccessBatch, AccessRun, YieldPoint
+from repro.runtime.ops import Compute, YieldPoint
 from repro.runtime.policy import CharmStrategy
+from repro.runtime.program import OpProgram
 from repro.runtime.runtime import Runtime
 from repro.sim.rng import derive_seed
 from repro.workloads.graph.generator import kronecker
@@ -101,9 +102,11 @@ def _machine() -> Machine:
 
 
 def _batched_task(region, batches: List[List[int]], write: bool, nbytes: Optional[int]):
+    program = OpProgram()
     for blocks in batches:
-        yield AccessBatch(region, blocks, write=write, nbytes=nbytes)
-        yield YieldPoint()
+        program.batch(region, blocks, write=write, nbytes=nbytes)
+        program.yield_()
+    yield program
     return len(batches)
 
 
@@ -121,15 +124,28 @@ def _run_scenario(build, attach=None) -> Dict[str, float]:
     report = runtime.run()
     wall_s = time.perf_counter() - t0
     accesses = runtime.machine.total_accesses
-    steps = runtime.loop.steps
+    loop = runtime.loop
+    steps = loop.steps
     out = {
         "accesses": accesses,
         "events": steps,
         "host_wall_s": round(wall_s, 4),
         "accesses_per_sec": round(accesses / wall_s, 1) if wall_s > 0 else 0.0,
         "events_per_sec": round(steps / wall_s, 1) if wall_s > 0 else 0.0,
+        "steps_per_sec": round(steps / wall_s, 1) if wall_s > 0 else 0.0,
         "sim_wall_ns": report.wall_ns,
         "fill_counts": report.counters.as_row(),
+        # Event-loop mechanics: heap traffic and same-clock cohort widths,
+        # so orchestration regressions show independently of accesses/sec.
+        "event_loop": {
+            "heap_pushes": loop.heap_pushes,
+            "heap_pops": loop.heap_pops,
+            "cohorts": loop.cohorts,
+            "cohort_actors": loop.cohort_actors,
+            "cohort_max": loop.cohort_max,
+            "cohort_mean": round(loop.cohort_actors / loop.cohorts, 2)
+            if loop.cohorts else 0.0,
+        },
     }
     stats = getattr(runtime.machine.caches, "stats", None)
     if stats is not None:
@@ -159,8 +175,10 @@ def scenario_gups(updates_per_worker: int, attach=None) -> Dict[str, float]:
         for wid in range(N_WORKERS):
             rng = np.random.default_rng(derive_seed(SEED, "perf-gups", wid))
             idx = rng.integers(0, region.n_blocks, size=updates_per_worker, dtype=np.int64)
+            # int64 slices go straight through AccessBatch to the gather
+            # kernel — no list round-trip, no np.asarray on the hot path.
             per_worker.append([
-                idx[s : s + BATCH_BLOCKS].tolist()
+                idx[s : s + BATCH_BLOCKS]
                 for s in range(0, updates_per_worker, BATCH_BLOCKS)
             ])
         _spawn_batches(runtime, region, per_worker, write=True, nbytes=64)
@@ -209,9 +227,11 @@ def scenario_shared_read(rounds: int, attach=None) -> Dict[str, float]:
 
 
 def _run_task(region, runs: List, write: bool, nbytes: Optional[int]):
+    program = OpProgram()
     for start, count in runs:
-        yield AccessRun(region, start, count, write=write, nbytes=nbytes)
-        yield YieldPoint()
+        program.run(region, start, count, write=write, nbytes=nbytes)
+        program.yield_()
+    yield program
     return len(runs)
 
 
@@ -351,6 +371,79 @@ def scenario_shared_read_hot(rounds: int, attach=None) -> Dict[str, float]:
     return _run_scenario(build, attach)
 
 
+#: compute_bound shape: ops per round between yields, and the per-op
+#: charge (3.0 ns: every partial sum of 3.0-ns steps up to a round is an
+#: exact float64 integer, so the fused one-row charge and the per-op
+#: charge chain land on bit-identical clocks).
+COMPUTE_OPS_PER_ROUND = 64
+COMPUTE_OP_NS = 3.0
+
+
+def _compute_program_task(rounds: int):
+    """``rounds`` x (64 computes + yield) as one compiled program.
+
+    The producer pre-fuses each round's straight-line computes into one
+    row — exactly what ``OpProgram.compute``'s build-time fusion would
+    produce from 64 appends, and bit-identical to 64 sequential per-op
+    charges (all partial sums of 3.0-ns steps are exact float64
+    integers; the scenario asserts ``sim_wall_ns`` equality against the
+    generator path on every run).
+    """
+    program = OpProgram()
+    round_ns = COMPUTE_OPS_PER_ROUND * COMPUTE_OP_NS
+    for _ in range(rounds):
+        program.compute(round_ns)
+        program.yield_()
+    yield program
+    return rounds
+
+
+def _compute_generator_task(rounds: int):
+    """The same op stream, one generator ``send()`` round trip per op."""
+    for _ in range(rounds):
+        for _ in range(COMPUTE_OPS_PER_ROUND):
+            yield Compute(COMPUTE_OP_NS)
+        yield YieldPoint()
+    return rounds
+
+
+def scenario_compute_bound(rounds_per_worker: int, attach=None) -> Dict[str, float]:
+    """Pure Compute/Yield mix, no memory traffic: the orchestration tax.
+
+    Runs the identical op stream twice — as compiled programs and as a
+    plain per-op generator — and reports ``ops_per_sec`` for both plus
+    the ratio.  With zero accesses, gups/stream can't hide orchestration
+    cost behind kernel time here; this is the scenario that isolates the
+    generator ``send()`` + dispatch overhead the program path removes.
+    """
+
+    def build_with(task_fn) -> Runtime:
+        machine = _machine()
+        runtime = Runtime(machine, N_WORKERS, CharmStrategy(), seed=SEED)
+        for wid in range(N_WORKERS):
+            runtime.spawn(task_fn, rounds_per_worker,
+                          pin_worker=wid, name=f"perf-{wid}")
+        return runtime
+
+    total_ops = N_WORKERS * rounds_per_worker * (COMPUTE_OPS_PER_ROUND + 1)
+    res = _run_scenario(lambda: build_with(_compute_program_task), attach)
+    gen = _run_scenario(lambda: build_with(_compute_generator_task))
+    if res["sim_wall_ns"] != gen["sim_wall_ns"]:
+        raise AssertionError(
+            "compute_bound: program and generator paths diverged — "
+            f"{res['sim_wall_ns']} vs {gen['sim_wall_ns']} sim ns"
+        )
+    res["ops"] = total_ops
+    res["ops_per_sec"] = round(total_ops / res["host_wall_s"], 1) \
+        if res["host_wall_s"] > 0 else 0.0
+    res["gen_ops_per_sec"] = round(total_ops / gen["host_wall_s"], 1) \
+        if gen["host_wall_s"] > 0 else 0.0
+    res["program_vs_generator"] = round(
+        res["ops_per_sec"] / res["gen_ops_per_sec"], 2) \
+        if res["gen_ops_per_sec"] > 0 else 0.0
+    return res
+
+
 def scenario_pagerank_micro(iterations: int, attach=None) -> Dict[str, float]:
     """PageRank on a Kronecker graph via the real graph task generators.
 
@@ -384,16 +477,19 @@ SCENARIOS = {
     "shared_read": scenario_shared_read,
     "shared_read_hot": scenario_shared_read_hot,
     "pagerank_micro": scenario_pagerank_micro,
+    "compute_bound": scenario_compute_bound,
 }
 
 FULL_SIZES = {"gups": 65536, "gups_run": 65536, "gups_unsorted": 65536,
               "gups_dup": 65536, "stream": 65536,
               "stream_run": 65536, "shared_read": 512,
-              "shared_read_hot": 512, "pagerank_micro": 24}
+              "shared_read_hot": 512, "pagerank_micro": 24,
+              "compute_bound": 2048}
 CHECK_SIZES = {"gups": 4096, "gups_run": 4096, "gups_unsorted": 4096,
                "gups_dup": 4096, "stream": 4096,
                "stream_run": 4096, "shared_read": 4,
-               "shared_read_hot": 8, "pagerank_micro": 2}
+               "shared_read_hot": 8, "pagerank_micro": 2,
+               "compute_bound": 256}
 
 
 def _attach_kernel_profiler(runtime: Runtime):
@@ -452,6 +548,13 @@ def run_suite(sizes: Dict[str, int], verbose: bool = True,
                 f"{best['events_per_sec']:>10,.0f} events/s  "
                 f"host {best['host_wall_s']:.2f}s  sim {best['sim_wall_ns']:,.0f}ns"
             )
+            if "ops_per_sec" in best:
+                print(
+                    f"{'':12s} {best['ops']:>9d} ops       "
+                    f"{best['ops_per_sec']:>12,.0f} ops/s "
+                    f"(generator {best['gen_ops_per_sec']:,.0f} ops/s, "
+                    f"{best['program_vs_generator']:.1f}x)"
+                )
             if profile and best.get("kernel_profile"):
                 shares = ", ".join(
                     f"{path}={rec['share']:.0%}"
@@ -514,14 +617,17 @@ def run_gate(record_path: Path, factor: float) -> int:
     results = run_suite(CHECK_SIZES)
     failures = []
     for name, res in results.items():
-        rec = recorded.get(name, {}).get("accesses_per_sec")
+        # Access-free scenarios (compute_bound) gate on ops/sec instead.
+        metric = "ops_per_sec" if "ops_per_sec" in res else "accesses_per_sec"
+        unit = "ops/s" if metric == "ops_per_sec" else "acc/s"
+        rec = recorded.get(name, {}).get(metric)
         if not rec:
             print(f"{name:12s} (no recorded figure — skipped)")
             continue
         floor = factor * rec
-        ratio = res["accesses_per_sec"] / rec
-        status = "ok" if res["accesses_per_sec"] >= floor else "FAIL"
-        print(f"{name:12s} {res['accesses_per_sec']:>12,.0f} acc/s  "
+        ratio = res[metric] / rec
+        status = "ok" if res[metric] >= floor else "FAIL"
+        print(f"{name:12s} {res[metric]:>12,.0f} {unit}  "
               f"recorded {rec:>12,.0f}  ratio {ratio:.2f}  {status}")
         if status == "FAIL":
             failures.append(name)
@@ -700,7 +806,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     results = run_suite(sizes, profile=args.profile)
     elapsed = time.perf_counter() - t0
 
-    slow = [n for n, r in results.items() if r["accesses_per_sec"] < args.min_aps]
+    # Access-free scenarios (compute_bound) are exempt from the acc/s floor.
+    slow = [n for n, r in results.items()
+            if r["accesses"] and r["accesses_per_sec"] < args.min_aps]
     if slow:
         print(f"FAIL: scenarios below {args.min_aps:,.0f} accesses/sec floor: {slow}",
               file=sys.stderr)

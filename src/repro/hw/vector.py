@@ -44,6 +44,7 @@ its pure service expression, so the per-server grouping collapses into a
 handful of whole-segment array ops plus O(channels) scalar accounting.
 """
 
+from bisect import bisect_left, insort
 from itertools import islice, repeat
 from math import gcd
 from typing import List, Optional, Tuple
@@ -58,6 +59,14 @@ from repro.hw.counters import (
     IDX_REMOTE_NUMA_CHIPLET,
 )
 from repro.hw.memory import MemPolicy
+
+# Fill-source counter index per service-class code (0 resident hit,
+# 1/2 local/remote DRAM, 3/4 same/cross-socket peer).
+_LUT_SRC = np.array(
+    (IDX_LOCAL_CHIPLET, IDX_DRAM_LOCAL, IDX_DRAM_REMOTE,
+     IDX_REMOTE_CHIPLET, IDX_REMOTE_NUMA_CHIPLET),
+    dtype=np.int64,
+)
 
 # Above this many repeats, replaying a constant ``+= s`` chain with a
 # seeded cumsum beats the interpreter loop; below it, the numpy call
@@ -185,8 +194,9 @@ def serve_groups(servers: list, t: np.ndarray, bounds: np.ndarray,
             col = col[:max_l]
     rows = _arange(ng)
     heads = tm[:, 0]
-    attrs = np.array([(sv.free_at, sv.busy_ns, sv.wait_ns)
-                      for sv in servers])
+    attrs = np.fromiter((x for sv in servers
+                         for x in (sv.free_at, sv.busy_ns, sv.wait_ns)),
+                        dtype=np.float64, count=3 * ng).reshape(ng, 3)
     if bool((attrs[:, 0] <= heads).all()):
         # Every row starts idle and stays idle (arrivals spaced >= s):
         # each arrival departs at ``t + s`` with zero wait, so the wait
@@ -212,39 +222,47 @@ def serve_groups(servers: list, t: np.ndarray, bounds: np.ndarray,
     start0 = np.maximum(attrs[:, 0], heads)
     # Candidate finishes assuming each row stays queued: the exact
     # sequential ``+= s`` chain, seeded per row, replayed left-to-right
-    # by one row-wise cumsum.
-    cm = np.empty((ng, max_l))
-    cm[:, 0] = start0 + sg[:, 0]
-    cm[:, 1:] = sg
-    np.cumsum(cm, axis=1, out=cm)
+    # by one row-wise cumsum — stacked with the busy_ns accumulator
+    # chains, which replay the same ``+= s`` adds and whose seeds are
+    # already known here (the wait chains below are not: they need
+    # ``cm`` first).  ``cm``'s extra pad column sits past every row's
+    # last arrival and is never read.
+    big = np.empty((2 * ng, max_l + 1))
+    big[:ng, 0] = attrs[:, 1]
+    big[:ng, 1:] = sg
+    big[ng:, 0] = start0 + sg[:, 0]
+    big[ng:, 1:] = sg
+    np.cumsum(big, axis=1, out=big)
+    busy_end = big[rows, length].tolist()
+    cm = big[ng:, :max_l]
     # First arrival that finds its server idle; +inf padding guarantees
     # a hit at the first pad cell, so rows without one drain at length.
     # (All-singleton groups have no drain candidates: the head IS the
     # row, and ``start0`` already folded its idle-vs-queued choice in.)
     if max_l > 1:
         drained = cm[:, : max_l - 1] <= tm[:, 1:]
-        j = np.where(drained.any(axis=1),
-                     np.argmax(drained, axis=1) + 1, length)
+        # A short row always drains at its first +inf pad cell, so only
+        # a full-width all-False row needs the ``length`` fallback —
+        # distinguishable from a first-column drain without a full
+        # ``any`` scan.
+        j = np.argmax(drained, axis=1) + 1
+        j = np.where((j > 1) | drained[:, 0], j, length)
     else:
         j = length
     queued = col < j[:, None]
     fm = np.where(queued, cm, tm + sg)
-    wm = np.empty((ng, max_l))
-    wm[:, 0] = start0 - heads
+    # Per-server wait_ns accumulator chains, seeded row cumsums with
+    # endpoints at each row's true length; the wait values land directly
+    # in the chain matrix (pad cells are +0.0 and sit past each
+    # endpoint).
+    am = np.empty((ng, max_l + 1))
+    am[:, 0] = attrs[:, 2]
+    am[:, 1] = start0 - heads
     if max_l > 1:
-        wm[:, 1:] = np.where(queued[:, 1:], cm[:, : max_l - 1] - tm[:, 1:],
+        am[:, 2:] = np.where(queued[:, 1:], cm[:, : max_l - 1] - tm[:, 1:],
                              0.0)
-    # Per-server accumulator chains (busy_ns, wait_ns), seeded row
-    # cumsums with endpoints at each row's true length; one stacked
-    # matrix so a single cumsum replays both chains.
-    am = np.empty((2 * ng, max_l + 1))
-    am[:ng, 0] = attrs[:, 1]
-    am[ng:, 0] = attrs[:, 2]
-    am[:ng, 1:] = sg
-    am[ng:, 1:] = wm  # pad cells are +0.0 and sit past each endpoint
     np.cumsum(am, axis=1, out=am)
-    busy_end = am[rows, length].tolist()
-    wait_end = am[ng + rows, length].tolist()
+    wait_end = am[rows, length].tolist()
     free_end = fm[rows, length - 1].tolist()
     len_l = length.tolist()
     for g, sv in enumerate(servers):
@@ -302,7 +320,10 @@ def serve_constant(server, t: np.ndarray, s: float) -> Tuple[np.ndarray, np.ndar
             c[1:] = s
             c = np.cumsum(c)
             drained = c[:-1] <= t[1:]
-            j = 1 + int(np.argmax(drained)) if bool(drained.any()) else m
+            # argmax == 0 is ambiguous (drain at 1 vs never): one scalar
+            # probe resolves it without a second full scan.
+            j0 = int(np.argmax(drained))
+            j = j0 + 1 if (j0 or bool(drained[0])) else m
             f = np.empty(m)
             f[:j] = c[:j]
             w = np.empty(m)
@@ -313,11 +334,17 @@ def serve_constant(server, t: np.ndarray, s: float) -> Tuple[np.ndarray, np.ndar
                 w[j:] = 0.0
             server.free_at = float(f[-1])
             server.requests += m
-            _accumulate_busy(server, m, s)
-            acc = np.empty(m + 1)
-            acc[0] = server.wait_ns
-            acc[1:] = w
-            server.wait_ns = float(np.cumsum(acc)[-1])
+            # One stacked cumsum replays both accumulator chains (the
+            # busy ``+= s`` chain and the wait chain) row-by-row — the
+            # same left-to-right float adds as two separate chains.
+            acc = np.empty((2, m + 1))
+            acc[0, 0] = server.busy_ns
+            acc[0, 1:] = s
+            acc[1, 0] = server.wait_ns
+            acc[1, 1:] = w
+            np.cumsum(acc, axis=1, out=acc)
+            server.busy_ns = float(acc[0, -1])
+            server.wait_ns = float(acc[1, -1])
             return f - t, w
         # Idle gaps under the no-queue assumption estimate busy-period
         # starts (queue carryover only merges periods, never adds any).
@@ -782,9 +809,6 @@ def gather_segment(
     ends[:-1] = starts[1:]
     ends[-1] = n
     last_pos = perm[ends - 1]
-    gid = np.cumsum(newgrp) - 1
-    inv = np.empty(n, dtype=np.int64)
-    inv[perm] = gid
     ublocks = sorted_arr[starts]
     ukeys = keys[perm[starts]]
     ukeys_list = ukeys.tolist()
@@ -831,22 +855,22 @@ def gather_segment(
             # ``nu`` touches.  A resident whose depth the frontier has
             # already passed was evicted before its first touch: the
             # scalar loop re-misses it, so reclassify it as a fill.
-            orig_arr = np.fromiter(slot_map.keys(), dtype=np.int64,
-                                   count=len0)
-            sorter = np.argsort(orig_arr, kind="stable")
             # Touch order = ascending first_pos (unique values, so the
             # unstable default sort is deterministic); a resident's
             # fills-before count is its touch rank minus how many
-            # residents were touched before it.
+            # residents were touched before it.  ``n_res0`` is batch-
+            # bounded and small, so per-resident C-level ``list.index``
+            # scans beat building sorted numpy key arrays (every
+            # resident key is in the slice by the directory invariant).
+            kl = list(slot_map)
             ord1 = np.argsort(first_pos)
-            rpos = np.flatnonzero(res_u[ord1])
+            rpos = res_u[ord1].nonzero()[0]
             r_idx_o = ord1[rpos]
-            depths = sorter[np.searchsorted(orig_arr[sorter],
-                                            ukeys[r_idx_o])]
-            d_seq = depths.tolist()
+            d_seq = [kl.index(k) for k in ukeys[r_idx_o].tolist()]
             fb_seq = (rpos - np.arange(n_res0)).tolist()
             room = maxlen - len0
             touched: List[int] = []  # depths of successfully touched
+            tsorted: List[int] = []  # the same depths, kept sorted
             reclass: List[int] = []
             extra = 0  # reclassified re-misses so far (each is a fill)
             for i in range(n_res0):
@@ -856,7 +880,7 @@ def gather_segment(
                     # untouched depth (touched entries are skipped).
                     p = e
                     while True:
-                        c = sum(1 for d in touched if d < p)
+                        c = bisect_left(tsorted, p)
                         if p == e + c:
                             break
                         p = e + c
@@ -867,13 +891,25 @@ def gather_segment(
                         extra += 1
                         continue
                 touched.append(d_seq[i])
+                insort(tsorted, d_seq[i])
             E = len0 + (nu - n_res0 + extra) - maxlen
             if E > len0 - len(touched):
                 return None  # fills would evict the batch's own blocks
-            unt = np.ones(len0, dtype=bool)
-            if touched:
-                unt[touched] = False
-            victims = orig_arr[np.flatnonzero(unt)[:E]].tolist()
+            # Victims: the first E *untouched* insertion-order keys.
+            # The scan cutoff is the same fixpoint as the frontier (how
+            # deep E untouched entries reach past the touched ones);
+            # deleting the few touched positions back-to-front leaves
+            # exactly the E victims in order.
+            c = E
+            while True:
+                k2 = E + bisect_left(tsorted, c)
+                if k2 == c:
+                    break
+                c = k2
+            victims = kl[:c]
+            for d in reversed(tsorted):
+                if d < c:
+                    del victims[d]
             if reclass:
                 # The scalar loop re-misses these: directory-wise their
                 # residency bit falls with the victims and the refill
@@ -887,38 +923,27 @@ def gather_segment(
     lat = machine.latency
     l3 = lat.l3_hit
     if write:
-        inval_u = np.zeros(nu, dtype=np.int64)
-        ivm = res_u | peer_u
-        inval_u[ivm] = np.bitwise_count(others[ivm]).astype(np.int64)
+        # Miss rows have ``others == 0`` (no directory entry or no
+        # sharers), so the unmasked popcount already charges them zero.
+        inval_u = np.bitwise_count(others).astype(np.int64)
         iv_ns = inval_u * lat.invalidate
     n_res = int(np.count_nonzero(res_u))
     nfills = nu - n_res
 
-    # -- per-access latency / issue-step arrays -----------------------------
-    lat_u = np.empty(nu)
-    base_u = np.empty(nu)
-    src_u = np.empty(nu, dtype=np.int64)
-    if n_res:
-        if write:
-            lat_u[res_u] = l3 + iv_ns[res_u]
-        else:
-            lat_u[res_u] = l3
-        base_u[res_u] = lat_u[res_u]
-        src_u[res_u] = IDX_LOCAL_CHIPLET
+    # -- per-access latency / issue-step arrays via one class-code LUT ------
+    # Five service classes: 0 resident hit, 1/2 local/remote DRAM fill,
+    # 3/4 same/cross-socket peer fill.  One int code per unique, then
+    # ``lat/base/src`` become three LUT gathers instead of per-class
+    # masked stores.
+    code = np.zeros(nu, dtype=np.int64)
     mi = np.flatnonzero(miss_u)
     homes_mi = None
     if mi.size:
         if region.policy is MemPolicy.BIND:
-            local = region.home_node == my_node
-            lat_u[mi] = lats[0] if local else lats[1]
-            base_u[mi] = lat.dram_local if local else lat.dram_remote
-            src_u[mi] = IDX_DRAM_LOCAL if local else IDX_DRAM_REMOTE
+            code[mi] = 1 if region.home_node == my_node else 2
         else:  # INTERLEAVE
             homes_mi = ublocks[mi] % region.numa_nodes
-            loc = homes_mi == my_node
-            lat_u[mi] = np.where(loc, lats[0], lats[1])
-            base_u[mi] = np.where(loc, lat.dram_local, lat.dram_remote)
-            src_u[mi] = np.where(loc, IDX_DRAM_LOCAL, IDX_DRAM_REMOTE)
+            code[mi] = np.where(homes_mi == my_node, 1, 2)
     pi = np.flatnonzero(peer_u)
     if pi.size:
         socket_of = machine.topo.socket_of_chiplet_arr
@@ -931,28 +956,37 @@ def gather_segment(
         # is exact in float64.
         holders_p = np.log2(low.astype(np.float64)).astype(np.int64)
         same_p = socket_of[holders_p] == my_socket
-        lat_p = np.where(same_p, lats[2], lats[3])
-        if write:
-            lat_p = lat_p + iv_ns[pi]
-        lat_u[pi] = lat_p
-        base_u[pi] = np.where(same_p, lat.fill_same_socket, lat.fill_cross_socket)
-        src_u[pi] = np.where(same_p, IDX_REMOTE_CHIPLET, IDX_REMOTE_NUMA_CHIPLET)
+        code[pi] = np.where(same_p, 3, 4)
+    lut_lat = np.array((l3, lats[0], lats[1], lats[2], lats[3]))
+    lut_base = np.array((l3, lat.dram_local, lat.dram_remote,
+                         lat.fill_same_socket, lat.fill_cross_socket))
+    lat_u = lut_lat[code]
+    base_u = lut_base[code]
+    if write:
+        # Resident hits and peer fills add their invalidation term here;
+        # fills have no sharers, so their ``+ 0.0`` is a bitwise no-op
+        # on the (positive) pure latencies.  Resident write hits charge
+        # the invalidation in ``base`` too (it is their service, not
+        # queueing); peer fills keep ``base`` at the pure fill path.
+        lat_u += iv_ns
+        ri = np.flatnonzero(res_u)
+        base_u[ri] = lat_u[ri]
+    src_u = _LUT_SRC[code]
 
-    lat_a = lat_u[inv]
-    base_a = base_u[inv]
-    src_a = src_u[inv]
-    if has_dups:
-        # Duplicate replay: every repeat is a plain local hit (the first
-        # touch made — or kept — the requester a holder; after a write's
-        # first touch it is the *sole* holder, so repeats invalidate 0).
-        rep = np.ones(n, dtype=bool)
-        rep[first_pos] = False
-        lat_a[rep] = l3
-        base_a[rep] = l3
-        src_a[rep] = IDX_LOCAL_CHIPLET
+    # Duplicate replay: every repeat is a plain local hit (the first
+    # touch made — or kept — the requester a holder; after a write's
+    # first touch it is the *sole* holder, so repeats invalidate 0).
+    # Pre-filling with the hit values and scattering the uniques onto
+    # their first occurrences covers both the dup and dup-free cases.
+    lat_a = np.full(n, l3)
+    lat_a[first_pos] = lat_u
+    base_a = np.full(n, l3)
+    base_a[first_pos] = base_u
+    src_a = np.full(n, IDX_LOCAL_CHIPLET, dtype=np.int64)
+    src_a[first_pos] = src_u
 
     steps = lat_a / mlp  # overlap pure latency, not queue waits
-    steps = np.where(steps > per_issue_ns, steps, per_issue_ns)
+    np.maximum(steps, per_issue_ns, out=steps)
     tf = np.empty(n + 1)
     tf[0] = t0
     tf[1:] = steps
@@ -972,100 +1006,104 @@ def gather_segment(
     nonhit[first_pos[miss_u]] = True
     nonhit[first_pos[peer_u]] = True
     svc_pos = np.flatnonzero(nonhit)
-    if svc_pos.size:
-        d, _ = serve_constant(machine.links.server(chiplet), t[svc_pos], s_link)
-        d_req[svc_pos] = d
 
-    # One serve_groups call covers every banked server class — DRAM
-    # channels, peer fabric links, cross-socket links — as rows of a
-    # single matrix with per-row service times.  All these servers are
-    # pairwise distinct (the requester's own link above is the only one
-    # shared across classes, and it is served separately), so row order
-    # is free; within each row arrivals stay in batch order.
-    xpair = np.full(n, -1, dtype=np.int64)
+    # One serve_groups call covers every server class — DRAM channels,
+    # peer fabric links, and cross-socket links — as rows of a single
+    # matrix with per-row service times.  Every server gets a global id
+    # (channels, then fabric links, then socket pairs); ONE argsort on a
+    # (server id, position) composite key groups arrivals by server
+    # while keeping batch order inside each group.  Keys are unique —
+    # the same position may wait on a channel AND a cross-socket link,
+    # but never twice on one server — so the unstable default sort is
+    # deterministic.  All these servers are pairwise distinct (the
+    # requester's link is served separately below and can never collide
+    # with a holder-link row because ``others`` masks out the
+    # requester's own directory bit); distinct rows evolve
+    # independently, so row order is free.
     n_sockets = machine.xlinks.sockets
-    g_servers: List = []
+    cps = machine.channels.channels_per_socket
+    sid_C = len(machine.channels._servers) * cps
+    sid_CL = sid_C + machine.topo.total_chiplets
     g_pos: List[np.ndarray] = []
-    g_bounds: List[int] = [0]
-    g_s: List[float] = []
-    off = 0
+    g_sid: List[np.ndarray] = []
     if mi.size:
-        # One argsort on a (bank, position) composite key groups by bank
-        # while keeping batch order inside each group; keys are unique
-        # (positions are), so the unstable default sort is deterministic.
         miss_pos = first_pos[miss_u]
         mk = keys[miss_pos]
         if homes_mi is None:
             homes = np.full(mi.size, region.home_node, dtype=np.int64)
         else:
             homes = homes_mi
-        cps = machine.channels.channels_per_socket
-        sort_key = homes * cps + mk % cps
-        corder = np.argsort(sort_key * np.int64(n) + miss_pos)
-        skey = sort_key[corder]
-        cuts = (np.flatnonzero(skey[1:] != skey[:-1]) + 1).tolist()
-        g_servers += [machine.channels.server(sk // cps, sk % cps)
-                      for sk in (int(skey[b]) for b in (0, *cuts))]
-        g_pos.append(miss_pos[corder])
-        g_bounds += [off + c for c in cuts] + [off + int(mi.size)]
-        g_s += [s_chan] * (len(cuts) + 1)
-        off += int(mi.size)
+        g_pos.append(miss_pos)
+        g_sid.append(homes * cps + mk % cps)
         remote = homes != my_node
         if remote.any():
-            rp = miss_pos[remote]
             rh = homes[remote]
             lo = np.minimum(rh, my_node)
             hi = np.maximum(rh, my_node)
-            xpair[rp] = lo * n_sockets + hi
+            g_pos.append(miss_pos[remote])
+            g_sid.append(sid_CL + lo * n_sockets + hi)
     if pi.size:
         peer_pos = first_pos[peer_u]
-        horder = np.argsort(holders_p * np.int64(n) + peer_pos)
-        hkey = holders_p[horder]
-        cuts = (np.flatnonzero(hkey[1:] != hkey[:-1]) + 1).tolist()
-        g_servers += [machine.links.server(int(hkey[b])) for b in (0, *cuts)]
-        g_pos.append(peer_pos[horder])
-        g_bounds += [off + c for c in cuts] + [off + int(pi.size)]
-        g_s += [s_link] * (len(cuts) + 1)
-        off += int(pi.size)
+        g_pos.append(peer_pos)
+        g_sid.append(sid_C + holders_p)
         psock = socket_of[holders_p]
         cross = psock != my_socket
         if cross.any():
-            cp = peer_pos[cross]
             cs = psock[cross]
             lo = np.minimum(cs, my_socket)
             hi = np.maximum(cs, my_socket)
-            xpair[cp] = lo * n_sockets + hi
-    n_srv = off
-    xpos = np.flatnonzero(xpair >= 0)
-    if xpos.size:
-        xp = xpair[xpos]
-        xorder = np.argsort(xp, kind="stable")
-        xkey = xp[xorder]
-        cuts = (np.flatnonzero(xkey[1:] != xkey[:-1]) + 1).tolist()
-        g_servers += [machine.xlinks.server(pid // n_sockets, pid % n_sockets)
-                      for pid in (int(xkey[b]) for b in (0, *cuts))]
-        g_pos.append(xpos[xorder])
-        g_bounds += [off + c for c in cuts] + [off + int(xpos.size)]
-        g_s += [s_xlink] * (len(cuts) + 1)
-        off += int(xpos.size)
-    if g_servers:
-        pos_all = g_pos[0] if len(g_pos) == 1 else np.concatenate(g_pos)
-        d_all = serve_groups(g_servers, t[pos_all], np.asarray(g_bounds),
-                             np.asarray(g_s))
-        d_srv[pos_all[:n_srv]] = d_all[:n_srv]
-        if off > n_srv:
-            d_x[pos_all[n_srv:]] = d_all[n_srv:]
+            g_pos.append(peer_pos[cross])
+            g_sid.append(sid_CL + lo * n_sockets + hi)
+    if svc_pos.size:
+        # The requester's own link sees every non-hit access once.  It is
+        # pairwise-distinct from every matrix row (``others`` masks out
+        # the requester's bit), but folding it in as a row would inflate
+        # the matrix width to the whole non-hit count — it is served
+        # separately through the single-server fast paths instead.
+        d, _ = serve_constant(machine.links.server(chiplet), t[svc_pos],
+                              s_link)
+        d_req[svc_pos] = d
+    if g_pos:
+        pos_cat = g_pos[0] if len(g_pos) == 1 else np.concatenate(g_pos)
+        sid_cat = g_sid[0] if len(g_sid) == 1 else np.concatenate(g_sid)
+        order = np.argsort(sid_cat * np.int64(n) + pos_cat)
+        pos_s = pos_cat[order]
+        sid_s = sid_cat[order]
+        cuts = (np.flatnonzero(sid_s[1:] != sid_s[:-1]) + 1).tolist()
+        bounds = [0, *cuts, int(pos_s.shape[0])]
+        hs = [int(sid_s[b]) for b in bounds[:-1]]
+        chan_sv = machine.channels.server
+        link_sv = machine.links.server
+        x_sv = machine.xlinks.server
+        g_servers = [
+            chan_sv(sid // cps, sid % cps) if sid < sid_C
+            else link_sv(sid - sid_C) if sid < sid_CL
+            else x_sv((sid - sid_CL) // n_sockets,
+                      (sid - sid_CL) % n_sockets)
+            for sid in hs
+        ]
+        g_s = np.asarray([s_chan if sid < sid_C
+                          else s_link if sid < sid_CL else s_xlink
+                          for sid in hs])
+        d_all = serve_groups(g_servers, t[pos_s], np.asarray(bounds), g_s)
+        isx = sid_s >= sid_CL
+        nonx = ~isx
+        d_srv[pos_s[nonx]] = d_all[nonx]
+        d_x[pos_s[isx]] = d_all[isx]
 
     # Compose per-access totals in the scalar loop's addition order; every
     # class's unused delay terms are +0.0, which leaves positive IEEE
     # doubles bit-unchanged.  Peer writes add their invalidation term
     # after the cross-link delay, exactly like the scalar loop.
-    ns_a = ((base_a + d_srv) + d_req) + d_x
+    ns_a = base_a + d_srv
+    ns_a += d_req
+    ns_a += d_x
     if write and pi.size:
         inv_a = np.zeros(n)
         inv_a[first_pos[pi]] = iv_ns[pi]
-        ns_a = ns_a + inv_a
-    fin = float((t + ns_a).max())
+        ns_a += inv_a
+    ns_a += t
+    fin = float(ns_a.max())
     state[0] = t_end
     if fin > state[1]:
         state[1] = fin
@@ -1074,18 +1112,25 @@ def gather_segment(
     if write:
         state[2] += int(inval_u.sum())
 
-    # Per-source fill-latency chains and counters, in batch order.
+    # Per-source fill-latency chains and counters, in batch order: one
+    # stable sort groups accesses by source while preserving batch order
+    # inside each group (the order the scalar loop accumulates in); the
+    # chains of different sources are independent accumulators, so the
+    # group iteration order is free.
     fl = machine._fill_lat
-    for s_idx in (IDX_LOCAL_CHIPLET, IDX_DRAM_LOCAL, IDX_DRAM_REMOTE,
-                  IDX_REMOTE_CHIPLET, IDX_REMOTE_NUMA_CHIPLET):
-        sel = src_a == s_idx
-        k = int(np.count_nonzero(sel))
-        if k:
-            acc = np.empty(k + 1)
-            acc[0] = fl[s_idx]
-            acc[1:] = lat_a[sel]
-            fl[s_idx] = float(np.cumsum(acc)[-1])
-            counts[s_idx] += k
+    sorder = np.argsort(src_a, kind="stable")
+    ssrc = src_a[sorder]
+    slat = lat_a[sorder]
+    sb = [0, *(np.flatnonzero(ssrc[1:] != ssrc[:-1]) + 1).tolist(), n]
+    for gi in range(len(sb) - 1):
+        b0, b1 = sb[gi], sb[gi + 1]
+        s_idx = int(ssrc[b0])
+        k = b1 - b0
+        acc = np.empty(k + 1)
+        acc[0] = fl[s_idx]
+        acc[1:] = slat[b0:b1]
+        fl[s_idx] = float(np.cumsum(acc)[-1])
+        counts[s_idx] += k
 
     # -- cache + directory writeback ----------------------------------------
     caches_l = caches.caches

@@ -14,6 +14,11 @@ the perf PRs:
 - ``vec_dup_replay`` — the same kernel when repeats were replayed as hits
 - ``hot_replay``     — the O(1) cached re-read fast path in ``access_run``
 - ``access``         — single-access ``Machine.access`` calls
+- ``program``        — the worker's compiled op-program walk
+  (``Worker._run_program``), net of the kernel time above
+- ``orchestration``  — everything else inside a worker step: generator
+  re-entry, op dispatch, scheduling bookkeeping (net of kernels and the
+  program walk)
 
 Attach with ``machine.profiler = KernelProfiler()`` before running.
 Timing uses ``perf_counter`` around the kernel call only; it reads no
@@ -29,7 +34,8 @@ shifting between paths, not just as a lower accesses/sec number.
 from typing import Dict
 
 PATHS = ("scalar", "vec_miss", "vec_hit", "vec_peer", "vec_gather",
-         "vec_dup_replay", "hot_replay", "access")
+         "vec_dup_replay", "hot_replay", "access", "program",
+         "orchestration")
 
 
 class KernelProfiler:

@@ -1,0 +1,264 @@
+"""Compiled op programs: columnar straight-line op sequences.
+
+A :class:`OpProgram` is the compiled form of a straight-line section of a
+task generator: instead of yielding one op dataclass per step — paying a
+generator ``send()`` round trip and a ``type()`` dispatch per op — the
+producer appends rows to a program and yields the whole program once.
+The worker walks the columns directly (:meth:`Worker._run_program`)
+without re-entering the generator until the program is exhausted.
+
+Row format is columnar: an int8-packable *kind* column plus parallel
+operand columns — int64 operands (``a``/``b``/``c`` for block / start /
+count / stride, ``d`` for nbytes with 0 meaning "region default"),
+bool flag columns (``wr`` write, ``dep`` dependent), a float64 ``ns``
+column (compute ns, per-block compute ns, or critical-section hold ns),
+and a per-row Python reference column ``objs`` (region, ``(region,
+blocks)``, or lock).  During construction the columns are plain Python
+lists — row-wise CPython list indexing beats numpy scalar unboxing in
+the interpreter — and :meth:`packed_columns` materializes the compact
+int8/int64/float64 array form when something wants to store or inspect a
+program as data.
+
+Build-time fusion (the only fusion — both execution paths see the fused
+rows, so bit-identity between them holds by construction):
+
+- consecutive :meth:`compute` rows merge into one row charging the sum;
+- a :meth:`run` row that starts exactly where the previous run row ended
+  (same region, stride, flags, nbytes, per-block ns) extends the
+  previous row instead of appending — the shapes segment classification
+  already services as one machine call.
+
+Nothing else fuses: critical sections keep their per-acquisition lock
+accounting, batches keep their duplicate semantics, and yields keep
+their scheduling side effects.
+
+Programs cover only the straight-line op kinds: compute, access, batch,
+run, critical section, and yield.  Control transfers (spawn, barrier,
+future waits) stay in the generator — a producer emits a program up to
+the transfer, yields the plain op, and may emit another program after.
+
+``FORCE_GENERATOR`` is the equivalence-test hook: when true, a worker
+receiving a program splices ``to_ops()`` into the task's generator and
+interprets the rows through the exact per-op dispatch path, one
+``send()`` per row — the forced-generator twin the hypothesis suite
+diffs against the compiled path.
+"""
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.hw.memory import Region
+from repro.runtime.ops import (
+    Access,
+    AccessBatch,
+    AccessRun,
+    Compute,
+    CriticalSection,
+    SimLock,
+    YieldPoint,
+)
+
+#: row kinds (values fit int8; order is frozen — packed programs are data)
+K_COMPUTE = 0
+K_ACCESS = 1
+K_BATCH = 2
+K_RUN = 3
+K_CRITICAL = 4
+K_YIELD = 5
+
+KIND_NAMES = ("compute", "access", "batch", "run", "critical", "yield")
+
+#: test hook: expand programs through the generator dispatch path
+#: (the forced-generator twin of the equivalence suite)
+FORCE_GENERATOR = False
+
+
+class OpProgram:
+    """A compiled straight-line op sequence, stored as parallel columns."""
+
+    __slots__ = ("kinds", "a", "b", "c", "d", "wr", "dep", "ns", "objs",
+                 "n", "n_ops")
+
+    def __init__(self) -> None:
+        self.kinds: List[int] = []   # kind column (int8 range)
+        self.a: List[int] = []       # block / run start
+        self.b: List[int] = []       # run count
+        self.c: List[int] = []       # run stride
+        self.d: List[int] = []       # nbytes (0 = region default)
+        self.wr: List[bool] = []     # write flag
+        self.dep: List[bool] = []    # dependent (no-MLP) flag
+        self.ns: List[float] = []    # compute / per-block / hold ns
+        self.objs: List[object] = []  # region | (region, blocks) | lock
+        self.n = 0        # rows after fusion
+        self.n_ops = 0    # ops represented (pre-fusion count)
+
+    # -- Builder (appenders with build-time fusion) ---------------------------
+
+    def _append(self, kind: int, a: int, b: int, c: int, d: int,
+                wr: bool, dep: bool, ns: float, obj) -> None:
+        self.kinds.append(kind)
+        self.a.append(a)
+        self.b.append(b)
+        self.c.append(c)
+        self.d.append(d)
+        self.wr.append(wr)
+        self.dep.append(dep)
+        self.ns.append(ns)
+        self.objs.append(obj)
+        self.n += 1
+
+    def compute(self, ns: float) -> "OpProgram":
+        """Charge ``ns`` of pure compute; fuses with a preceding compute row."""
+        if ns < 0:
+            raise ValueError("compute time must be non-negative")
+        self.n_ops += 1
+        if self.n and self.kinds[-1] == K_COMPUTE:
+            self.ns[-1] += ns
+        else:
+            self._append(K_COMPUTE, 0, 0, 0, 0, False, False, ns, None)
+        return self
+
+    def access(self, region: Region, block: int, write: bool = False,
+               nbytes: Optional[int] = None) -> "OpProgram":
+        """One block access (the :class:`~repro.runtime.ops.Access` shape)."""
+        self.n_ops += 1
+        self._append(K_ACCESS, block, 0, 0, nbytes or 0, write, False,
+                     0.0, region)
+        return self
+
+    def batch(self, region: Region, blocks, write: bool = False,
+              nbytes: Optional[int] = None, compute_ns_per_block: float = 0.0,
+              dependent: bool = False) -> "OpProgram":
+        """A block batch (the :class:`~repro.runtime.ops.AccessBatch` shape)."""
+        self.n_ops += 1
+        self._append(K_BATCH, 0, 0, 0, nbytes or 0, write, dependent,
+                     compute_ns_per_block, (region, blocks))
+        return self
+
+    def run(self, region: Region, start: int, count: int, stride: int = 1,
+            write: bool = False, nbytes: Optional[int] = None,
+            compute_ns_per_block: float = 0.0,
+            dependent: bool = False) -> "OpProgram":
+        """A run-compressed batch; extends a preceding exactly-contiguous run.
+
+        Fusion requires the previous row to be a run over the same region
+        with identical stride/flags/nbytes/per-block-ns ending exactly
+        where this one starts — the one shape where one machine call is
+        bit-identical to two by construction (a longer arithmetic run).
+        """
+        if count < 0:
+            raise ValueError("run count must be non-negative")
+        if stride < 1:
+            raise ValueError("run stride must be >= 1")
+        self.n_ops += 1
+        nb = nbytes or 0
+        if (self.n and self.kinds[-1] == K_RUN
+                and self.objs[-1] is region
+                and self.c[-1] == stride
+                and self.a[-1] + self.b[-1] * stride == start
+                and self.wr[-1] == write
+                and self.dep[-1] == dependent
+                and self.d[-1] == nb
+                and self.ns[-1] == compute_ns_per_block):
+            self.b[-1] += count
+        else:
+            self._append(K_RUN, start, count, stride, nb, write, dependent,
+                         compute_ns_per_block, region)
+        return self
+
+    def critical(self, lock: SimLock, ns: float) -> "OpProgram":
+        """A critical section; never fused (per-acquisition lock accounting)."""
+        self.n_ops += 1
+        self._append(K_CRITICAL, 0, 0, 0, 0, False, False, ns, lock)
+        return self
+
+    def yield_(self) -> "OpProgram":
+        """A cooperative yield point (requeue + policy tick, as YieldPoint)."""
+        self.n_ops += 1
+        self._append(K_YIELD, 0, 0, 0, 0, False, False, 0.0, None)
+        return self
+
+    # -- Introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OpProgram {self.n} rows / {self.n_ops} ops>"
+
+    def packed_columns(self) -> dict:
+        """The compact array form: int8 kinds, int64 operands, float64 ns.
+
+        ``objs`` stays a Python reference column (regions/locks/block
+        arrays are simulator objects, not scalars); everything else packs
+        into three dtype-homogeneous arrays.  Flags pack as bits into the
+        int64 operand matrix (row 4: bit0 write, bit1 dependent).
+        """
+        flags = [int(w) | (int(dp) << 1) for w, dp in zip(self.wr, self.dep)]
+        return {
+            "kinds": np.array(self.kinds, dtype=np.int8),
+            "i64": np.array([self.a, self.b, self.c, self.d, flags],
+                            dtype=np.int64),
+            "f64": np.array(self.ns, dtype=np.float64),
+            "objs": list(self.objs),
+        }
+
+    def to_ops(self) -> Iterator[object]:
+        """Expand rows back into op dataclasses (post-fusion, row for row).
+
+        This is the forced-generator twin's view: exactly the rows the
+        compiled interpreter executes, one dataclass per row, dispatched
+        through the ordinary per-op path.
+        """
+        for i in range(self.n):
+            k = self.kinds[i]
+            if k == K_COMPUTE:
+                yield Compute(self.ns[i])
+            elif k == K_ACCESS:
+                yield Access(self.objs[i], self.a[i], write=self.wr[i],
+                             nbytes=self.d[i] or None)
+            elif k == K_BATCH:
+                region, blocks = self.objs[i]
+                yield AccessBatch(region, blocks, write=self.wr[i],
+                                  nbytes=self.d[i] or None,
+                                  compute_ns_per_block=self.ns[i],
+                                  dependent=self.dep[i])
+            elif k == K_RUN:
+                yield AccessRun(self.objs[i], self.a[i], self.b[i],
+                                stride=self.c[i], write=self.wr[i],
+                                nbytes=self.d[i] or None,
+                                compute_ns_per_block=self.ns[i],
+                                dependent=self.dep[i])
+            elif k == K_CRITICAL:
+                yield CriticalSection(self.objs[i], self.ns[i])
+            elif k == K_YIELD:
+                yield YieldPoint()
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"bad program row kind {k}")
+
+
+def splice(program: OpProgram, gen):
+    """Wrap ``gen`` so ``program`` (and any later programs it yields) expand
+    into per-op yields — the forced-generator twin execution mode.
+
+    The worker swaps the task's generator for this wrapper the moment it
+    receives a program while :data:`FORCE_GENERATOR` is set; from then on
+    every program row travels through the ordinary ``send()`` dispatch,
+    and non-program ops (spawns, waits) pass through untouched with their
+    send values intact.
+    """
+    for sub in program.to_ops():
+        yield sub
+    send_value = None
+    while True:
+        try:
+            op = gen.send(send_value)
+        except StopIteration as stop:
+            return stop.value
+        if type(op) is OpProgram:
+            for sub in op.to_ops():
+                yield sub
+            send_value = None
+        else:
+            send_value = yield op

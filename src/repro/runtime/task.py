@@ -42,6 +42,8 @@ class Task:
         "pinned",
         "ready_at",
         "send_value",
+        "program",
+        "program_pc",
         "switches",
         "fills",
         "spawned_at",
@@ -68,6 +70,11 @@ class Task:
         self.pinned = pinned
         self.ready_at = 0.0
         self.send_value: Any = None
+        # In-flight compiled program (repro.runtime.program): the program
+        # and resume row travel with the task so steals/migrations resume
+        # the walk on whichever worker dispatches it next.
+        self.program: Any = None
+        self.program_pc = 0
         self.switches = 0
         self.fills = FillCounters()
         self.spawned_at = 0.0

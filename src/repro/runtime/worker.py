@@ -14,9 +14,19 @@ itself* blocks, idling its core — reproducing the thread-blocking
 behaviour the paper measures in Fig. 12.
 """
 
+from time import perf_counter
 from typing import List, Optional, TYPE_CHECKING
 
 from repro.hw.counters import FillCounters
+from repro.runtime import program as program_mod
+from repro.runtime.program import (
+    K_BATCH,
+    K_COMPUTE,
+    K_CRITICAL,
+    K_RUN,
+    K_YIELD,
+    OpProgram,
+)
 from repro.runtime.ops import (
     Access,
     AccessBatch,
@@ -96,7 +106,18 @@ class Worker(Actor):
                 rt.park_idle(self)
                 return StepOutcome.PARKED
             self._dispatch(task)
-        return self._run_slice(loop)
+        prof = rt.machine.profiler
+        if prof is None:
+            return self._run_slice(loop)
+        # Self-profiled run: attribute the slice's wall clock to the
+        # "orchestration" bucket net of whatever the kernel paths (and the
+        # program interpreter) charged themselves during the slice.
+        t0 = perf_counter()
+        k0 = prof.total_wall_s()
+        out = self._run_slice(loop)
+        prof.add("orchestration", 0,
+                 (perf_counter() - t0) - (prof.total_wall_s() - k0))
+        return out
 
     # -- Task acquisition --------------------------------------------------------
 
@@ -148,6 +169,13 @@ class Worker(Actor):
         rt = self.runtime
         deadline = self.clock + rt.step_slice_ns
         task = self.current
+        if task.program is not None:
+            # Resume an in-flight compiled program (slice expired mid-walk).
+            outcome = self._run_program(task, deadline)
+            if outcome is not None:
+                return outcome
+            if self.clock >= deadline:
+                return StepOutcome.RESCHEDULE
         gen = task.gen
         send = gen.send
         # Bind op classes locally: the dispatch below runs once per yielded
@@ -155,6 +183,7 @@ class Worker(Actor):
         compute_op, access_op, batch_op = Compute, Access, AccessBatch
         critical_op, yield_op, spawn_op = CriticalSection, YieldPoint, SpawnOp
         barrier_op, future_op, run_op = WaitBarrier, WaitFuture, AccessRun
+        program_cls = OpProgram
         while True:
             try:
                 op = send(task.send_value)
@@ -169,6 +198,22 @@ class Worker(Actor):
                 raise
 
             kind = type(op)
+            if kind is program_cls:
+                if program_mod.FORCE_GENERATOR:
+                    # Equivalence-twin mode: splice the program's rows into
+                    # the generator so each row pays the full per-op
+                    # send()/dispatch path below.
+                    task.gen = gen = program_mod.splice(op, gen)
+                    send = gen.send
+                    continue
+                task.program = op
+                task.program_pc = 0
+                outcome = self._run_program(task, deadline)
+                if outcome is not None:
+                    return outcome
+                if self.clock >= deadline:
+                    return StepOutcome.RESCHEDULE
+                continue
             if kind is batch_op:
                 self._do_batch(op, task)
             elif kind is run_op:
@@ -223,6 +268,110 @@ class Worker(Actor):
 
             if self.clock >= deadline:
                 return StepOutcome.RESCHEDULE
+
+    def _run_program(self, task: Task, deadline: float) -> Optional[StepOutcome]:
+        """Walk the current compiled program's columns until it ends, a
+        yield row hands control back, or the slice expires.
+
+        Returns a :class:`StepOutcome` when the walk released the slice
+        (yield row, or deadline with rows remaining) and ``None`` when the
+        program completed — the caller then resumes the task's generator.
+        Row semantics are exactly the per-op dispatch of
+        :meth:`_run_slice` minus the generator ``send()`` round trips;
+        errors raised by the machine propagate raw, as they do from the
+        per-op dispatch.  Program state lives on the task, so a slice
+        split mid-program survives steals and migrations.
+        """
+        prog = task.program
+        rt = self.runtime
+        machine = rt.machine
+        prof = machine.profiler
+        pc0 = task.program_pc
+        if prof is not None:
+            t0 = perf_counter()
+            k0 = prof.total_wall_s()
+        kinds, a, b, c, d = prog.kinds, prog.a, prog.b, prog.c, prog.d
+        wr, dep, ns_col, objs = prog.wr, prog.dep, prog.ns, prog.objs
+        n = prog.n
+        i = task.program_pc
+        core = self.core
+        fills = self.fills
+        tfills = task.fills
+        issue = self.BATCH_ISSUE_NS
+        mlp = self.MLP
+        outcome: Optional[StepOutcome] = None
+        while i < n:
+            k = kinds[i]
+            if k == K_RUN:
+                res = machine.access_run(
+                    core, objs[i], a[i], b[i], now=self.clock, stride=c[i],
+                    nbytes=d[i] or None, write=wr[i],
+                    per_issue_ns=issue + ns_col[i],
+                    mlp=1.0 if dep[i] else mlp,
+                )
+                ns = res.ns
+                if ns:
+                    self.clock += ns
+                    self.busy_ns += ns
+                fills.record_counts(res.fill_counts)
+                tfills.record_counts(res.fill_counts)
+            elif k == K_BATCH:
+                region, blocks = objs[i]
+                res = machine.access_batch(
+                    core, region, blocks, now=self.clock,
+                    nbytes=d[i] or None, write=wr[i],
+                    per_issue_ns=issue + ns_col[i],
+                    mlp=1.0 if dep[i] else mlp,
+                )
+                ns = res.ns
+                if ns:
+                    self.clock += ns
+                    self.busy_ns += ns
+                fills.record_counts(res.fill_counts)
+                tfills.record_counts(res.fill_counts)
+            elif k == K_COMPUTE:
+                ns = ns_col[i]
+                if ns:
+                    self.clock += ns
+                    self.busy_ns += ns
+            elif k == K_YIELD:
+                task.program_pc = i + 1
+                task.state = TaskState.READY
+                self.queue.push(task)
+                rt.on_task_paused(self)  # before clearing current: hooks see the task
+                self.current = None
+                rt.strategy.on_tick(self, rt)
+                outcome = StepOutcome.RESCHEDULE
+                i += 1
+                break
+            elif k == K_CRITICAL:
+                ns = objs[i].acquire(self.clock, ns_col[i])
+                if ns:
+                    self.clock += ns
+                    self.busy_ns += ns
+            else:  # K_ACCESS
+                res = machine.access(
+                    core, objs[i], a[i], now=self.clock,
+                    nbytes=d[i] or None, write=wr[i],
+                )
+                ns = res.ns
+                if ns:
+                    self.clock += ns
+                    self.busy_ns += ns
+                fills.record(res.source)
+                tfills.record(res.source)
+            i += 1
+            if self.clock >= deadline and i < n:
+                task.program_pc = i
+                outcome = StepOutcome.RESCHEDULE
+                break
+        if i >= n:
+            task.program = None
+            task.program_pc = 0
+        if prof is not None:
+            prof.add("program", i - pc0,
+                     (perf_counter() - t0) - (prof.total_wall_s() - k0))
+        return outcome
 
     def _wait_barrier(self, op: WaitBarrier, task: Task, loop: EventLoop) -> StepOutcome:
         rt = self.runtime

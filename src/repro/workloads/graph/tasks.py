@@ -31,7 +31,8 @@ from typing import Generator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.runtime.ops import AccessBatch, AccessRun, Compute, SpawnOp, WaitFuture, YieldPoint
+from repro.runtime.ops import SpawnOp, WaitFuture
+from repro.runtime.program import OpProgram
 from repro.runtime.runtime import Runtime
 from repro.workloads.graph.generator import Graph
 
@@ -296,19 +297,24 @@ def _owner_round_task(ws: GraphWorkspace, state: GraphState, part: int,
     whose cost depends on sender/receiver placement.
     """
     g = ws.graph
+    # The whole round is one compiled program: the owner-exclusive state
+    # update means the host-side numpy work commutes across owner tasks
+    # (disjoint vertex ranges; coordinator barriers between rounds), so it
+    # all runs at build time and the worker walks the rows in one go.
+    program = OpProgram()
     inbox_base, inbox_count = ws.inbox_run(part, cand_v.size)
-    yield AccessRun(ws.msg, inbox_base, inbox_count)
+    program.run(ws.msg, inbox_base, inbox_count)
     uniq = np.unique(cand_v)
     # Deduped state write-back: each owned vertex's state is updated once
     # per round regardless of how many messages named it — the per-message
     # examination cost is the inbox drain above, not extra memory writes.
     # (Charging one write per message would add duplicate traffic that is
     # placement-insensitive and dilutes the placement signal.)
-    yield AccessBatch(
+    program.batch(
         ws.vtx, ws.vtx_blocks_for(uniq), write=True,
         nbytes=VTX_ACCESS_BYTES, compute_ns_per_block=VTX_TOUCH_NS,
     )
-    yield Compute(cand_v.size * 1.2)
+    program.compute(cand_v.size * 1.2)
     if kind == "bfs":
         new = uniq[state.dist[uniq] == UNREACHED]
         state.dist[new] = arg  # arg = level
@@ -325,17 +331,19 @@ def _owner_round_task(ws: GraphWorkspace, state: GraphState, part: int,
     else:  # pragma: no cover - defensive
         raise ValueError(kind)
     if new.size == 0:
-        yield YieldPoint()
+        program.yield_()
+        yield program
         return None
     # Expand: scan adjacency of newly activated vertices, route visits.
-    yield AccessBatch(ws.adj, ws.adj_blocks_for(new),
-                      compute_ns_per_block=ws.scan_ns_per_block)
+    program.batch(ws.adj, ws.adj_blocks_for(new),
+                  compute_ns_per_block=ws.scan_ns_per_block)
     idx, nbrs, counts = gather_neighbors(g, new)
     edges = int(counts.sum())
     state.edges_traversed += edges
-    yield Compute(edges * EDGE_COMPUTE_NS * (1.3 if kind == "sssp" else 1.0))
+    program.compute(edges * EDGE_COMPUTE_NS * (1.3 if kind == "sssp" else 1.0))
     if nbrs.size == 0:
-        yield YieldPoint()
+        program.yield_()
+        yield program
         return None
     nbrs64 = nbrs.astype(np.int64)
     if kind == "bfs":
@@ -345,8 +353,9 @@ def _owner_round_task(ws: GraphWorkspace, state: GraphState, part: int,
     else:  # cc / cc-seed
         payload = np.repeat(state.label[new], counts)
     dest_counts = np.bincount(ws.owner_of(nbrs64), minlength=ws.n_parts)
-    yield AccessBatch(ws.msg, ws.outbox_block_array(dest_counts), write=True)
-    yield YieldPoint()
+    program.batch(ws.msg, ws.outbox_block_array(dest_counts), write=True)
+    program.yield_()
+    yield program
     return nbrs64, payload
 
 
@@ -441,17 +450,21 @@ def _pr_owner_task(ws: GraphWorkspace, state: GraphState, part: int,
     v0, v1 = ws.part_range(part)
     if v1 <= v0:
         return 0
+    # One compiled program per owner per iteration: contributions are
+    # coordinator-built read-only input and the rank writes are disjoint
+    # owner slices, so the host-side reduction commutes across owners.
+    program = OpProgram()
     adj_base, adj_count = ws.adj_run(v0, v1)
-    yield AccessRun(ws.adj, adj_base, adj_count,
-                    compute_ns_per_block=ws.scan_ns_per_block)
+    program.run(ws.adj, adj_base, adj_count,
+                compute_ns_per_block=ws.scan_ns_per_block)
     lo, hi = int(g.indptr[v0]), int(g.indptr[v1])
     srcs = g.indices[lo:hi].astype(np.int64)
     state.edges_traversed += hi - lo
-    yield Compute(float(hi - lo) * EDGE_COMPUTE_NS * 1.4)
+    program.compute(float(hi - lo) * EDGE_COMPUTE_NS * 1.4)
     # Random reads of remote owners' rank blocks (invalidated every round
     # by their owners' writes — the cross-chiplet refetch traffic).
     # vtx_blocks_for dedupes via its block bitmap, so srcs goes in raw.
-    yield AccessBatch(
+    program.batch(
         ws.vtx, ws.vtx_blocks_for(srcs),
         nbytes=VTX_ACCESS_BYTES, compute_ns_per_block=VTX_TOUCH_NS,
     )
@@ -460,9 +473,10 @@ def _pr_owner_task(ws: GraphWorkspace, state: GraphState, part: int,
     new_rank[v0:v1] = np.bincount(row, weights=contrib[srcs], minlength=v1 - v0)
     # Write back my rank range (owner-exclusive; invalidates readers).
     vtx_base, vtx_count = ws.vtx_run(v0, v1)
-    yield AccessRun(ws.vtx, vtx_base, vtx_count,
-                    write=True, nbytes=VTX_ACCESS_BYTES)
-    yield YieldPoint()
+    program.run(ws.vtx, vtx_base, vtx_count,
+                write=True, nbytes=VTX_ACCESS_BYTES)
+    program.yield_()
+    yield program
     return v1 - v0
 
 

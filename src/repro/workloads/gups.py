@@ -19,8 +19,8 @@ from typing import Optional
 import numpy as np
 
 from repro.hw.machine import Machine
-from repro.runtime.ops import AccessBatch, Compute, YieldPoint
 from repro.runtime.policy import SchedulingStrategy
+from repro.runtime.program import OpProgram
 from repro.runtime.runtime import Runtime, RunReport
 from repro.sim.rng import derive_seed
 
@@ -71,18 +71,28 @@ def apply_updates_reference(table_size: int, seed: int, n_workers: int,
 
 def _gups_task(region, table: np.ndarray, idx_stream: np.ndarray, word_bytes: int,
                block_bytes: int):
-    """One worker's update loop, in batches with cooperative yields."""
+    """One worker's update loop, compiled to one op program.
+
+    The whole update stream is straight-line: batches of writes with
+    interleaved compute and cooperative yields, no control transfers — so
+    it compiles into a single :class:`OpProgram` handed to the worker in
+    one yield.  The XOR side effects apply at build time: XOR commutes, so
+    the table is bit-identical to per-batch application regardless of the
+    virtual-time interleaving across workers.
+    """
     n = idx_stream.size
+    program = OpProgram()
     for start in range(0, n, UPDATES_PER_BATCH):
         idx = idx_stream[start : start + UPDATES_PER_BATCH]
-        np.bitwise_xor.at(table, idx, idx + 1)
         # Raw update order, repeats and all: every XOR touches memory, and
         # the gather kernel services unsorted duplicate-laden batches
         # directly (repeats replay as L3 hits after the first touch).
         blocks = idx * word_bytes // block_bytes
-        yield AccessBatch(region, blocks, write=True, nbytes=UPDATE_BYTES)
-        yield Compute(idx.size * UPDATE_COMPUTE_NS)
-        yield YieldPoint()
+        program.batch(region, blocks, write=True, nbytes=UPDATE_BYTES)
+        program.compute(idx.size * UPDATE_COMPUTE_NS)
+        program.yield_()
+    np.bitwise_xor.at(table, idx_stream, idx_stream + 1)
+    yield program
     return n
 
 

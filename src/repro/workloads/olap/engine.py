@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.hw.machine import Machine
 from repro.runtime.ops import AccessBatch, AccessRun, Compute, SpawnOp, WaitFuture, YieldPoint
+from repro.runtime.program import OpProgram
 from repro.runtime.policy import SchedulingStrategy
 from repro.runtime.runtime import Runtime, RunReport
 from repro.workloads.olap.data import TpchData
@@ -105,13 +106,15 @@ class QueryEngine:
 
         def morsel_task(i, bounds):
             lo, hi = bounds
+            program = OpProgram()
             for c in pred_cols:
                 region, start, count = self._col_run(table, c, lo, hi)
-                yield AccessRun(region, start, count, compute_ns_per_block=scan_ns)
+                program.run(region, start, count, compute_ns_per_block=scan_ns)
             cols = {c: data.col(table, c)[lo:hi] for c in pred_cols}
             mask = predicate(cols)
-            yield Compute((hi - lo) * len(pred_cols) * ROW_NS)
-            yield YieldPoint()
+            program.compute((hi - lo) * len(pred_cols) * ROW_NS)
+            program.yield_()
+            yield program
             return np.flatnonzero(mask) + lo
 
         def run():

@@ -33,7 +33,7 @@ from repro.baselines.ring import RingStrategy
 from repro.baselines.vanilla import VanillaStrategy
 from repro.hw.machine import Machine
 from repro.hw.memory import MemPolicy
-from repro.runtime.ops import AccessRun, Compute, YieldPoint
+from repro.runtime.program import OpProgram
 from repro.runtime.policy import CharmStrategy, SchedulingStrategy
 from repro.runtime.runtime import Runtime, RunReport
 from repro.sim.rng import stream_np_rng
@@ -228,23 +228,34 @@ def run_sgd(
     write_model = kernel == "gradient"
 
     def chunk_task(wid: int, region, base_row: int, c0: int, c1: int):
-        """One DimmWitted work chunk: stream rows, touch replica, compute."""
+        """One DimmWitted work chunk: stream rows, touch replica, compute.
+
+        Two compiled sections around the replica update: the update must
+        stay generator-side because gradient chunks in the same replica
+        group chain through ``replicas[g]`` — its host execution order is
+        the virtual resume order after the model access, which the
+        program split preserves exactly.
+        """
         b0 = (c0 - base_row) * row_bytes // data_block
         b1 = max(b0 + 1, -(-(c1 - base_row) * row_bytes // data_block))
-        yield AccessRun(region, b0, b1 - b0, compute_ns_per_block=scan_ns)
+        program = OpProgram()
+        program.run(region, b0, b1 - b0, compute_ns_per_block=scan_ns)
         g = group(wid)
         mb0 = g * blocks_per_replica
         # Gradient updates are atomic RMW chains on the replica:
         # dependent accesses, no MLP overlap (coherence-bound).
-        yield AccessRun(model_region, mb0, blocks_per_replica,
-                        write=write_model, dependent=write_model)
+        program.run(model_region, mb0, blocks_per_replica,
+                    write=write_model, dependent=write_model)
+        yield program
         if write_model:
             replicas[g] = _chunk_gradient(X[c0:c1], y[c0:c1], replicas[g], lr)
         else:
             state["loss"] += _chunk_loss(X[c0:c1], y[c0:c1], replicas[g])
         state["bytes"] += (c1 - c0) * row_bytes
-        yield Compute((c1 - c0) * dataset.n_features * FLOP_NS_PER_ELEM)
-        yield YieldPoint()
+        tail = OpProgram()
+        tail.compute((c1 - c0) * dataset.n_features * FLOP_NS_PER_ELEM)
+        tail.yield_()
+        yield tail
         return c1 - c0
 
     # Build the chunk list: per-socket shards -> per-worker row ranges ->

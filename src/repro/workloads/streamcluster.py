@@ -28,8 +28,9 @@ from typing import Optional
 import numpy as np
 
 from repro.hw.machine import Machine
-from repro.runtime.ops import AccessRun, Compute, CriticalSection, SimLock, YieldPoint
+from repro.runtime.ops import SimLock, YieldPoint
 from repro.runtime.policy import SchedulingStrategy
+from repro.runtime.program import OpProgram
 from repro.runtime.runtime import Runtime, RunReport
 from repro.sim.rng import stream_np_rng
 
@@ -77,18 +78,24 @@ def _chunk_task(pts_region, ctr_region, state: _SCState, points: np.ndarray,
                 pts_block: int, n_ctr_blocks: int, scan_ns: float,
                 record: bool = True):
     chunk = points[lo:hi]
-    # Stream my point rows; centers are hot shared reads.
+    # Stream my point rows; centers are hot shared reads.  The straight-line
+    # section up to the critical section compiles into one program; the
+    # cost fold stays on the generator side so the float accumulation order
+    # across chunks is unchanged (it runs at the first resume after the
+    # critical row — exactly where the interpreted ops resumed it).
     row_bytes = chunk.shape[1] * 4
     b0 = lo * row_bytes // pts_block
     b1 = max(b0 + 1, -(-hi * row_bytes // pts_block))
-    yield AccessRun(pts_region, b0, b1 - b0, compute_ns_per_block=scan_ns)
-    yield AccessRun(ctr_region, 0, n_ctr_blocks)
+    program = OpProgram()
+    program.run(pts_region, b0, b1 - b0, compute_ns_per_block=scan_ns)
+    program.run(ctr_region, 0, n_ctr_blocks)
     d2 = ((chunk[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
     state.assignment[lo:hi] = d2.argmin(axis=1)
     part_cost = float(d2.min(axis=1).sum())
-    yield Compute(chunk.shape[0] * centers.shape[0] * chunk.shape[1] * DIST_NS_PER_ELEM)
+    program.compute(chunk.shape[0] * centers.shape[0] * chunk.shape[1] * DIST_NS_PER_ELEM)
     # Fold the partial cost under the global lock (center-open check).
-    yield CriticalSection(lock, CRITICAL_NS)
+    program.critical(lock, CRITICAL_NS)
+    yield program
     if record:
         state.cost += part_cost
     yield YieldPoint()

@@ -51,7 +51,8 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from repro.serve.client import AdvisorClient, parse_base_url
 from repro.serve.query import POLICIES
 
-__all__ = ["QueryStream", "run_load", "measure_check", "main"]
+__all__ = ["QueryStream", "run_load", "measure_check",
+           "measure_obs_overhead", "main"]
 
 #: default request count / concurrency of a CLI run
 DEFAULT_REQUESTS = 200
@@ -149,11 +150,23 @@ async def run_load(url: str, requests: int = DEFAULT_REQUESTS,
                    concurrency: int = DEFAULT_CONCURRENCY,
                    dup_ratio: float = DEFAULT_DUP_RATIO,
                    rate: Optional[float] = None, seed: int = 7,
-                   mix: Optional[Dict[str, float]] = None) -> Dict[str, Any]:
-    """Drive one load run against a live server; return the report dict."""
+                   mix: Optional[Dict[str, float]] = None,
+                   trace_sample: float = 0.0,
+                   slo_ms: Optional[float] = None) -> Dict[str, Any]:
+    """Drive one load run against a live server; return the report dict.
+
+    ``trace_sample`` sends that fraction of requests with an
+    ``X-Repro-Trace: 1`` header (the server samples them regardless of
+    its own ``--trace-sample``); ``slo_ms`` adds a client-side SLO
+    section — violation count/ratio against that latency bound plus the
+    server's own burn-rate view from ``/stats``.
+    """
     host, port = parse_base_url(url)
     stream = QueryStream(seed=seed, dup_ratio=dup_ratio, mix=mix)
     queries = [q for q, _ in zip(iter(stream), range(requests))]
+    trace_rng = random.Random(seed + 0x7ace)
+    traced = [trace_sample > 0.0 and trace_rng.random() < trace_sample
+              for _ in range(requests)]
 
     probe = AdvisorClient(host, port)
     status, health = await probe.get("/healthz")
@@ -191,7 +204,9 @@ async def run_load(url: str, requests: int = DEFAULT_REQUESTS,
                     return 0
                 i, query, scheduled = item
                 start = scheduled if scheduled is not None else loop.time()
-                status, _doc = await client.post("/advise", query)
+                headers = {"X-Repro-Trace": "1"} if traced[i] else None
+                status, _doc = await client.post("/advise", query,
+                                                 headers=headers)
                 latencies_s[i] = loop.time() - start
                 if status != 200:
                     errors += 1
@@ -212,6 +227,15 @@ async def run_load(url: str, requests: int = DEFAULT_REQUESTS,
              for k in ("total", "hot_hits", "store_hits", "coalesced", "computed")}
     answered_cached = delta["hot_hits"] + delta["store_hits"] + delta["coalesced"]
     ordered = sorted(latencies_s)
+    slo_section: Optional[Dict[str, Any]] = None
+    if slo_ms is not None:
+        violations = sum(1 for s in latencies_s if s * 1e3 > slo_ms)
+        slo_section = {
+            "slo_ms": slo_ms,
+            "violations": violations,
+            "violation_ratio": round(violations / requests, 4) if requests else 0.0,
+            "server": stats_after.get("slo"),
+        }
     return {
         "url": url,
         "requests": requests,
@@ -235,7 +259,13 @@ async def run_load(url: str, requests: int = DEFAULT_REQUESTS,
         "cache_hit_ratio": round(answered_cached / delta["total"], 4)
                            if delta["total"] else 0.0,
         "coalesce_count": delta["coalesced"],
-        "healthz_ok": status == 200 and health.get("status") == "ok",
+        "traced_requests": sum(traced),
+        # "degraded" still means alive-and-answering: a cold burst is
+        # *supposed* to burn SLO budget; the slo section reports it
+        "healthz_ok": status == 200
+                      and health.get("status") in ("ok", "degraded"),
+        "slo_degraded": health.get("status") == "degraded",
+        **({"slo": slo_section} if slo_section is not None else {}),
         "server_stats": stats_after,
     }
 
@@ -305,6 +335,56 @@ def measure_check(requests: int = 60, concurrency: int = 8,
     }
 
 
+def measure_obs_overhead(requests: int = 80, concurrency: int = 8,
+                         dup_ratio: float = 0.6, jobs: int = 2,
+                         reps: int = 5, seed: int = 7) -> Dict[str, Any]:
+    """Warm steady-state throughput with default observability (tracing
+    and metrics present but idle) vs a ``--no-obs`` server.
+
+    Both servers live in this process and **share one temporary store**
+    (``get_store()`` is process-global per ``REPRO_SWEEP_CACHE`` —
+    pointing each server at its own dir would close the other's store
+    out from under it).  Each gets one warm-up pass of the identical
+    seeded stream, then measured passes run interleaved — obs-off,
+    obs-on, repeat — and each side keeps its best rep, the same
+    noise-rejection shape as ``perf --telemetry-gate`` on this bimodal
+    host.  The ratio is the wall-clock translation of PR 5's
+    zero-perturbation contract: disabled observability must keep ≥0.98x
+    of no-observability throughput.
+    """
+    from repro.serve.app import ServerThread
+
+    kw = dict(requests=requests, concurrency=concurrency,
+              dup_ratio=dup_ratio, seed=seed)
+
+    with _temp_store():
+        with ServerThread(jobs=jobs, observability=False) as off_srv, \
+                ServerThread(jobs=jobs, observability=True,
+                             trace_sample=0.0) as on_srv:
+            async def drive() -> Tuple[List[float], List[float]]:
+                await run_load(off_srv.url, **kw)  # warm (cold sims happen here)
+                await run_load(on_srv.url, **kw)   # warm from store/hot tiers
+                off_rps: List[float] = []
+                on_rps: List[float] = []
+                for _ in range(reps):
+                    off_rps.append((await run_load(off_srv.url, **kw))["req_per_sec"])
+                    on_rps.append((await run_load(on_srv.url, **kw))["req_per_sec"])
+                return off_rps, on_rps
+
+            off_rps, on_rps = asyncio.run(drive())
+
+    best_off, best_on = max(off_rps), max(on_rps)
+    return {
+        "requests": requests,
+        "concurrency": concurrency,
+        "jobs": jobs,
+        "reps": reps,
+        "req_per_sec_no_obs": round(best_off, 2),
+        "req_per_sec_obs_disabled": round(best_on, 2),
+        "overhead_ratio": round(best_on / best_off, 4) if best_off else 0.0,
+    }
+
+
 def _bench(args: argparse.Namespace) -> int:
     """Measure serve throughput; record under ``serve`` in
     BENCH_simperf.json (the rest of the report is left untouched)."""
@@ -315,6 +395,7 @@ def _bench(args: argparse.Namespace) -> int:
                              seed=args.seed, mix=parse_mix(args.mix)),
         jobs=args.jobs, fresh_store=True)
     check = measure_check(jobs=args.jobs)
+    obs = measure_obs_overhead(jobs=args.jobs)
     section = {
         "suite": (f"python -m repro.bench.loadgen --bench "
                   f"--requests {args.requests} "
@@ -333,6 +414,7 @@ def _bench(args: argparse.Namespace) -> int:
         "coalesce_count": report["coalesce_count"],
         "errors": report["errors"],
         "check": check,
+        "obs": obs,
     }
     out = args.bench_out
     doc: Dict[str, Any] = {}
@@ -376,6 +458,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--mix", default="gups=0.7,pagerank=0.3",
                         help="workload mix weights, e.g. gups=0.7,pagerank=0.3")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--trace-sample", type=float, default=0.0,
+                        metavar="P",
+                        help="send this fraction of requests with an "
+                             "X-Repro-Trace header (forces server-side "
+                             "span sampling)")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        metavar="PATH",
+                        help="after the run, fetch GET /debug/trace and "
+                             "write the Chrome-trace JSON here (merge "
+                             "with a sim trace via `repro trace --serve`)")
+    parser.add_argument("--slo-ms", type=float, default=None, metavar="MS",
+                        help="add a client-side SLO section: violations "
+                             "against this latency bound + the server's "
+                             "burn-rate view")
     parser.add_argument("--report", type=Path, default=None,
                         help="write the full JSON report here")
     parser.add_argument("--bench", action="store_true",
@@ -389,10 +485,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.bench:
         return _bench(args)
 
-    runner = lambda url: run_load(  # noqa: E731
-        url, requests=args.requests, concurrency=args.concurrency,
-        dup_ratio=args.dup_ratio, rate=args.rate, seed=args.seed,
-        mix=parse_mix(args.mix))
+    async def runner(url: str) -> Dict[str, Any]:
+        report = await run_load(
+            url, requests=args.requests, concurrency=args.concurrency,
+            dup_ratio=args.dup_ratio, rate=args.rate, seed=args.seed,
+            mix=parse_mix(args.mix), trace_sample=args.trace_sample,
+            slo_ms=args.slo_ms)
+        if args.trace_out is not None:
+            # fetch inside the run so --self-host servers are still up
+            client = AdvisorClient(*parse_base_url(url))
+            try:
+                status, doc = await client.get("/debug/trace")
+            finally:
+                await client.close()
+            if status == 200:
+                args.trace_out.parent.mkdir(parents=True, exist_ok=True)
+                args.trace_out.write_text(json.dumps(doc))
+                n = len(doc.get("traceEvents", []))
+                print(f"serve trace: {n} events -> {args.trace_out}",
+                      file=sys.stderr)
+            else:
+                print(f"trace fetch failed ({status}): {doc}", file=sys.stderr)
+        return report
+
     if args.self_host:
         report = _self_hosted(runner, jobs=args.jobs,
                               fresh_store=args.fresh_store)
@@ -401,9 +516,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         parser.error("give --url, or use --self-host / --bench")
 
-    summary = {k: report[k] for k in
-               ("requests", "errors", "wall_s", "req_per_sec", "latency_ms",
-                "cells", "cache_hit_ratio", "coalesce_count", "healthz_ok")}
+    keys = ["requests", "errors", "wall_s", "req_per_sec", "latency_ms",
+            "cells", "cache_hit_ratio", "coalesce_count", "healthz_ok"]
+    if args.trace_sample > 0.0:
+        keys.append("traced_requests")
+    if args.slo_ms is not None:
+        keys += ["slo_degraded", "slo"]
+    summary = {k: report[k] for k in keys}
     print(json.dumps(summary, indent=2))
     if args.report:
         args.report.parent.mkdir(parents=True, exist_ok=True)

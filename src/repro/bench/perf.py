@@ -633,6 +633,7 @@ def run_gate(record_path: Path, factor: float) -> int:
             failures.append(name)
     failures.extend(run_dse_gate(doc.get("dse"), factor))
     failures.extend(run_serve_gate(doc.get("serve"), factor))
+    failures.extend(run_serve_obs_gate(doc.get("serve")))
     if failures:
         print(f"FAIL: below {factor:.2f}x recorded throughput: "
               f"{failures}", file=sys.stderr)
@@ -717,6 +718,39 @@ def run_serve_gate(serve_section: Optional[Dict], factor: float) -> List[str]:
               f"healthz_ok={meas['healthz_ok']}  FAIL")
         failures.append("serve:health")
     return failures
+
+
+def run_serve_obs_gate(serve_section: Optional[Dict],
+                       min_ratio: float = 0.98) -> List[str]:
+    """Wall-clock observability overhead leg of the perf gate.
+
+    PR 5's zero-perturbation contract, translated to wall time: a
+    default server (metrics registered, SLO windows live, tracing at
+    sample rate 0) must keep ``min_ratio`` (<2% overhead) of a
+    ``--no-obs`` server's warm steady-state req/s.  Both servers are
+    measured live, interleaved, best-of-reps — same-run comparison, so
+    host speed cancels out (unlike the absolute req/s floors, no
+    hardware factor applies).  Returns failure labels (empty = ok).
+    """
+    if serve_section is None:
+        print(f"{'serve-obs':12s} (no recorded serve section — skipped)")
+        return []
+    from repro.bench import loadgen as loadgen_mod
+
+    rec = serve_section.get("obs", {})
+    meas = loadgen_mod.measure_obs_overhead(
+        requests=rec.get("requests", 80),
+        concurrency=rec.get("concurrency", 8),
+        jobs=rec.get("jobs", 2),
+        reps=rec.get("reps", 5))
+    ratio = meas["overhead_ratio"]
+    status = "ok" if ratio >= min_ratio else "FAIL"
+    print(f"{'serve-obs':12s} obs-disabled {meas['req_per_sec_obs_disabled']:>10,.2f} "
+          f"req/s vs no-obs {meas['req_per_sec_no_obs']:>10,.2f}  "
+          f"ratio {ratio:.3f} (floor {min_ratio:.2f})  {status}")
+    if status == "FAIL":
+        return ["serve:obs_overhead"]
+    return []
 
 
 #: scenarios and sizes the telemetry-overhead gate measures: the two pure

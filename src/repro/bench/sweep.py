@@ -311,6 +311,17 @@ def _pack_chunks(ordered: List[ExperimentCell], model: CostModel,
     return chunks
 
 
+def _fmt_eta(seconds: float) -> str:
+    """Compact remaining-time label for progress lines."""
+    if seconds >= 3600.0:
+        return f"{seconds / 3600.0:.1f}h"
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:.1f}m"
+    if seconds >= 10.0:
+        return f"{seconds:.0f}s"
+    return f"{seconds:.1f}s"
+
+
 def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True,
               progress: Optional[Callable[[str], None]] = None,
               telemetry: bool = False, order: str = "ljf",
@@ -361,6 +372,27 @@ def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True
     model = CostModel.from_store(get_store()) if use_cache else CostModel()
     ordered = _order_cells(todo, model, order)
 
+    # ETA from the calibrated cost model: completed estimated-seconds so
+    # far give an estimated-seconds/sec rate; remaining estimate / rate
+    # is the ETA shown on each progress line.  Self-correcting — a slow
+    # host or a mis-calibrated model shifts the observed rate, not the
+    # formula.
+    est_of = {cell.cell_id: max(model.estimate(cell), 1e-9) for cell in todo}
+    total_est = sum(est_of.values())
+    done_est = 0.0
+    t_exec = time.perf_counter()
+
+    def eta_suffix() -> str:
+        if done_est <= 0.0 or done_est >= total_est:
+            return ""
+        elapsed = time.perf_counter() - t_exec
+        if elapsed <= 0.0:
+            return ""
+        # done_est/elapsed is estimated-seconds retired per wall-second,
+        # which already reflects pool parallelism — no jobs division
+        remaining = (total_est - done_est) * elapsed / done_est
+        return f", eta ~{_fmt_eta(remaining)}"
+
     done = 0
     if jobs <= 1 or len(todo) <= 1:
         for cell in ordered:
@@ -372,7 +404,9 @@ def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True
             stats.executed += 1
             stats.busy_s += wall
             done += 1
-            say(f"{done}/{len(todo)} cells done ({cell.cell_id})")
+            done_est += est_of[cell.cell_id]
+            say(f"{done}/{len(todo)} cells done ({cell.cell_id})"
+                f"{eta_suffix()}")
     else:
         if chunked:
             chunks = _pack_chunks(ordered, model, jobs)
@@ -400,8 +434,10 @@ def run_cells(cells: List[ExperimentCell], jobs: int = 1, use_cache: bool = True
                         stats.executed += 1
                         stats.busy_s += wall
                         done += 1
+                        done_est += est_of[cell.cell_id]
                     say(f"{done}/{len(todo)} cells done "
-                        f"(+{len(chunk)}: {chunk[-1].cell_id})")
+                        f"(+{len(chunk)}: {chunk[-1].cell_id})"
+                        f"{eta_suffix()}")
 
     stats.wall_s = time.perf_counter() - t0
     return results, stats

@@ -228,13 +228,23 @@ def cmd_trace(args) -> int:
         print("no runtime was constructed while tracing this cell", file=sys.stderr)
         return 1
 
+    serve_doc = None
+    if args.serve:
+        import json as _json
+
+        with open(args.serve) as fh:
+            serve_doc = _json.load(fh)
+
     out = Path(args.out or f"results/trace_{args.experiment}.json")
     out.parent.mkdir(parents=True, exist_ok=True)
     with open(out, "w") as fh:
-        n_events = write_chrome_trace(cap.telemetries, fh)
+        n_events = write_chrome_trace(cap.telemetries, fh, serve_doc=serve_doc)
 
     print(text_summary(cap.primary()))
     print(f"trace: {n_events} events from {len(cap.telemetries)} runtime(s) -> {out}")
+    if serve_doc is not None:
+        print(f"merged {len(serve_doc.get('traceEvents', []))} serve events "
+              f"from {args.serve}")
     print("open in https://ui.perfetto.dev or chrome://tracing")
 
     if args.metrics:
@@ -374,6 +384,9 @@ def main(argv=None) -> int:
     t_p.add_argument("--interval", type=float, default=None, metavar="NS",
                      help="sampling interval in virtual ns "
                           "(default: the strategy's scheduler timer)")
+    t_p.add_argument("--serve", default=None, metavar="PATH",
+                     help="merge a serve-side trace (GET /debug/trace "
+                          "JSON, or loadgen --trace-out) into the output")
     t_p.set_defaults(fn=cmd_trace)
 
     args = parser.parse_args(argv)

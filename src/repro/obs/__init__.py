@@ -32,6 +32,15 @@ _LAZY = {
     "DecisionLog": "repro.obs.decisions",
     "PolicyDecision": "repro.obs.decisions",
     "KernelProfiler": "repro.obs.selfprof",
+    # wall-clock twins (serve/sweep observability)
+    "MetricsRegistry": "repro.obs.wallclock",
+    "WallClockTracer": "repro.obs.wallclock",
+    "SlidingWindows": "repro.obs.wallclock",
+    "SLOMonitor": "repro.obs.wallclock",
+    "SLOConfig": "repro.obs.wallclock",
+    "FlightRecorder": "repro.obs.wallclock",
+    "NULL_TRACE": "repro.obs.wallclock",
+    "RequestTrace": "repro.obs.wallclock",
 }
 
 __all__ = ["attach_if_active", "capture"] + sorted(_LAZY)

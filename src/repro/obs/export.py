@@ -153,15 +153,43 @@ def _counter_events(tel: "Telemetry", pid: int) -> List[Dict]:
     return out
 
 
-def write_chrome_trace(telemetries: Sequence["Telemetry"], fh: TextIO) -> int:
+def merge_serve_events(events: List[Dict], serve_doc: Dict,
+                       pid_base: int = 1000) -> int:
+    """Append wall-clock serve spans (a ``GET /debug/trace`` document)
+    onto a simulation event list; returns how many events were added.
+
+    The serve exporter (:func:`repro.obs.wallclock.serve_chrome_events`)
+    emits the same span schema as the simulator — the only merge work is
+    re-basing serve pids into a disjoint block so request lanes never
+    collide with the per-runtime pid blocks of
+    :func:`chrome_trace_events`.  Time axes differ by design (virtual ns
+    vs wall µs, both starting near zero), which is exactly the Perfetto
+    view the tentpole wants: the sampled request and the simulation it
+    triggered, side by side from t=0.
+    """
+    added = serve_doc.get("traceEvents", [])
+    pids = sorted({e.get("pid", 0) for e in added})
+    remap = {p: pid_base + i for i, p in enumerate(pids)}
+    for event in added:
+        event = dict(event)
+        event["pid"] = remap.get(event.get("pid", 0), pid_base)
+        events.append(event)
+    return len(added)
+
+
+def write_chrome_trace(telemetries: Sequence["Telemetry"], fh: TextIO,
+                       serve_doc: Dict = None) -> int:
     """Merged Chrome trace for one or more runtimes; returns event count.
 
     Multiple runtimes (a cell that builds warm-up + measured runs) land
-    in disjoint pid blocks of 10.
+    in disjoint pid blocks of 10.  ``serve_doc`` (a ``/debug/trace``
+    JSON document) merges sampled advisor requests into the same file.
     """
     events: List[Dict] = []
     for i, tel in enumerate(telemetries):
         events.extend(chrome_trace_events(tel, pid_base=10 * i))
+    if serve_doc is not None:
+        merge_serve_events(events, serve_doc)
     json.dump({"traceEvents": events, "displayTimeUnit": "ns"}, fh)
     return len(events)
 

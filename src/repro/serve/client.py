@@ -47,39 +47,49 @@ class AdvisorClient:
                 pass
             self._reader = self._writer = None
 
-    async def request(self, method: str, path: str,
-                      payload: Any = None) -> Tuple[int, Dict[str, Any]]:
-        """One round-trip: returns ``(status_code, parsed_json_body)``.
+    async def request(self, method: str, path: str, payload: Any = None,
+                      headers: Optional[Dict[str, str]] = None,
+                      ) -> Tuple[int, Any]:
+        """One round-trip: returns ``(status_code, parsed_body)`` — JSON
+        when the response is JSON, raw text otherwise (``/metrics``).
 
         Reconnects once on a dead keep-alive connection (the server may
-        have been restarted between calls).
+        have been restarted between calls).  ``headers`` adds extra
+        request headers (e.g. ``{"X-Repro-Trace": "1"}`` to force a
+        span-traced request).
         """
         try:
             return await asyncio.wait_for(
-                self._roundtrip(method, path, payload), self.timeout)
+                self._roundtrip(method, path, payload, headers), self.timeout)
         except (ConnectionError, asyncio.IncompleteReadError, OSError):
             await self.close()
             return await asyncio.wait_for(
-                self._roundtrip(method, path, payload), self.timeout)
+                self._roundtrip(method, path, payload, headers), self.timeout)
 
-    async def get(self, path: str) -> Tuple[int, Dict[str, Any]]:
-        return await self.request("GET", path)
+    async def get(self, path: str,
+                  headers: Optional[Dict[str, str]] = None) -> Tuple[int, Any]:
+        return await self.request("GET", path, headers=headers)
 
-    async def post(self, path: str, payload: Any) -> Tuple[int, Dict[str, Any]]:
-        return await self.request("POST", path, payload)
+    async def post(self, path: str, payload: Any,
+                   headers: Optional[Dict[str, str]] = None) -> Tuple[int, Any]:
+        return await self.request("POST", path, payload, headers=headers)
 
-    async def _roundtrip(self, method: str, path: str,
-                         payload: Any) -> Tuple[int, Dict[str, Any]]:
+    async def _roundtrip(self, method: str, path: str, payload: Any,
+                         extra_headers: Optional[Dict[str, str]] = None,
+                         ) -> Tuple[int, Any]:
         if self._writer is None:
             await self._connect()
         body = b""
         if payload is not None:
             body = json.dumps(payload, separators=(",", ":")).encode()
+        extra = "".join(f"{k}: {v}\r\n"
+                        for k, v in (extra_headers or {}).items())
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"\r\n"
         ).encode()
         self._writer.write(head + body)
@@ -101,7 +111,10 @@ class AdvisorClient:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0"))
         raw = await self._reader.readexactly(length) if length else b""
-        doc = json.loads(raw) if raw else {}
+        if "json" in headers.get("content-type", "json"):
+            doc: Any = json.loads(raw) if raw else {}
+        else:
+            doc = raw.decode()
         if headers.get("connection", "").lower() == "close":
             await self.close()
         return status, doc

@@ -30,15 +30,20 @@ computes (store round-trips preserve every bit; the pool runs the same
 
 import asyncio
 import multiprocessing
+import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Tuple
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.bench.cells import ExperimentCell
 from repro.bench.cost import CostModel
 from repro.bench import sweep
+from repro.obs.wallclock import NULL_TRACE
 from repro.serve.coalesce import SingleFlight
 from repro.serve.stats import ServerStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serve.observe import ServeObservability
 
 __all__ = ["CellAnswerer", "HOT_CACHE_SIZE", "BATCH_WINDOW_S"]
 
@@ -72,15 +77,19 @@ class CellAnswerer:
     def __init__(self, jobs: int = 0, use_store: bool = True,
                  hot_cache_size: int = HOT_CACHE_SIZE,
                  batch_window_s: float = BATCH_WINDOW_S,
-                 stats: Optional[ServerStats] = None):
+                 stats: Optional[ServerStats] = None,
+                 obs: Optional["ServeObservability"] = None):
         self.jobs = sweep.resolve_jobs(jobs)
         self.use_store = use_store
         self.batch_window_s = batch_window_s
         self.stats = stats or ServerStats()
+        self._obs = obs
         self._hot: "OrderedDict[str, Any]" = OrderedDict()
         self._hot_capacity = hot_cache_size
         self._flight = SingleFlight()
-        self._queue: "asyncio.Queue[Tuple[ExperimentCell, str]]" = asyncio.Queue()
+        # queue entries: (cell, key, trace, parent span, batch-window span)
+        self._queue: "asyncio.Queue[Tuple[ExperimentCell, str, Any, int, int]]" \
+            = asyncio.Queue()
         self._store = None
         self._io: Optional[ThreadPoolExecutor] = None
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -103,13 +112,23 @@ class CellAnswerer:
             self._store = sweep.get_store()
             self._cost = await self._loop.run_in_executor(
                 self._io, CostModel.from_store, self._store)
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-        self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
+            if self._obs is not None and self._obs.enabled:
+                store_stats = await self._loop.run_in_executor(
+                    self._io, self._store.stats)
+                mode = store_stats.get("journal_mode", "wal")
+                if mode != "wal":
+                    self._obs.flight.record("store_journal_fallback",
+                                            journal_mode=mode)
+        self._pool = self._new_pool()
         warmups = [self._loop.run_in_executor(self._pool, _warm_worker)
                    for _ in range(self.jobs)]
         await asyncio.gather(*warmups)
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        return ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
 
     async def stop(self) -> None:
         """Fail pending flights, flush queued persists, release executors."""
@@ -125,7 +144,7 @@ class CellAnswerer:
         if self._chunk_tasks:
             await asyncio.gather(*self._chunk_tasks, return_exceptions=True)
         while not self._queue.empty():
-            _, key = self._queue.get_nowait()
+            _, key, _, _, _ = self._queue.get_nowait()
             self._flight.resolve(key, error=RuntimeError("server shutting down"))
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
@@ -153,37 +172,47 @@ class CellAnswerer:
         while len(self._hot) > self._hot_capacity:
             self._hot.popitem(last=False)
 
-    async def answer(self, cell: ExperimentCell) -> Tuple[Any, str]:
+    async def answer(self, cell: ExperimentCell, trace: Any = NULL_TRACE,
+                     parent: int = 0) -> Tuple[Any, str]:
         """Answer one cell: ``(result, tier)``.
 
         ``tier`` is ``"hot"`` / ``"store"`` / ``"computed"`` for flight
         leaders and ``"coalesced"`` for duplicates that attached to an
         existing flight.  The stats object is updated here, so every
-        cell of every request is accounted exactly once.
+        cell of every request is accounted exactly once.  A sampled
+        request passes its ``trace`` + parent span id through; the
+        default :data:`NULL_TRACE` makes every span call a no-op.
         """
+        sid = trace.begin("hot_probe", parent, cell=cell.cell_id)
         key = sweep.cache_key(cell)
         hit, result = self._hot_get(key)
+        trace.end(sid)
         if hit:
             self.stats.cell_answered("hot")
             return result, "hot"
 
         waiting = self._flight.wait_for(key)
         if waiting is not None:
+            sid = trace.begin("coalesce_wait", parent, cell=cell.cell_id)
             result = await waiting
+            trace.end(sid)
             self.stats.cell_answered("coalesced")
             return result, "coalesced"
 
         leader_future = self._flight.leader(key)
         try:
             if self._store is not None:
+                sid = trace.begin("store_probe", parent, cell=cell.cell_id)
                 hit, result = await self._loop.run_in_executor(
                     self._io, self._store.get, key)
+                trace.end(sid)
                 if hit:
                     self._hot_put(key, result)
                     self._flight.resolve(key, result)
                     self.stats.cell_answered("store")
                     return result, "store"
-            self._queue.put_nowait((cell, key))
+            window_sid = trace.begin("batch_window", parent, cell=cell.cell_id)
+            self._queue.put_nowait((cell, key, trace, parent, window_sid))
         except BaseException as exc:
             self._flight.resolve(key, error=exc)
             raise
@@ -201,6 +230,10 @@ class CellAnswerer:
                 await asyncio.sleep(self.batch_window_s)
             while len(batch) < MAX_BATCH_CELLS and not self._queue.empty():
                 batch.append(self._queue.get_nowait())
+            for _, _, trace, _, window_sid in batch:
+                trace.end(window_sid)
+            if self._obs is not None:
+                self._obs.on_batch(len(batch))
             self._submit_batch(batch)
             self._batches_since_calibration += 1
             if (self._store is not None
@@ -209,33 +242,43 @@ class CellAnswerer:
                 self._cost = await self._loop.run_in_executor(
                     self._io, CostModel.from_store, self._store)
 
-    def _submit_batch(self, batch: List[Tuple[ExperimentCell, str]]) -> None:
+    def _submit_batch(
+            self, batch: List[Tuple[ExperimentCell, str, Any, int, int]]) -> None:
         """LJF-order one batch, pack it into chunks, fan out to the pool."""
-        key_of: Dict[str, str] = {cell.cell_id: key for cell, key in batch}
-        ordered = sweep._order_cells([cell for cell, _ in batch],
+        entry_of = {cell.cell_id: (key, trace, parent)
+                    for cell, key, trace, parent, _ in batch}
+        ordered = sweep._order_cells([cell for cell, *_ in batch],
                                      self._cost, "ljf")
         for chunk in sweep._pack_chunks(ordered, self._cost, self.jobs):
-            pairs = [(cell, key_of[cell.cell_id]) for cell in chunk]
-            task = asyncio.create_task(self._run_chunk(pairs))
+            entries = [(cell,) + entry_of[cell.cell_id] for cell in chunk]
+            task = asyncio.create_task(self._run_chunk(entries))
             self._chunk_tasks.add(task)
             task.add_done_callback(self._chunk_tasks.discard)
 
-    async def _run_chunk(self, pairs: List[Tuple[ExperimentCell, str]]) -> None:
+    async def _run_chunk(
+            self, entries: List[Tuple[ExperimentCell, str, Any, int]]) -> None:
         """Run one packed chunk on the pool; resolve and persist results."""
-        cells = [cell for cell, _ in pairs]
+        cells = [cell for cell, *_ in entries]
+        pool = self._pool
+        t0 = time.perf_counter()
         try:
             outs = await self._loop.run_in_executor(
-                self._pool, sweep._execute_chunk, cells, False)
+                pool, sweep._execute_chunk, cells, False)
         except asyncio.CancelledError:
-            for _, key in pairs:
+            for _, key, _, _ in entries:
                 self._flight.resolve(
                     key, error=RuntimeError("server shutting down"))
             raise
         except BaseException as exc:
-            for _, key in pairs:
+            for _, key, _, _ in entries:
                 self._flight.resolve(key, error=exc)
+            if isinstance(exc, BrokenExecutor):
+                self._replace_broken_pool(pool, exc)
             return
-        for (cell, key), (result, wall_s) in zip(pairs, outs):
+        t1 = time.perf_counter()
+        for (cell, key, trace, parent), (result, wall_s) in zip(entries, outs):
+            trace.add("pool_execute", t0, t1, parent, cell=cell.cell_id,
+                      chunk_cells=len(cells), cell_wall_s=round(wall_s, 6))
             # persist first, fire-and-forget on the io pool: by the time
             # any waiter can observe the answer the store write is already
             # queued, and stop() flushes the io pool before releasing it —
@@ -243,7 +286,8 @@ class CellAnswerer:
             # finding it in the store
             if self._store is not None and self._io is not None:
                 try:
-                    self._io.submit(self._persist, cell, result, wall_s)
+                    self._io.submit(self._persist, cell, result, wall_s,
+                                    trace, parent)
                 except RuntimeError:  # raced with shutdown
                     pass
             # hot-insert before resolving so a request arriving between
@@ -251,12 +295,35 @@ class CellAnswerer:
             self._hot_put(key, result)
             self._flight.resolve(key, result)
 
-    def _persist(self, cell: ExperimentCell, result: Any, wall_s: float) -> None:
+    def _replace_broken_pool(self, broken: Optional[ProcessPoolExecutor],
+                             exc: BaseException) -> None:
+        """A worker died mid-chunk: swap in a fresh pool so the next
+        batch computes instead of failing forever.  Guarded against
+        concurrent chunks racing the same restart."""
+        if broken is None or broken is not self._pool:
+            return  # another chunk already swapped the pool
+        if self._obs is not None and self._obs.enabled:
+            self._obs.flight.record("pool_restart", error=repr(exc),
+                                    jobs=self.jobs)
+        self._pool = self._new_pool()
+        broken.shutdown(wait=False, cancel_futures=True)
+
+    def _persist(self, cell: ExperimentCell, result: Any, wall_s: float,
+                 trace: Any = NULL_TRACE, parent: int = 0) -> None:
         """Thread-side: write one computed result through the store."""
-        self._store.put(
-            sweep.cache_key(cell), cell_id=cell.cell_id,
-            experiment=cell.experiment, code_version=sweep.code_version(),
-            result=result, wall_s=wall_s, work_units=cell.work_hint())
+        t0 = time.perf_counter()
+        try:
+            self._store.put(
+                sweep.cache_key(cell), cell_id=cell.cell_id,
+                experiment=cell.experiment, code_version=sweep.code_version(),
+                result=result, wall_s=wall_s, work_units=cell.work_hint())
+        except Exception as exc:
+            if self._obs is not None and self._obs.enabled:
+                self._obs.flight.record("store_put_error", cell=cell.cell_id,
+                                        error=repr(exc))
+            raise
+        trace.add("store_put", t0, time.perf_counter(), parent,
+                  cell=cell.cell_id)
 
     # -- introspection ----------------------------------------------------------
 

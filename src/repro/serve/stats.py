@@ -114,7 +114,13 @@ class ServerStats:
                 "coalesce_ratio": ratio(self.coalesced),
                 "cache_hit_ratio": round(self.cache_hit_ratio, 4),
             },
+            # the reservoir covers the last RESERVOIR_SIZE requests, however
+            # old — a cold burst parks its p99 until enough traffic scrolls
+            # it out.  The paired "latency_windowed_ms" section (/stats,
+            # merged in by ServeObservability) covers fixed time windows
+            # instead; both are labeled so dashboards can say which is which.
             "latency_ms": {
+                "window": f"last_{self.latency._size}_requests",
                 "count": self.latency.count,
                 "p50": round(self.latency.quantile(0.50) * 1e3, 3),
                 "p90": round(self.latency.quantile(0.90) * 1e3, 3),

@@ -228,3 +228,26 @@ def test_cache_stats_reports_entries(cache, capsys):
     assert info["by_experiment"] == {"fig04_channels": 1}
     assert sweep.main(["--cache-stats"]) == 0
     assert json.loads(capsys.readouterr().out)["entries"] == 1
+
+
+def test_fmt_eta_compact_labels():
+    assert sweep._fmt_eta(2.34) == "2.3s"
+    assert sweep._fmt_eta(90.0) == "1.5m"
+    assert sweep._fmt_eta(5400.0) == "1.5h"
+
+
+def test_progress_lines_carry_cost_model_eta(cache):
+    cells = REGISTRY["fig05_local_vs_distributed"].cells(True)
+    assert len(cells) >= 2
+    lines = []
+    sweep.run_cells(cells, jobs=1, progress=lines.append)
+    assert len(lines) == len(cells)
+    # every line but the last projects remaining work from the cost
+    # model; the final one has nothing left to predict
+    for line in lines[:-1]:
+        assert ", eta ~" in line, line
+    assert "eta ~" not in lines[-1]
+    # cached resume never shows an ETA: nothing executes
+    lines2 = []
+    sweep.run_cells(cells, jobs=1, progress=lines2.append)
+    assert not any("eta ~" in line for line in lines2)

@@ -1,0 +1,434 @@
+"""Unit tests for the wall-clock observability primitives.
+
+Covers the satellite checklist directly: the Prometheus exposition
+format (every line parses, histogram buckets cumulative and
+sum-consistent), span-tree well-formedness, flight-recorder ring
+eviction order, plus sliding-window/SLO math under a fake clock.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.obs.wallclock import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    FlightRecorder,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_TRACE,
+    RequestTrace,
+    SLOConfig,
+    SLOMonitor,
+    SlidingWindows,
+    WallClockTracer,
+    bucket_quantile,
+    process_stats,
+    serve_chrome_events,
+)
+
+# one exposition sample line: name, optional {labels}, numeric value
+_LABEL = r"[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\""
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{" + _LABEL + r"(?:," + _LABEL + r")*\})?"
+    r" (?P<value>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|[+-]Inf|NaN)$")
+
+
+def parse_exposition(text):
+    """Parse a Prometheus text page; raises on any malformed line.
+
+    Returns ``{(name, labels_str): float}`` over all sample lines.
+    """
+    samples = {}
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        m = _SAMPLE_RE.match(line)
+        assert m, f"malformed exposition line: {line!r}"
+        raw = m.group("value")
+        value = {"+Inf": math.inf, "-Inf": -math.inf,
+                 "NaN": math.nan}.get(raw)
+        samples[(m.group("name"), m.group("labels") or "")] = (
+            float(raw) if value is None else value)
+    return samples
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+# -- registry / exposition format ------------------------------------------------
+
+
+class TestRegistry:
+    def test_every_line_parses(self):
+        reg = MetricsRegistry()
+        c = reg.counter("demo_total", "a counter")
+        g = reg.gauge("demo_gauge", "a gauge")
+        h = reg.histogram("demo_seconds", "a histogram")
+        tiers = reg.counter("demo_cells_total", "labelled", label="tier",
+                            fn=lambda: {"hot": 3.0, "store": 1.0})
+        assert tiers is not None
+        c.inc(5)
+        g.set(2.5)
+        h.observe(0.003)
+        h.observe(0.3)
+        samples = parse_exposition(reg.expose())
+        assert samples[("demo_total", "")] == 5.0
+        assert samples[("demo_gauge", "")] == 2.5
+        assert samples[("demo_cells_total", '{tier="hot"}')] == 3.0
+
+    def test_help_and_type_lines_present(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "about x")
+        text = reg.expose()
+        assert "# HELP x_total about x" in text
+        assert "# TYPE x_total counter" in text
+
+    def test_histogram_buckets_cumulative_and_sum_consistent(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "latencies")
+        values = [0.0004, 0.002, 0.002, 0.03, 0.4, 7.0, 100.0]
+        for v in values:
+            h.observe(v)
+        samples = parse_exposition(reg.expose())
+        buckets = [(float(label.split('"')[1]) if "Inf" not in label else math.inf,
+                    value)
+                   for (name, label), value in samples.items()
+                   if name == "lat_seconds_bucket"]
+        buckets.sort()
+        # cumulative: monotone nondecreasing, closed by +Inf == _count
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1][0] == math.inf
+        assert buckets[-1][1] == samples[("lat_seconds_count", "")] == len(values)
+        # every bucket's count equals the number of values <= its bound
+        for bound, count in buckets:
+            assert count == sum(1 for v in values if v <= bound)
+        assert samples[("lat_seconds_sum", "")] == pytest.approx(sum(values))
+
+    def test_duplicate_metric_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("dup_total", "x")
+        with pytest.raises(ValueError):
+            reg.counter("dup_total", "again")
+
+    def test_callback_backed_metrics_read_live(self):
+        state = {"v": 1.0}
+        reg = MetricsRegistry()
+        reg.gauge("live", "reads state", fn=lambda: state["v"])
+        assert parse_exposition(reg.expose())[("live", "")] == 1.0
+        state["v"] = 7.0
+        assert parse_exposition(reg.expose())[("live", "")] == 7.0
+
+    def test_label_values_escaped(self):
+        c = Counter("esc_total", "x", label="k")
+        c.inc(1, label_value='we"ird\\')
+        line = c.expose()[-1]
+        assert _SAMPLE_RE.match(line), line
+
+    def test_counter_and_gauge_standalone(self):
+        c = Counter("c_total", "x")
+        c.inc()
+        c.inc(2.0)
+        assert c.value() == 3.0
+        g = Gauge("g", "x")
+        g.set(-4)
+        assert g.samples() == [("", {}, -4.0)]
+
+
+# -- bucket quantiles ------------------------------------------------------------
+
+
+class TestBucketQuantile:
+    def test_empty(self):
+        assert bucket_quantile((0.1, 1.0), [0, 0, 0], 0.5) == 0.0
+
+    def test_single_bucket_interpolates(self):
+        # all mass in (0.001, 0.0025]: median interpolates inside it
+        bounds = LATENCY_BUCKETS_S
+        counts = [0] * (len(bounds) + 1)
+        counts[1] = 10
+        q = bucket_quantile(bounds, counts, 0.5)
+        assert 0.001 <= q <= 0.0025
+
+    def test_overflow_clamps_to_top_bound(self):
+        bounds = (0.1, 1.0)
+        counts = [0, 0, 5]  # all in +Inf
+        assert bucket_quantile(bounds, counts, 0.99) == 1.0
+
+    def test_two_modes(self):
+        bounds = (0.001, 0.01, 0.1, 1.0)
+        counts = [50, 0, 0, 50, 0]
+        assert bucket_quantile(bounds, counts, 0.25) <= 0.001
+        assert 0.1 <= bucket_quantile(bounds, counts, 0.95) <= 1.0
+
+
+# -- sliding windows + SLO -------------------------------------------------------
+
+
+class TestSlidingWindows:
+    def test_record_and_window(self):
+        clock = FakeClock()
+        w = SlidingWindows(windows_s=(60.0,), slot_s=5.0, clock=clock)
+        for _ in range(10):
+            w.record(0.02)
+        stats = w.window(60.0)
+        assert stats["count"] == 10
+        assert stats["error_rate"] == 0.0
+        assert 10.0 <= stats["p50_ms"] <= 25.0
+
+    def test_old_slots_age_out(self):
+        clock = FakeClock()
+        w = SlidingWindows(windows_s=(60.0, 3600.0), slot_s=5.0, clock=clock)
+        w.record(0.02)
+        clock.advance(120.0)  # beyond the 1m window, within 1h
+        w.record(0.04)
+        assert w.window(60.0)["count"] == 1
+        assert w.window(3600.0)["count"] == 2
+
+    def test_slot_reuse_after_full_wrap(self):
+        clock = FakeClock()
+        w = SlidingWindows(windows_s=(60.0,), slot_s=5.0, clock=clock)
+        w.record(0.02, error=True)
+        clock.advance(3700.0)  # ring fully wraps; stale slot is reset
+        w.record(0.04)
+        stats = w.window(60.0)
+        assert stats["count"] == 1
+        assert stats["errors"] == 0
+
+    def test_error_and_bad_accounting(self):
+        clock = FakeClock()
+        w = SlidingWindows(windows_s=(60.0,), clock=clock)
+        w.record(0.01, error=True)
+        w.record(2.0, error=False, bad=True)  # slow-but-successful
+        w.record(0.01)
+        stats = w.window(60.0)
+        assert stats["errors"] == 1
+        assert stats["bad_rate"] == pytest.approx(2 / 3)
+
+    def test_snapshot_labels(self):
+        w = SlidingWindows(windows_s=(60.0, 300.0, 3600.0), clock=FakeClock())
+        assert set(w.snapshot()) == {"1m", "5m", "1h"}
+
+
+class TestSLOMonitor:
+    def _mon(self, clock):
+        return SLOMonitor(SLOConfig(latency_slo_s=0.1, budget=0.05,
+                                    min_requests=10), clock=clock)
+
+    def test_healthy_traffic_not_degraded(self):
+        clock = FakeClock()
+        mon = self._mon(clock)
+        for _ in range(200):
+            mon.record(0.01)
+            clock.advance(0.5)
+        ev = mon.evaluate()
+        assert not ev["degraded"]
+        assert ev["alerts"] == []
+        assert all(rate == 0.0 for rate in ev["burn_rates"].values())
+
+    def test_latency_regression_burns_and_degrades(self):
+        clock = FakeClock()
+        mon = self._mon(clock)
+        # every request blows the 100ms latency SLO: bad_rate 1.0 against
+        # a 5% budget = 20x burn on every window -> both rules fire
+        for _ in range(100):
+            mon.record(0.5)
+            clock.advance(1.0)
+        ev = mon.evaluate()
+        assert ev["degraded"]
+        assert ev["alerts"]
+        assert ev["burn_rates"]["1m"] == pytest.approx(20.0)
+
+    def test_short_spike_alone_does_not_page(self):
+        clock = FakeClock()
+        mon = self._mon(clock)
+        # an hour of clean traffic, then a 30s error spike: the short
+        # window burns but the long windows hold -> no alert
+        for _ in range(600):
+            mon.record(0.01)
+            clock.advance(6.0)
+        for _ in range(30):
+            mon.record(0.01, error=True)
+            clock.advance(1.0)
+        ev = mon.evaluate()
+        assert ev["burn_rates"]["1m"] > 10.0
+        assert not ev["degraded"]
+
+    def test_min_requests_suppresses_empty_window_burn(self):
+        clock = FakeClock()
+        mon = self._mon(clock)
+        for _ in range(3):  # below min_requests
+            mon.record(9.9, error=True)
+        assert mon.burn_rate(60.0) == 0.0
+
+    def test_windowed_percentiles_recover_after_cold_burst(self):
+        # the ServerStats-staleness satellite, at the primitive level: a
+        # cold burst parks the all-time view, but the 1m window forgets
+        clock = FakeClock()
+        mon = self._mon(clock)
+        for _ in range(50):
+            mon.record(2.0)  # cold burst
+            clock.advance(0.1)
+        clock.advance(120.0)
+        for _ in range(50):
+            mon.record(0.005)  # warm steady state
+            clock.advance(0.1)
+        w = mon.windows.window(60.0)
+        assert w["p99_ms"] < 50.0, "windowed p99 must forget the cold burst"
+
+
+# -- flight recorder -------------------------------------------------------------
+
+
+class TestFlightRecorder:
+    def test_eviction_order_oldest_first(self):
+        fr = FlightRecorder(capacity=4, clock=FakeClock())
+        for i in range(10):
+            fr.record("event", i=i)
+        dump = fr.dump()
+        assert len(dump["events"]) == 4
+        assert [e["i"] for e in dump["events"]] == [6, 7, 8, 9]
+        # seq strictly increasing oldest -> newest
+        seqs = [e["seq"] for e in dump["events"]]
+        assert seqs == sorted(seqs)
+
+    def test_dropped_accounting(self):
+        fr = FlightRecorder(capacity=3, clock=FakeClock())
+        for i in range(8):
+            fr.record("e")
+        dump = fr.dump()
+        assert dump["recorded_total"] == 8
+        assert dump["dropped"] == 5
+        assert dump["capacity"] == 3
+
+    def test_event_fields(self):
+        clock = FakeClock(t=42.0)
+        fr = FlightRecorder(capacity=8, clock=clock)
+        fr.record("slow_request", status=200, latency_ms=1200.5)
+        (event,) = fr.dump()["events"]
+        assert event["kind"] == "slow_request"
+        assert event["t"] == 42.0
+        assert event["status"] == 200
+        assert event["latency_ms"] == 1200.5
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+# -- request tracing -------------------------------------------------------------
+
+
+class TestRequestTrace:
+    def test_span_tree_well_formed(self):
+        tracer = WallClockTracer(sample_rate=1.0)
+        trace = tracer.sample()
+        p = trace.begin("parse")
+        trace.end(p)
+        cells = trace.begin("answer_cells")
+        hot = trace.begin("hot_probe", parent=cells)
+        trace.end(hot)
+        trace.end(cells)
+        tracer.finish(trace)
+        sids = {row[0] for row in trace.spans}
+        for sid, parent, name, t0, t1, _args in trace.spans:
+            if sid == 0:
+                assert parent == -1 and name == "request"
+                continue
+            assert parent in sids, f"span {name} has unknown parent {parent}"
+            assert t1 is not None and t1 >= t0
+        root = trace.spans[0]
+        for sid, _parent, name, t0, t1, _args in trace.spans[1:]:
+            assert t0 >= root[3], f"{name} starts before the request root"
+            assert t1 <= root[4] + 1e-9, f"{name} ends after the request root"
+
+    def test_null_trace_is_inert(self):
+        sid = NULL_TRACE.begin("anything")
+        assert sid == 0
+        NULL_TRACE.end(sid)
+        NULL_TRACE.add("x", 0.0, 1.0)
+        NULL_TRACE.annotate(0, k=1)
+        NULL_TRACE.finish()
+        assert not NULL_TRACE.enabled
+
+    def test_sampling_off_returns_null(self):
+        tracer = WallClockTracer(sample_rate=0.0)
+        assert all(tracer.sample() is NULL_TRACE for _ in range(100))
+        assert tracer.sample(force=True) is not NULL_TRACE
+
+    def test_sampling_rate_roughly_honored(self):
+        tracer = WallClockTracer(sample_rate=0.5, capacity=2048, seed=3)
+        n = sum(tracer.sample() is not NULL_TRACE for _ in range(1000))
+        assert 350 < n < 650
+
+    def test_ring_bounded(self):
+        tracer = WallClockTracer(sample_rate=1.0, capacity=4)
+        for _ in range(10):
+            tracer.finish(tracer.sample())
+        assert len(tracer.traces()) == 4
+
+    def test_chrome_events_schema(self):
+        """Serve events satisfy the same shape the existing trace schema
+        tests assert on simulator exports."""
+        tracer = WallClockTracer(sample_rate=1.0)
+        for _ in range(3):
+            trace = tracer.sample()
+            sid = trace.begin("parse")
+            trace.end(sid)
+            tracer.finish(trace)
+        events = serve_chrome_events(tracer.traces())
+        assert events
+        for e in events:
+            assert e.get("name")
+            assert e["ph"] in ("X", "i", "C", "s", "f", "M")
+            assert isinstance(e["pid"], int)
+            if e["ph"] == "X":
+                assert e["ts"] >= 0
+                assert e["dur"] >= 0
+                assert "trace_id" in e["args"]
+        # one lane (tid) per request under one serve pid
+        tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert len(tids) == 3
+
+    def test_chrome_doc_shape(self):
+        tracer = WallClockTracer(sample_rate=1.0)
+        tracer.finish(tracer.sample())
+        doc = tracer.chrome_trace_doc()
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+
+    def test_invalid_sample_rate_rejected(self):
+        with pytest.raises(ValueError):
+            WallClockTracer(sample_rate=1.5)
+
+    def test_unfinished_span_skipped_in_export(self):
+        trace = RequestTrace("req-x", 0.0)
+        trace.begin("never_ended")
+        trace.finish()
+        events = serve_chrome_events([trace])
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "never_ended" not in names
+        assert "request" in names
+
+
+# -- process stats ---------------------------------------------------------------
+
+
+def test_process_stats_sane():
+    stats = process_stats()
+    assert stats["rss_bytes"] > 1 << 20  # a python process is >1 MiB resident
+    assert stats["cpu_seconds"] > 0.0
